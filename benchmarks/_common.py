@@ -1,0 +1,69 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper: it measures the
+relevant costs on the instance families the paper's proofs use, fits the
+growth class, and prints a paper-claimed vs measured table.  Absolute
+numbers are not expected to match the paper (there are none to match —
+the results are asymptotic); the *shape* is the reproduction target.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterable, List, Optional, Sequence
+
+from repro.analysis.complexity_fit import (
+    FitResult,
+    SweepMeasurement,
+    fit_growth,
+    format_sweep_row,
+)
+from repro.model.runner import run_algorithm
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)
+
+
+def report_sweep(
+    label: str,
+    claimed: str,
+    ns: Sequence[int],
+    costs: Sequence[float],
+    candidates: Optional[Sequence[str]] = None,
+) -> SweepMeasurement:
+    sweep = SweepMeasurement(
+        label=label, ns=list(ns), costs=list(costs), claimed=claimed
+    )
+    fit = sweep.fitted(candidates)
+    print(format_sweep_row(sweep, fit))
+    return sweep
+
+
+def measure_cost(
+    instance,
+    algorithm,
+    metric: str,
+    nodes: Optional[Iterable[int]] = None,
+    seed: int = 0,
+    max_volume: Optional[int] = None,
+) -> float:
+    """Worst per-node cost (max over started executions) of one metric."""
+    result = run_algorithm(
+        instance, algorithm, seed=seed, nodes=nodes, max_volume=max_volume
+    )
+    if metric == "distance":
+        return result.max_distance
+    if metric == "volume":
+        return result.max_volume
+    if metric == "queries":
+        return result.max_queries
+    raise ValueError(f"unknown metric {metric!r}")
+
+
+def once(benchmark, fn):
+    """Run a measurement exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,224 @@
+"""E8/E9 — Example 7.6 + Observation 7.4, and E10/E11 ablations.
+
+* Example 7.6: probe volume O(log n) vs CONGEST rounds Ω(n/B) on the
+  two-trees-with-a-bridge relay.
+* Observation 7.4: BalancedTree solved in O(log n) CONGEST rounds while
+  its volume is Θ(n) — the opposite separation.
+* E10 ablation: waypoint probability multiplier vs volume and validity.
+* E11 ablation: private vs secret randomness for RWtoLeaf (§7.4).
+"""
+
+import math
+import random
+
+from _common import banner, once, report_sweep
+
+from repro.algorithms.balanced_tree_algs import (
+    BalancedTreeCongestFlood,
+    BalancedTreeFullGather,
+)
+from repro.algorithms.classic_algs import RelayCongest, RelayProbeSolver
+from repro.algorithms.hierarchical_algs import WaypointHTHC
+from repro.algorithms.leaf_coloring_algs import RWtoLeaf, SecretRWtoLeaf
+from repro.graphs.generators import (
+    balanced_tree_instance,
+    hard_leaf_coloring_instance,
+    hierarchical_thc_instance,
+    leaf_coloring_instance,
+    relay_instance,
+)
+from repro.model.congest import run_congest
+from repro.model.runner import run_algorithm, solve_and_check
+from repro.problems.balanced_tree import BalancedTree
+from repro.problems.hierarchical_thc import HierarchicalTHC
+from repro.problems.leaf_coloring import LeafColoring
+
+
+def test_example76_volume_vs_congest(benchmark):
+    def run():
+        banner(
+            "Example 7.6 — relay: probe volume O(log n) vs CONGEST rounds "
+            "Ω(n/B)"
+        )
+        ns, volumes, rounds = [], [], []
+        for depth in (3, 4, 5, 6):
+            inst = relay_instance(depth, rng=random.Random(depth))
+            n = inst.graph.num_nodes
+            id_bits = math.ceil(math.log2(n + 1))
+            bandwidth = 2 * (id_bits + 1)
+            probe = run_algorithm(
+                inst, RelayProbeSolver(), nodes=inst.meta["left_leaves"][:4]
+            )
+            left = set(inst.meta["left_leaves"])
+            congest = run_congest(
+                inst,
+                RelayCongest(depth, id_bits, bandwidth),
+                bandwidth=bandwidth,
+                max_rounds=64 * 2**depth,
+                done_predicate=lambda outs: all(
+                    outs[v] is not None for v in left
+                ),
+            )
+            for u_leaf in inst.meta["left_leaves"]:
+                expected = inst.label(inst.meta["pairing"][u_leaf]).bit
+                assert congest.outputs[u_leaf] == expected
+            ns.append(n)
+            volumes.append(probe.max_volume)
+            rounds.append(congest.rounds)
+        report_sweep("relay probe volume", "Θ(log n)", ns, volumes,
+                     ["log n", "n^{1/2}", "n"])
+        # with B = Θ(log n), the Ω(n/B) bottleneck reads Θ(n/log n)
+        report_sweep(f"relay CONGEST rounds (B≈2 log n)", "Θ(n/B)", ns,
+                     rounds, ["log n", "n^{1/2}", "n/log n", "n"])
+
+    once(benchmark, run)
+
+
+def test_obs74_balanced_tree_congest(benchmark):
+    def run():
+        banner(
+            "Obs 7.4 — BalancedTree: O(log n) CONGEST rounds vs Θ(n) volume"
+        )
+        ns, rounds, volumes = [], [], []
+        for depth in (3, 4, 5, 6):
+            inst = balanced_tree_instance(depth, rng=random.Random(depth))
+            n = inst.graph.num_nodes
+            id_bits = max(4, math.ceil(math.log2(n + 1)))
+            result = run_congest(
+                inst,
+                BalancedTreeCongestFlood(id_bits=id_bits),
+                bandwidth=16 * id_bits + 80,
+                max_rounds=4 * id_bits + 16,
+            )
+            assert BalancedTree().validate(inst, result.outputs) == []
+            vol = run_algorithm(
+                inst, BalancedTreeFullGather(), nodes=[inst.meta["root"]]
+            ).max_volume
+            ns.append(n)
+            rounds.append(result.rounds)
+            volumes.append(vol)
+        report_sweep("BalancedTree CONGEST rounds", "Θ(log n)", ns, rounds,
+                     ["log n", "n^{1/2}", "n"])
+        report_sweep("BalancedTree volume", "Θ(n)", ns, volumes,
+                     ["log n", "n^{1/2}", "n"])
+
+    once(benchmark, run)
+
+
+def test_ablation_waypoint_probability(benchmark):
+    def run():
+        banner(
+            "Ablation E10 — waypoint probability multiplier "
+            "(p = factor · 3 log n / √n)"
+        )
+        m = 12
+        inst = hierarchical_thc_instance(
+            2, m, rng=random.Random(3), lengths=[m, 8 * m]
+        )
+        problem = HierarchicalTHC(2)
+        probes = list(range(1, 8 * m + 1, 8))
+        for factor in (0.01, 0.05, 0.2, 1.0, 2.0):
+            failures = 0
+            volumes = []
+            for seed in range(5):
+                algo = WaypointHTHC(2, factor=factor)
+                report = solve_and_check(problem, inst, algo, seed=seed)
+                if not report.valid:
+                    failures += 1
+                volumes.append(
+                    run_algorithm(inst, algo, seed=seed, nodes=probes).max_volume
+                )
+            print(
+                f"factor {factor:<5} max volume {max(volumes):<6} "
+                f"failures {failures}/5"
+                + ("   (paper wants c ≥ 3: small factors may fail)" if factor < 1 else "")
+            )
+
+    once(benchmark, run)
+
+
+def test_ablation_randomness_models(benchmark):
+    def run():
+        banner(
+            "Ablation E11 — §7.4: private vs secret randomness for RWtoLeaf"
+        )
+        problem = LeafColoring()
+        promise_ok = {"private": 0, "secret": 0}
+        general_ok = {"private": 0, "secret": 0}
+        trials = 8
+        for trial in range(trials):
+            promise = hard_leaf_coloring_instance(6, rng=random.Random(trial))
+            general = leaf_coloring_instance(6, rng=random.Random(100 + trial))
+            for label, algo in (
+                ("private", RWtoLeaf()),
+                ("secret", SecretRWtoLeaf()),
+            ):
+                if solve_and_check(problem, promise, algo, seed=trial).valid:
+                    promise_ok[label] += 1
+                if solve_and_check(problem, general, algo, seed=trial).valid:
+                    general_ok[label] += 1
+        for label in ("private", "secret"):
+            print(
+                f"{label:<8} promise instances: {promise_ok[label]}/{trials} "
+                f"   general instances: {general_ok[label]}/{trials}"
+            )
+        print(
+            "  paper: private solves both; secret solves the promise "
+            "variant only (walks cannot coordinate)"
+        )
+        assert promise_ok["secret"] == trials
+        assert general_ok["private"] == trials
+        assert general_ok["secret"] < trials
+
+    once(benchmark, run)
+
+
+def test_structure_lemmas(benchmark):
+    def run():
+        banner("E12 — structure lemmas 3.8 / 5.11 measured on random sweeps")
+        import math as _math
+
+        from repro.graphs.generators import random_tree_instance
+        from repro.graphs import tree_structure as ts
+
+        worst_ratio = 0.0
+        for seed in range(10):
+            inst = random_tree_instance(200, rng=random.Random(seed))
+            t = ts.InstanceTopology(inst)
+            n = inst.graph.num_nodes
+            limit = int(_math.log2(n)) + 1
+            for v in inst.graph.nodes():
+                if not ts.is_internal(t, v):
+                    continue
+                path = ts.descendant_leaf_path(t, v, limit)
+                assert path is not None, "Lemma 3.8 violated"
+                worst_ratio = max(
+                    worst_ratio, (len(path) - 1) / _math.log2(max(2, n))
+                )
+        print(
+            f"Lemma 3.8: nearest-leaf depth ≤ {worst_ratio:.2f}·log n over "
+            f"10 random 200-node pseudo-trees (paper bound: 1.00·log n)"
+        )
+
+        inst = hierarchical_thc_instance(2, 10, rng=random.Random(1))
+        n = inst.graph.num_nodes
+        light = n ** (1 / 2)
+        backbones = ts.all_backbones(inst, cap=2)
+        heavy_children = 0
+        for bb in backbones:
+            if bb.level != 2:
+                continue
+            t = ts.InstanceTopology(inst)
+            for v in bb.nodes:
+                child = ts.hung_subtree_root(t, v, cap=2)
+                if child is not None:
+                    size = ts.hierarchy_subtree_size(inst, child, cap=2)
+                    if size > light:
+                        heavy_children += 1
+        print(
+            f"Lemma 5.11: heavy right children on the light top backbone: "
+            f"{heavy_children} (bound: ≤ n^(1/2) = {light:.1f})"
+        )
+        assert heavy_children <= light
+
+    once(benchmark, run)

@@ -1,0 +1,156 @@
+"""E5/E6/E7 — Lemma 2.5 sandwich, Prop 3.12, and the three lower bounds.
+
+* Lemma 2.5: DIST ≤ VOL ≤ Δ^DIST + 1 on every execution.
+* Prop 3.12: success probability ≈ 1/2 below the hard-instance depth.
+* Prop 3.13: the adversary defeats (or budget-starves) every
+  deterministic LeafColoring algorithm under n/3 queries.
+* Prop 4.9: two-party disjointness bits grow linearly in N.
+* Prop 5.20: the phased adversary defeats deterministic H-THC solvers.
+"""
+
+import random
+
+from _common import banner, once, report_sweep
+
+from repro.algorithms.balanced_tree_algs import (
+    BalancedTreeDistanceSolver,
+    BalancedTreeFullGather,
+)
+from repro.algorithms.leaf_coloring_algs import (
+    LeafColoringDistanceSolver,
+    RWtoLeaf,
+)
+from repro.algorithms.hierarchical_algs import RecursiveHTHC
+from repro.graphs.generators import (
+    balanced_tree_instance,
+    leaf_coloring_instance,
+)
+from repro.lower_bounds.disjointness import simulate_two_party
+from repro.lower_bounds.hierarchical_adversary import duel_hierarchical
+from repro.lower_bounds.leaf_coloring_adversary import duel_leaf_coloring
+from repro.lower_bounds.yao_experiments import (
+    HorizonLimitedLeafColoring,
+    horizon_sweep,
+)
+from repro.model.runner import run_algorithm
+
+
+def test_lemma25_sandwich(benchmark):
+    def run():
+        banner("Lemma 2.5 — DIST ≤ VOL ≤ Δ^DIST + 1 on every execution")
+        cases = [
+            (leaf_coloring_instance(6, rng=random.Random(0)),
+             LeafColoringDistanceSolver(), 3),
+            (leaf_coloring_instance(6, rng=random.Random(1)), RWtoLeaf(), 3),
+            (balanced_tree_instance(4, rng=random.Random(2)),
+             BalancedTreeDistanceSolver(), 5),
+        ]
+        for inst, algo, delta in cases:
+            result = run_algorithm(inst, algo, seed=9)
+            violations = 0
+            for profile in result.profiles.values():
+                if not (
+                    profile.distance
+                    <= profile.volume
+                    <= delta**max(1, profile.distance) + 1
+                ):
+                    violations += 1
+            print(
+                f"{algo.name:<34} n={inst.graph.num_nodes:<5} "
+                f"max DIST={result.max_distance:<4} "
+                f"max VOL={result.max_volume:<6} sandwich violations: "
+                f"{violations}"
+            )
+            assert violations == 0
+
+    once(benchmark, run)
+
+
+def test_prop312_distance_lower_bound(benchmark):
+    def run():
+        banner(
+            "Prop 3.12 — hard distribution: success ≈ 1/2 below depth, "
+            "1 at depth"
+        )
+        depth = 7
+        points = horizon_sweep(
+            depth=depth, horizons=[1, 3, 5, 7], trials=60, base_seed=4
+        )
+        for point in points:
+            verdict = (
+                "≈ 1/2 (blind)" if point.horizon < depth else "1 (sees leaves)"
+            )
+            print(
+                f"horizon {point.horizon}/{depth}: measured success "
+                f"{point.success_probability:.2f}   paper: {verdict}"
+            )
+
+    once(benchmark, run)
+
+
+def test_prop313_adversary(benchmark):
+    def run():
+        banner("Prop 3.13 — adversary vs deterministic algorithms, n sweep")
+        for n in (60, 120, 240, 480):
+            for algo_factory, label in [
+                (lambda: HorizonLimitedLeafColoring(3), "horizon-3"),
+                (lambda: LeafColoringDistanceSolver(), "prop-3.9 solver"),
+            ]:
+                outcome = duel_leaf_coloring(algo_factory(), n=n)
+                fate = (
+                    "DEFEATED"
+                    if outcome.defeated
+                    else ("needs > n/3 queries" if outcome.exceeded_budget
+                          else "survived?!")
+                )
+                print(
+                    f"n={n:<5} {label:<18} queries={outcome.queries_used:<5} "
+                    f"→ {fate}"
+                )
+                assert outcome.defeated or outcome.exceeded_budget
+
+    once(benchmark, run)
+
+
+def test_prop49_disjointness_bits(benchmark):
+    def run():
+        banner(
+            "Prop 4.9 — two-party simulation: bits (≥ queries·B lower "
+            "bounds) grow linearly in N"
+        )
+        ns, bits, queries = [], [], []
+        rnd = random.Random(0)
+        for log_n in (3, 4, 5, 6, 7):
+            n = 2**log_n
+            a = [rnd.randint(0, 1) for _ in range(n)]
+            b = [rnd.randint(0, 1) for _ in range(n)]
+            run_ = simulate_two_party(BalancedTreeFullGather(), a, b)
+            assert run_.correct
+            ns.append(n)
+            bits.append(run_.bits_exchanged)
+            queries.append(run_.queries)
+        report_sweep("disjointness bits", "Θ(N)", ns, bits, ["log n", "n"])
+        report_sweep("solver queries", "Ω(N)", ns, queries, ["log n", "n"])
+        print("  Theorem 2.9: queries ≥ bits/2 on every run: "
+              + str(all(q >= b / 2 for q, b in zip(queries, bits))))
+
+    once(benchmark, run)
+
+
+def test_prop520_adversary(benchmark):
+    def run():
+        banner("Prop 5.20 — phased adversary vs RecursiveHTHC(k)")
+        for k in (1, 2, 3):
+            for budget in (30, 60):
+                outcome = duel_hierarchical(
+                    RecursiveHTHC(k), k=k, volume_budget=budget
+                )
+                n = outcome.instance.graph.num_nodes
+                print(
+                    f"k={k} budget={budget:<4} simulations="
+                    f"{outcome.simulations:<3} final n={n:<6} "
+                    f"→ {'DEFEATED' if outcome.defeated else 'survived?!'}"
+                )
+                assert outcome.defeated
+
+    once(benchmark, run)

@@ -1,0 +1,46 @@
+"""Quickstart: define an instance, run algorithms, measure both costs.
+
+Reproduces the paper's central contrast on LeafColoring (Section 3):
+the deterministic distance solver sees *far but narrow is impossible*
+(logarithmic distance, big volume at the root), while the randomized
+walk sees *little of everything* (logarithmic volume).
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro.algorithms.leaf_coloring_algs import (
+    LeafColoringDistanceSolver,
+    LeafColoringFullGather,
+    RWtoLeaf,
+)
+from repro.graphs.generators import leaf_coloring_instance
+from repro.model.runner import solve_and_check
+from repro.problems.leaf_coloring import LeafColoring
+
+
+def main() -> None:
+    # A complete binary tree of depth 8 (n = 511) with random leaf colors.
+    instance = leaf_coloring_instance(8, rng=random.Random(0))
+    problem = LeafColoring()
+    print(f"instance: {instance.name}, n = {instance.graph.num_nodes}")
+    print(f"{'algorithm':<28} {'valid':<6} {'max DIST':<9} {'max VOL':<8}")
+    for algorithm in (
+        LeafColoringDistanceSolver(),  # Prop 3.9: distance O(log n)
+        RWtoLeaf(),                    # Alg 1:   volume  O(log n) w.h.p.
+        LeafColoringFullGather(),      # trivial: volume  O(n)
+    ):
+        report = solve_and_check(problem, instance, algorithm, seed=42)
+        print(
+            f"{algorithm.name:<28} {str(report.valid):<6} "
+            f"{report.max_distance:<9} {report.max_volume:<8}"
+        )
+    print()
+    print("Note the Theorem 3.6 shape: all three agree on validity, the")
+    print("distance solver minimizes how FAR it sees, the random walk")
+    print("minimizes how MUCH it sees, and determinism pays linear volume.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+This environment has no network access and no ``wheel`` package, so PEP-517
+editable installs (which need ``bdist_wheel``) fail.  Keeping a classic
+``setup.py`` lets ``pip install -e . --no-build-isolation --no-use-pep517``
+do a legacy develop install with the stock setuptools.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""repro — reproduction of Rosenbaum & Suomela, "Seeing Far vs. Seeing
+Wide: Volume Complexity of Local Graph Problems" (PODC 2020).
+
+Public API surface: the problem definitions, the model runner, and the
+instance generators; see README.md for a tour.
+"""
+
+from repro.graphs.labelings import Instance, Labeling, NodeLabel
+from repro.graphs.port_graph import PortGraph
+from repro.model.probe import CostProfile, ProbeAlgorithm, ProbeView
+from repro.model.randomness import RandomnessModel
+from repro.model.runner import (
+    RunResult,
+    SolveReport,
+    run_algorithm,
+    solve_and_check,
+    success_probability,
+)
+from repro.problems import (
+    BalancedTree,
+    HHTHC,
+    HierarchicalTHC,
+    HybridTHC,
+    LeafColoring,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BalancedTree",
+    "CostProfile",
+    "HHTHC",
+    "HierarchicalTHC",
+    "HybridTHC",
+    "Instance",
+    "Labeling",
+    "LeafColoring",
+    "NodeLabel",
+    "PortGraph",
+    "ProbeAlgorithm",
+    "ProbeView",
+    "RandomnessModel",
+    "RunResult",
+    "SolveReport",
+    "run_algorithm",
+    "solve_and_check",
+    "success_probability",
+]

@@ -1,0 +1,77 @@
+"""HH-THC(k, ℓ) algorithms (Section 6.1): dispatch on the selector bit.
+
+Theorem 6.5's upper bounds are maxima of the per-population bounds, so
+every solver simply runs the right sub-solver for its node's population:
+
+* :class:`HHDistanceSolver` — distance Θ(n^{1/ℓ}): RecursiveHTHC(ℓ) on the
+  bit-0 population, the O(log n) hybrid distance solver on bit-1.
+* :class:`HHWaypointSolver` — randomized volume Θ̃(n^{1/k}): waypoint
+  solvers on both populations (the hierarchical part costs Θ̃(n^{1/ℓ}) ≤
+  Θ̃(n^{1/k}) since k ≤ ℓ).
+* :class:`HHFullGather` — volume O(n).
+"""
+
+from __future__ import annotations
+
+from repro.model.probe import ProbeAlgorithm, ProbeView
+from repro.model.randomness import RandomnessModel
+from repro.algorithms.generic import FullGatherAlgorithm
+from repro.algorithms.hierarchical_algs import RecursiveHTHC, WaypointHTHC
+from repro.algorithms.hybrid_algs import (
+    HybridDistanceSolver,
+    HybridWaypointSolver,
+)
+from repro.problems.hh_thc import reference_solution as hh_reference
+
+
+class _HHDispatch(ProbeAlgorithm):
+    """Run one of two sub-solvers depending on the node's input bit."""
+
+    def __init__(self, bit0: ProbeAlgorithm, bit1: ProbeAlgorithm, name: str) -> None:
+        self._bit0 = bit0
+        self._bit1 = bit1
+        self.name = name
+
+    def run(self, view: ProbeView):
+        bit = view.start_info.label.bit
+        solver = self._bit0 if bit == 0 else self._bit1
+        return solver.run(view)
+
+    def fallback(self, view: ProbeView):
+        bit = view.start_info.label.bit
+        solver = self._bit0 if bit == 0 else self._bit1
+        return solver.fallback(view)
+
+
+class HHDistanceSolver(_HHDispatch):
+    """Distance Θ(n^{1/ℓ}) (dominated by the hierarchical population)."""
+
+    def __init__(self, k: int, ell: int) -> None:
+        super().__init__(
+            RecursiveHTHC(ell),
+            HybridDistanceSolver(k),
+            name=f"hh-thc({k},{ell})/distance",
+        )
+
+
+class HHWaypointSolver(_HHDispatch):
+    """Randomized volume Θ̃(n^{1/k}) (dominated by the hybrid population)."""
+
+    randomness = RandomnessModel.PRIVATE
+
+    def __init__(self, k: int, ell: int, factor: float = 1.0) -> None:
+        super().__init__(
+            WaypointHTHC(ell, factor=factor),
+            HybridWaypointSolver(k, factor=factor),
+            name=f"hh-thc({k},{ell})/waypoint",
+        )
+
+
+class HHFullGather(FullGatherAlgorithm):
+    """Volume O(n)."""
+
+    def __init__(self, k: int, ell: int) -> None:
+        super().__init__(
+            lambda instance: hh_reference(instance, k, ell),
+            name=f"hh-thc({k},{ell})/full-gather",
+        )

@@ -1,0 +1,174 @@
+"""Hybrid-THC(k) algorithms (Section 6).
+
+Theorem 6.3's upper bounds:
+
+* :class:`HybridDistanceSolver` — distance O(log n): solve every level-1
+  BalancedTree component with the Proposition 4.8 machinery and let every
+  node at level ≥ 2 go exempt (lawful because a BalancedTree instance is
+  always *solvable*, so χout(RC) ∈ {B, U} at level 2 and X above).
+* :class:`HybridWaypointSolver` — randomized volume Θ̃(n^{1/k}): the
+  waypoint-gated Algorithm 2, with level-1 components solved by bounded
+  full gather (components larger than the volume budget decline
+  unanimously, which Definition 6.1 permits).
+* :class:`HybridRecursiveSolver` — the deterministic counterpart.
+* :class:`HybridFullGather` — volume O(n).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Set
+
+from repro.graphs.labelings import DECLINE, EXEMPT
+from repro.graphs.tree_structure import level_of
+from repro.model.probe import ProbeAlgorithm, ProbeView
+from repro.model.randomness import RandomnessModel
+from repro.model.views import ProbeTopology
+from repro.algorithms.balanced_tree_algs import BalancedTreeDistanceSolver
+from repro.algorithms.generic import (
+    FullGatherAlgorithm,
+    ball_to_instance,
+)
+from repro.algorithms.hierarchical_algs import (
+    RecursiveHTHC,
+    WaypointHTHC,
+)
+from repro.problems.balanced_tree import (
+    _is_output_pair,
+    reference_solution as balanced_reference,
+)
+from repro.problems.hybrid_thc import reference_solution as hybrid_reference
+from repro.model.views import Ball
+
+
+class HybridDistanceSolver(ProbeAlgorithm):
+    """Distance O(log n): level-1 answers BalancedTree, the rest go X."""
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        self.name = f"hybrid-thc({k})/distance"
+        self._balanced = BalancedTreeDistanceSolver()
+
+    def run(self, view: ProbeView):
+        lvl = view.start_info.label.level
+        if lvl is None or lvl >= 2:
+            return EXEMPT
+        return self._balanced.run(view)
+
+
+def gather_level_one_component(
+    view: ProbeView, start: int, cap: int, max_nodes: int
+) -> Optional[Ball]:
+    """BFS over the level-1 nodes reachable from ``start``.
+
+    Returns the gathered ball or None if the component exceeds
+    ``max_nodes`` (the caller then declines it).  Only explicit-level-1
+    nodes are expanded, so the gather never leaks into the THC scaffold.
+    """
+    ball = Ball(center=start, radius=max_nodes)
+    ball.info[start] = view.info(start)
+    ball.distance[start] = 0
+    frontier = [start]
+    while frontier:
+        nxt: List[int] = []
+        for u in frontier:
+            for port in view.info(u).ports:
+                info = view.query(u, port)
+                if info is None:
+                    continue
+                if info.label.level != 1:
+                    continue
+                ball.adjacency.setdefault(u, {})[port] = info.node_id
+                if info.node_id in ball.distance:
+                    continue
+                if len(ball.distance) + 1 > max_nodes:
+                    return None
+                ball.distance[info.node_id] = ball.distance[u] + 1
+                ball.info[info.node_id] = info
+                nxt.append(info.node_id)
+        frontier = nxt
+    return ball
+
+
+class _HybridTHCMixin:
+    """Level-1 handling and exemption predicate for Hybrid solvers.
+
+    Mixed into the hierarchical solver classes: level-1 components are
+    BalancedTree instances, solved by bounded gather; the level-2
+    exemption predicate is "RC answered a (β, p) pair" (Definition 6.1).
+    """
+
+    def component_budget(self, view: ProbeView) -> int:
+        """Max level-1 component size we solve rather than decline."""
+        n = max(2, view.n)
+        return max(32, math.ceil(8 * n ** (1.0 / self.k)))
+
+    def _solve_level_one(self, view, topo, v):
+        ball = gather_level_one_component(
+            view, v, self.k, self.component_budget(view)
+        )
+        if ball is None:
+            return DECLINE
+        local = ball_to_instance(ball, view.n)
+        return balanced_reference(local)[v]
+
+    def _rc_supports_exemption(self, rc_value, lvl: int) -> bool:
+        if lvl == 2:
+            # Definition 6.1: level-2 exemption needs χout(RC) ∈ {B, U}.
+            return _is_output_pair(rc_value)
+        return super()._rc_supports_exemption(rc_value, lvl)
+
+
+class HybridRecursiveSolver(_HybridTHCMixin, RecursiveHTHC):
+    """Deterministic Algorithm-2 analogue for Hybrid-THC(k)."""
+
+    def __init__(self, k: int) -> None:
+        super().__init__(k)
+        self.name = f"hybrid-thc({k})/recursive"
+
+    def run(self, view: ProbeView):
+        # Hybrid levels are explicit input labels.
+        lvl = view.start_info.label.level
+        if lvl is None:
+            return EXEMPT
+        if lvl > self.k:
+            return EXEMPT
+        self._memo = {}
+        topo = ProbeTopology(view)
+        return self._solve(view, topo, view.start, lvl)
+
+    def fallback(self, view: ProbeView):
+        lvl = view.start_info.label.level
+        return DECLINE if lvl == 1 else EXEMPT
+
+
+class HybridWaypointSolver(_HybridTHCMixin, WaypointHTHC):
+    """Prop 5.14's waypoint gating applied to Hybrid-THC(k)."""
+
+    randomness = RandomnessModel.PRIVATE
+
+    def __init__(self, k: int, factor: float = 1.0, c: float = 3.0) -> None:
+        super().__init__(k, factor=factor, c=c)
+        self.name = f"hybrid-thc({k})/waypoint"
+
+    def run(self, view: ProbeView):
+        lvl = view.start_info.label.level
+        if lvl is None or lvl > self.k:
+            return EXEMPT
+        self._memo = {}
+        topo = ProbeTopology(view)
+        return self._solve(view, topo, view.start, lvl)
+
+    def fallback(self, view: ProbeView):
+        lvl = view.start_info.label.level
+        return DECLINE if lvl == 1 else EXEMPT
+
+
+class HybridFullGather(FullGatherAlgorithm):
+    """Volume O(n): gather everything and run the global reference."""
+
+    def __init__(self, k: int) -> None:
+        super().__init__(
+            lambda instance: hybrid_reference(instance, k),
+            name=f"hybrid-thc({k})/full-gather",
+        )

@@ -1,0 +1,167 @@
+"""LeafColoring algorithms (Section 3).
+
+Three upper bounds from Theorem 3.6, plus the secret-randomness variant
+discussed in Section 7.4:
+
+* :class:`LeafColoringDistanceSolver` — Proposition 3.9's deterministic
+  O(log n)-distance algorithm (nearest leftmost descendant leaf).
+* :class:`RWtoLeaf` — Algorithm 1: the randomized O(log n)-volume downward
+  random walk steered by each visited node's *private* bit, with the
+  revisit-flip rule for the (unique) G_T cycle and the Remark 3.11
+  truncation.
+* :class:`LeafColoringFullGather` — the trivial O(n)-volume deterministic
+  solver (tight by Proposition 3.13).
+* :class:`SecretRWtoLeaf` — the same walk steered only by the *initiator's*
+  tape.  Walks from different nodes no longer merge, so it only solves the
+  promise variant where all leaves share a color (Section 7.4's example of
+  secret randomness helping).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.graphs.tree_structure import (
+    is_internal,
+    is_leaf,
+    left_child_node,
+    right_child_node,
+)
+from repro.model.probe import ProbeAlgorithm, ProbeView
+from repro.model.randomness import RandomnessModel
+from repro.model.views import ProbeTopology
+from repro.algorithms.generic import FullGatherAlgorithm
+from repro.problems.leaf_coloring import reference_solution
+
+
+def _log2_ceil(n: int) -> int:
+    return max(1, math.ceil(math.log2(max(2, n))))
+
+
+class LeafColoringDistanceSolver(ProbeAlgorithm):
+    """Proposition 3.9: deterministic distance O(log n).
+
+    A non-internal node echoes its input color.  An internal node explores
+    its G_T descendants breadth-first to the nearest leaf (at depth
+    d ≤ log n by Lemma 3.8) and outputs that leaf's input color, breaking
+    ties toward the lexicographically least LC/RC sequence.  The suffix
+    property of that tie-break makes parent and child choose leaves on a
+    common path, which is exactly the induction in the proposition's proof.
+    """
+
+    name = "leaf-coloring/distance"
+
+    def run(self, view: ProbeView):
+        topo = ProbeTopology(view)
+        start = view.start
+        if not is_internal(topo, start):
+            return view.start_info.label.color
+        limit = _log2_ceil(view.n) + 1
+        # Breadth-first by layers; expansion order encodes LC < RC.
+        frontier = [start]
+        seen = {start}
+        for _ in range(limit):
+            next_frontier = []
+            for u in frontier:
+                for child in (
+                    left_child_node(topo, u),
+                    right_child_node(topo, u),
+                ):
+                    if child is None or child in seen:
+                        continue
+                    seen.add(child)
+                    if is_leaf(topo, child):
+                        return view.info(child).label.color
+                    if is_internal(topo, child):
+                        next_frontier.append(child)
+            if not next_frontier:
+                break
+            frontier = next_frontier
+        # No leaf within the limit (cannot happen on well-formed inputs,
+        # Lemma 3.8); echo the input color as a safe fallback.
+        return view.start_info.label.color
+
+
+class RWtoLeaf(ProbeAlgorithm):
+    """Algorithm 1: randomized volume O(log n) with high probability.
+
+    The walk starts at the initiating node and repeatedly steps to the
+    left or right child according to bit ``r_v(0)`` of the *current* node
+    ``v`` — so every walk passing through ``v`` takes the same turn and
+    all walks merge toward a common leaf (the key to validity).  If the
+    walk returns to its starting node (possible only on the unique cycle
+    of the component, Observation 3.7), the bit is flipped, which steers
+    the walk off the cycle.  The step count is capped at
+    ``cap_factor · log n`` (Remark 3.11); the proof of Proposition 3.10
+    shows 16 log n steps suffice with probability 1 − O(1/n³) per node.
+    """
+
+    name = "leaf-coloring/rw-to-leaf"
+    randomness = RandomnessModel.PRIVATE
+
+    def __init__(self, cap_factor: int = 32) -> None:
+        self.cap_factor = cap_factor
+
+    def _bit(self, view: ProbeView, node: int) -> int:
+        return view.random_bit(node, 0)
+
+    def run(self, view: ProbeView):
+        topo = ProbeTopology(view)
+        start = view.start
+        if not is_internal(topo, start):
+            return view.start_info.label.color
+        max_steps = self.cap_factor * _log2_ceil(view.n) + 8
+        current = start
+        for step in range(max_steps):
+            bit = self._bit(view, current)
+            if current == start and step > 0:
+                # Line 4: the walk revisited its origin; take the other
+                # child to leave the cycle.
+                bit = 1 - bit
+            nxt = (
+                left_child_node(topo, current)
+                if bit == 0
+                else right_child_node(topo, current)
+            )
+            if nxt is None:
+                # Current was internal, so both children exist; ``None``
+                # can only mean a malformed instance — echo input.
+                return view.info(current).label.color
+            if not is_internal(topo, nxt):
+                # Leaf or inconsistent: RWtoLeaf returns its input color.
+                return view.info(nxt).label.color
+            current = nxt
+        return self.fallback(view)
+
+    def fallback(self, view: ProbeView):
+        return view.start_info.label.color
+
+
+class SecretRWtoLeaf(RWtoLeaf):
+    """RWtoLeaf steered by the initiator's own tape only (Section 7.4).
+
+    Uses bit ``r_{v0}(step)`` instead of ``r_v(0)``: legal under secret
+    randomness, but walks from different nodes no longer coordinate, so
+    internal nodes may reach *different* leaves.  On promise instances
+    (all leaves share χ0) that is still correct; on general instances it
+    is not — the gap the paper highlights.
+    """
+
+    name = "leaf-coloring/secret-rw"
+    randomness = RandomnessModel.SECRET
+
+    def run(self, view: ProbeView):
+        self._step_counter = 0
+        return super().run(view)
+
+    def _bit(self, view: ProbeView, node: int) -> int:
+        bit = view.random_bit(view.start, self._step_counter)
+        self._step_counter += 1
+        return bit
+
+
+class LeafColoringFullGather(FullGatherAlgorithm):
+    """Deterministic volume O(n): gather everything, solve globally."""
+
+    def __init__(self) -> None:
+        super().__init__(reference_solution, name="leaf-coloring/full-gather")

@@ -1,0 +1,130 @@
+"""Turning measured (n, cost) sweeps into complexity-class verdicts.
+
+The paper's results are Θ(·) statements over the growth classes visible in
+Figures 1–3: 1, log* n, log log n, log n, n^{1/k}, n/log n, n.  Given a
+sweep of measurements we fit each candidate shape ``cost ≈ c·f(n)`` by
+least squares on the log scale (the optimal multiplier is the geometric
+mean of the ratios) and report the candidate with the smallest residual.
+
+This is deliberately simple, transparent model selection — the benches
+print the residual table so a reader can see *why* a verdict was reached,
+and the paper-claimed class alongside the measured one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+
+def log_star(n: float) -> float:
+    """The iterated logarithm (base 2), floored at 1 for fitting."""
+    count = 0
+    x = float(n)
+    while x > 1.0:
+        x = math.log2(x)
+        count += 1
+    return max(1.0, float(count))
+
+
+def _safe_log(x: float) -> float:
+    return math.log(max(x, 1e-9))
+
+
+GROWTH_CLASSES: Dict[str, Callable[[float], float]] = {
+    "1": lambda n: 1.0,
+    "log* n": log_star,
+    "log log n": lambda n: max(1.0, math.log2(max(2.0, math.log2(max(2.0, n))))),
+    "log n": lambda n: math.log2(max(2.0, n)),
+    "log^2 n": lambda n: math.log2(max(2.0, n)) ** 2,
+    "n^{1/4}": lambda n: n ** 0.25,
+    "n^{1/3}": lambda n: n ** (1.0 / 3.0),
+    "n^{1/2}": lambda n: n ** 0.5,
+    "n^{1/2} log n": lambda n: (n ** 0.5) * math.log2(max(2.0, n)),
+    "n/log n": lambda n: n / math.log2(max(2.0, n)),
+    "n": lambda n: float(n),
+}
+
+
+@dataclass
+class FitResult:
+    """Outcome of fitting one sweep against all growth classes."""
+
+    best: str
+    multiplier: float
+    residuals: Dict[str, float] = field(default_factory=dict)
+
+    def residual_table(self) -> List[Tuple[str, float]]:
+        return sorted(self.residuals.items(), key=lambda kv: kv[1])
+
+
+def fit_growth(
+    ns: Sequence[float],
+    costs: Sequence[float],
+    candidates: Optional[Sequence[str]] = None,
+) -> FitResult:
+    """Select the growth class minimizing log-scale least squares."""
+    if len(ns) != len(costs):
+        raise ValueError("ns and costs must have equal length")
+    if len(ns) < 2:
+        raise ValueError("need at least two measurements")
+    names = list(candidates) if candidates else list(GROWTH_CLASSES)
+    residuals: Dict[str, float] = {}
+    multipliers: Dict[str, float] = {}
+    for name in names:
+        f = GROWTH_CLASSES[name]
+        log_ratios = [_safe_log(c) - _safe_log(f(n)) for n, c in zip(ns, costs)]
+        mean = sum(log_ratios) / len(log_ratios)
+        residuals[name] = sum((r - mean) ** 2 for r in log_ratios)
+        multipliers[name] = math.exp(mean)
+    best = min(residuals, key=residuals.get)
+    return FitResult(
+        best=best, multiplier=multipliers[best], residuals=residuals
+    )
+
+
+def fit_exponent(ns: Sequence[float], costs: Sequence[float]) -> float:
+    """Least-squares slope of log cost vs log n: the α of Θ̃(n^α).
+
+    Polylog factors bias α slightly upward at small n; benches report it
+    next to the claimed 1/k so the shape comparison stays honest.
+    """
+    if len(ns) < 2:
+        raise ValueError("need at least two measurements")
+    xs = [_safe_log(n) for n in ns]
+    ys = [_safe_log(c) for c in costs]
+    mean_x = sum(xs) / len(xs)
+    mean_y = sum(ys) / len(ys)
+    num = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    den = sum((x - mean_x) ** 2 for x in xs)
+    if den == 0:
+        raise ValueError("all ns equal")
+    return num / den
+
+
+@dataclass
+class SweepMeasurement:
+    """One measured complexity curve, ready for reporting."""
+
+    label: str
+    ns: List[int]
+    costs: List[float]
+    claimed: str
+
+    def fitted(self, candidates: Optional[Sequence[str]] = None) -> FitResult:
+        return fit_growth(self.ns, self.costs, candidates)
+
+    def exponent(self) -> float:
+        return fit_exponent(self.ns, self.costs)
+
+
+def format_sweep_row(measure: SweepMeasurement, fit: FitResult) -> str:
+    """One printable row: claimed vs fitted, with the raw series."""
+    series = ", ".join(
+        f"{n}:{c:.0f}" for n, c in zip(measure.ns, measure.costs)
+    )
+    return (
+        f"{measure.label:<34} claimed {measure.claimed:<12} "
+        f"fitted {fit.best:<12} (x{fit.multiplier:.2f})  [{series}]"
+    )

@@ -1,0 +1,111 @@
+"""Assembling the Figure 1/2/3 landscape from measured sweeps.
+
+Each figure is a deterministic-vs-randomized scatter over the complexity
+axis {1, log* n, log log n, log n, ..., n^{1/2}, n}.  We reproduce them as
+labeled point lists plus an ASCII rendering, since the shapes (which
+problem sits on which rung, where the classes collapse) are the claims —
+not the pixels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+# The axis of Figures 1-3, coarse to fine.
+AXIS: List[str] = [
+    "1",
+    "log* n",
+    "log log n",
+    "log n",
+    "n^{1/4}",
+    "n^{1/3}",
+    "n^{1/2}",
+    "n",
+]
+
+_AXIS_ALIASES = {
+    "log^2 n": "log n",
+    "n^{1/2} log n": "n^{1/2}",
+    "n/log n": "n",
+}
+
+
+def axis_position(growth_class: str) -> int:
+    """Index of a fitted growth class on the figure axis."""
+    name = _AXIS_ALIASES.get(growth_class, growth_class)
+    try:
+        return AXIS.index(name)
+    except ValueError:
+        raise KeyError(f"growth class {growth_class!r} not on the axis")
+
+
+@dataclass
+class LandscapePoint:
+    """One problem's position: (deterministic, randomized) classes."""
+
+    problem: str
+    deterministic: str
+    randomized: str
+    note: str = ""
+
+    @property
+    def coordinates(self) -> Tuple[int, int]:
+        return axis_position(self.deterministic), axis_position(self.randomized)
+
+
+def render_landscape(
+    points: Sequence[LandscapePoint], title: str
+) -> str:
+    """ASCII scatter: deterministic on x, randomized on y (as in Fig 1/2)."""
+    grid: Dict[Tuple[int, int], List[str]] = {}
+    markers: List[str] = []
+    for idx, point in enumerate(points):
+        marker = chr(ord("a") + idx)
+        markers.append(
+            f"  {marker}: {point.problem} "
+            f"(D={point.deterministic}, R={point.randomized})"
+            + (f" — {point.note}" if point.note else "")
+        )
+        grid.setdefault(point.coordinates, []).append(marker)
+    width = max(len(label) for label in AXIS)
+    lines = [title, ""]
+    for y in range(len(AXIS) - 1, -1, -1):
+        row_label = AXIS[y].rjust(width)
+        cells = []
+        for x in range(len(AXIS)):
+            cell = "".join(grid.get((x, y), [])) or "."
+            cells.append(cell.center(5))
+        lines.append(f"{row_label} |{''.join(cells)}")
+    lines.append(" " * width + " +" + "-" * (5 * len(AXIS)))
+    lines.append(
+        " " * width + "  " + "".join(label.center(5) for label in AXIS)
+    )
+    lines.append("")
+    lines.extend(markers)
+    return "\n".join(lines)
+
+
+@dataclass
+class ContributionLine:
+    """A Figure 3 line: volume endpoints → distance endpoints."""
+
+    problem: str
+    r_vol: str
+    d_vol: str
+    r_dist: str
+    d_dist: str
+
+    def render(self) -> str:
+        return (
+            f"{self.problem:<24} VOL (R={self.r_vol:<12} D={self.d_vol:<12}) "
+            f"→ DIST (R={self.r_dist:<12} D={self.d_dist:<12})"
+        )
+
+
+def render_contributions(lines: Sequence[ContributionLine]) -> str:
+    header = (
+        "Figure 3: each construction's volume endpoints vs distance "
+        "endpoints"
+    )
+    return "\n".join([header, ""] + [line.render() for line in lines])

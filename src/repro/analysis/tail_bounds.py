@@ -1,0 +1,110 @@
+"""Tail bounds used by the paper's randomized analyses (Section 2.6).
+
+Lemma 2.11 (Chernoff) and Lemma 2.12 (negative binomial): the bound
+``Pr(N > c·k/p) ≤ exp(−k(c−1)²/2c)`` drives the O(log n) w.h.p. analysis
+of ``RWtoLeaf`` (the walk crosses a "good" halving edge with probability
+≥ 1/2 per step, so 16·log n steps suffice with probability 1 − n^{-3}).
+
+The functions are plain closed forms; tests validate them against Monte
+Carlo estimates, which doubles as a statistical self-check of the tape
+machinery.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+
+def chernoff_upper(mu: float, delta: float) -> float:
+    """Lemma 2.11, eq. (3): Pr(Y ≥ (1+δ)μ) ≤ exp(−μδ²/3), 0 < δ < 1."""
+    if not 0 < delta < 1:
+        raise ValueError("delta must be in (0, 1)")
+    if mu <= 0:
+        raise ValueError("mu must be positive")
+    return math.exp(-mu * delta * delta / 3.0)
+
+
+def chernoff_lower(mu: float, delta: float) -> float:
+    """Lemma 2.11, eq. (4): Pr(Y ≤ (1−δ)μ) ≤ exp(−μδ²/2), 0 < δ < 1."""
+    if not 0 < delta < 1:
+        raise ValueError("delta must be in (0, 1)")
+    if mu <= 0:
+        raise ValueError("mu must be positive")
+    return math.exp(-mu * delta * delta / 2.0)
+
+
+def negative_binomial_tail(k: int, p: float, c: float) -> float:
+    """Lemma 2.12: Pr(N > c·k/p) ≤ exp(−k(c−1)²/2c) for N ~ N(k, p)."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if not 0 < p <= 1:
+        raise ValueError("p must be in (0, 1]")
+    if c <= 1:
+        raise ValueError("c must exceed 1")
+    return math.exp(-k * (c - 1) ** 2 / (2 * c))
+
+
+def rw_to_leaf_failure_bound(n: int, cap_factor: float = 16.0) -> float:
+    """Prop 3.10's per-node failure bound at ``cap_factor``·log n steps.
+
+    The proof couples the walk to N ~ N(log n, 1/2) and applies Lemma
+    2.12 with c·k/p = cap_factor·log n, i.e. c = cap_factor/2.
+    """
+    if n < 4:
+        return 1.0
+    k = math.log2(n)
+    c = cap_factor / 2.0
+    if c <= 1:
+        return 1.0
+    return 2.0 * negative_binomial_tail(max(1, int(k)), 0.5, c)
+
+
+@dataclass
+class MonteCarloCheck:
+    """Empirical tail frequency vs. the analytic bound."""
+
+    empirical: float
+    bound: float
+
+    @property
+    def holds(self) -> bool:
+        # allow slack for Monte Carlo noise on tiny probabilities
+        return self.empirical <= self.bound + 0.05
+
+
+def monte_carlo_binomial_tail(
+    m: int, p: float, threshold: float, trials: int, seed: int = 0,
+    direction: str = "upper",
+) -> float:
+    """Empirical Pr(Σ Bernoulli(p) over m ≷ threshold) by simulation."""
+    rnd = random.Random(seed)
+    hits = 0
+    for _ in range(trials):
+        total = sum(1 for _ in range(m) if rnd.random() < p)
+        if direction == "upper" and total >= threshold:
+            hits += 1
+        if direction == "lower" and total <= threshold:
+            hits += 1
+    return hits / trials
+
+
+def monte_carlo_negative_binomial_tail(
+    k: int, p: float, cutoff: float, trials: int, seed: int = 0
+) -> float:
+    """Empirical Pr(N > cutoff) for N ~ N(k, p) by simulation."""
+    rnd = random.Random(seed)
+    hits = 0
+    for _ in range(trials):
+        successes = 0
+        draws = 0
+        while successes < k:
+            draws += 1
+            if rnd.random() < p:
+                successes += 1
+            if draws > cutoff:
+                hits += 1
+                break
+    return hits / trials

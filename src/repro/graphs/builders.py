@@ -1,0 +1,171 @@
+"""Topology builders shared by all instance generators.
+
+These construct :class:`~repro.graphs.port_graph.PortGraph` objects with the
+port conventions the paper's proofs use (e.g. Proposition 3.12: parents on
+port 1, children on ports 2 and 3, heap-ordered IDs on complete binary
+trees; Proposition 4.9: lateral edges on ports 4 and 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.graphs.port_graph import PortGraph
+
+# Canonical port assignments (Propositions 3.12 / 4.9).
+PORT_PARENT = 1
+PORT_LEFT_CHILD = 2
+PORT_RIGHT_CHILD = 3
+PORT_LEFT_NEIGHBOR = 4
+PORT_RIGHT_NEIGHBOR = 5
+ROOT_PORT_LEFT_CHILD = 1
+ROOT_PORT_RIGHT_CHILD = 2
+
+
+@dataclass
+class BinaryTreeTopology:
+    """A complete binary tree plus the bookkeeping generators need.
+
+    Nodes are heap-ordered: the root has ID ``root_id``, and node ``i``'s
+    children are ``2i`` and ``2i + 1`` relative to a root at 1 (we keep the
+    relative heap index in ``heap_index``).  ``levels[d]`` lists the IDs at
+    depth ``d`` from left to right.
+    """
+
+    graph: PortGraph
+    root: int
+    depth: int
+    levels: List[List[int]] = field(default_factory=list)
+    parent_of: Dict[int, Optional[int]] = field(default_factory=dict)
+    left_child_of: Dict[int, Optional[int]] = field(default_factory=dict)
+    right_child_of: Dict[int, Optional[int]] = field(default_factory=dict)
+
+    @property
+    def leaves(self) -> List[int]:
+        return self.levels[self.depth]
+
+    @property
+    def internal_nodes(self) -> List[int]:
+        return [v for lvl in self.levels[: self.depth] for v in lvl]
+
+    def child_port(self, v: int, which: str) -> int:
+        """The port of ``v`` leading to its ``"left"``/``"right"`` child."""
+        if v == self.root:
+            return ROOT_PORT_LEFT_CHILD if which == "left" else ROOT_PORT_RIGHT_CHILD
+        return PORT_LEFT_CHILD if which == "left" else PORT_RIGHT_CHILD
+
+
+def complete_binary_tree(
+    depth: int,
+    max_degree: int = 3,
+    first_id: int = 1,
+) -> BinaryTreeTopology:
+    """A complete binary tree of the given ``depth`` (so ``2^{d+1}-1`` nodes).
+
+    Port convention (proof of Proposition 3.12): every non-root node's
+    parent sits on port 1 and its children (if any) on ports 2 and 3; the
+    root's children sit on ports 1 and 2.  IDs are heap-ordered starting at
+    ``first_id``.
+    """
+    if depth < 0:
+        raise ValueError("depth must be >= 0")
+    graph = PortGraph(max_degree=max_degree)
+    n = 2 ** (depth + 1) - 1
+    ids = [first_id + i for i in range(n)]
+    for node in ids:
+        graph.add_node(node)
+
+    levels: List[List[int]] = []
+    offset = 0
+    for d in range(depth + 1):
+        width = 2**d
+        levels.append(ids[offset : offset + width])
+        offset += width
+
+    topo = BinaryTreeTopology(graph=graph, root=ids[0], depth=depth, levels=levels)
+    for node in ids:
+        topo.parent_of[node] = None
+        topo.left_child_of[node] = None
+        topo.right_child_of[node] = None
+
+    for d in range(depth):
+        for i, v in enumerate(levels[d]):
+            left = levels[d + 1][2 * i]
+            right = levels[d + 1][2 * i + 1]
+            lp = topo.child_port(v, "left")
+            rp = topo.child_port(v, "right")
+            graph.add_edge(v, lp, left, PORT_PARENT)
+            graph.add_edge(v, rp, right, PORT_PARENT)
+            topo.left_child_of[v] = left
+            topo.right_child_of[v] = right
+            topo.parent_of[left] = v
+            topo.parent_of[right] = v
+    return topo
+
+
+def add_lateral_edges(topo: BinaryTreeTopology) -> None:
+    """Add the per-depth lateral edges of Proposition 4.9.
+
+    At each depth ``d``, consecutive nodes (left to right) are joined; the
+    right node's port 4 leads left, the left node's port 5 leads right.
+    Requires the graph's ``max_degree`` to be at least 5.
+    """
+    graph = topo.graph
+    for row in topo.levels:
+        for left, right in zip(row, row[1:]):
+            graph.add_edge(left, PORT_RIGHT_NEIGHBOR, right, PORT_LEFT_NEIGHBOR)
+
+
+def path_graph(n: int, first_id: int = 1, max_degree: int = 3) -> PortGraph:
+    """A path on ``n`` nodes; port 1 points back, port 2 points forward."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    graph = PortGraph(max_degree=max_degree)
+    ids = [first_id + i for i in range(n)]
+    for node in ids:
+        graph.add_node(node)
+    for a, b in zip(ids, ids[1:]):
+        graph.add_edge(a, 2 if a != ids[0] else 1, b, 1)
+    return graph
+
+
+def cycle_graph(n: int, first_id: int = 1, max_degree: int = 3) -> PortGraph:
+    """A cycle on ``n >= 3`` nodes; port 1 = predecessor, port 2 = successor."""
+    if n < 3:
+        raise ValueError("cycles need n >= 3")
+    graph = PortGraph(max_degree=max_degree)
+    ids = [first_id + i for i in range(n)]
+    for node in ids:
+        graph.add_node(node)
+    for i in range(n):
+        a = ids[i]
+        b = ids[(i + 1) % n]
+        graph.add_edge(a, 2, b, 1)
+    return graph
+
+
+def two_trees_with_bridge(
+    depth: int, max_degree: int = 3
+) -> Tuple[PortGraph, BinaryTreeTopology, BinaryTreeTopology]:
+    """Example 7.6: two depth-``depth`` complete binary trees, roots joined.
+
+    The bridge occupies port 3 on both roots (their child ports are 1, 2).
+    Returns the combined graph and both tree topologies (which share it).
+    """
+    left = complete_binary_tree(depth, max_degree=max_degree, first_id=1)
+    n_left = left.graph.num_nodes
+    right = complete_binary_tree(
+        depth, max_degree=max_degree, first_id=n_left + 1
+    )
+    combined = PortGraph(max_degree=max_degree)
+    for topo in (left, right):
+        for node in topo.graph.nodes():
+            combined.add_node(node)
+    for topo in (left, right):
+        for edge in topo.graph.edges():
+            combined.add_edge(edge.u, edge.u_port, edge.v, edge.v_port)
+    combined.add_edge(left.root, 3, right.root, 3)
+    left.graph = combined
+    right.graph = combined
+    return combined, left, right

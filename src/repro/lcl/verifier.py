@@ -1,0 +1,94 @@
+"""Locality verification: proving checkers really are radius-c local.
+
+Definition 2.6 demands that validity be decidable from the radius-``c``
+neighborhood of each node.  Our problem checkers *claim* this by reading
+the instance only through a :class:`Topology`; :class:`LocalityGuard`
+turns the claim into an executable fact by wrapping a topology and raising
+whenever a predicate touches a node outside the allowed ball.  Tests run
+every checker under a guard on every instance family.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.graphs.labelings import Instance, NodeLabel
+from repro.graphs.tree_structure import InstanceTopology
+from repro.lcl.base import LCLProblem, Violation
+
+
+class LocalityViolation(RuntimeError):
+    """A checker read outside its declared checking radius."""
+
+
+class LocalityGuard:
+    """A :class:`Topology` restricted to one radius-``c`` ball.
+
+    Reads of nodes farther than ``radius`` from ``center`` (in the real
+    graph metric) raise :class:`LocalityViolation`.
+    """
+
+    def __init__(self, instance: Instance, center: int, radius: int) -> None:
+        self._inner = InstanceTopology(instance)
+        self._allowed = set(instance.graph.ball(center, radius))
+        self._center = center
+        self._radius = radius
+
+    def _check(self, node_id: int) -> None:
+        if node_id not in self._allowed:
+            raise LocalityViolation(
+                f"read of node {node_id} outside radius {self._radius} "
+                f"of {self._center}"
+            )
+
+    def label(self, node_id: int) -> NodeLabel:
+        self._check(node_id)
+        return self._inner.label(node_id)
+
+    def node_at(self, node_id: int, port: Optional[int]) -> Optional[int]:
+        self._check(node_id)
+        return self._inner.node_at(node_id, port)
+
+
+def validate_locally(
+    problem: LCLProblem,
+    instance: Instance,
+    outputs: Dict[int, object],
+    radius: Optional[int] = None,
+) -> List[Violation]:
+    """Validate with every per-node check wrapped in a locality guard.
+
+    The result must agree with :meth:`LCLProblem.validate`; tests assert
+    both the agreement and the absence of :class:`LocalityViolation`, which
+    together certify the problem is an LCL with the declared radius
+    (Lemmas 3.5, 4.4, 5.8, 6.2).
+    """
+    r = problem.checking_radius if radius is None else radius
+    violations: List[Violation] = []
+    for node in instance.graph.nodes():
+        guard = LocalityGuard(instance, node, r)
+        violations.extend(problem.check_node(guard, node, outputs))
+    return violations
+
+
+def outputs_within_alphabet(
+    problem: LCLProblem, outputs: Dict[int, object]
+) -> List[int]:
+    """Nodes whose output falls outside the declared finite alphabet.
+
+    Problems with composite outputs (e.g. BalancedTree's (β, port) pairs)
+    override membership via ``problem.output_labels`` containing callables.
+    """
+    offenders: List[int] = []
+    labels = problem.output_labels
+    if not labels:
+        return offenders
+    checkers = [lab for lab in labels if callable(lab)]
+    plain = {lab for lab in labels if not callable(lab)}
+    for node, value in outputs.items():
+        if value in plain:
+            continue
+        if any(check(value) for check in checkers):
+            continue
+        offenders.append(node)
+    return offenders

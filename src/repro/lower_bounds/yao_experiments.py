@@ -1,0 +1,117 @@
+"""Distribution-based lower-bound experiments (Proposition 3.12).
+
+Proposition 3.12: on the depth-k complete tree with internal nodes red and
+all leaves colored by one fair coin flip χ0, any algorithm of distance
+< log n − 1 solves LeafColoring with probability ≤ 1/2 — the root cannot
+see any leaf, so its answer is independent of χ0.  By Yao's principle the
+same holds for randomized algorithms.
+
+We make this executable with :class:`HorizonLimitedLeafColoring`: the
+Proposition 3.9 solver truncated at an exploration radius r.  Measured
+success probability should sit near 1/2 for r < depth and jump to 1 at
+r ≥ depth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.algorithms.leaf_coloring_algs import LeafColoringDistanceSolver
+from repro.graphs.generators import hard_leaf_coloring_instance
+from repro.graphs.tree_structure import (
+    is_internal,
+    is_leaf,
+    left_child_node,
+    right_child_node,
+)
+from repro.model.probe import ProbeAlgorithm, ProbeView
+from repro.model.runner import solve_and_check
+from repro.model.views import ProbeTopology
+from repro.problems.leaf_coloring import LeafColoring
+
+
+class HorizonLimitedLeafColoring(ProbeAlgorithm):
+    """Prop 3.9's solver truncated at exploration radius ``horizon``.
+
+    Internal nodes whose nearest descendant leaf lies beyond the horizon
+    guess red — the best any distance-limited algorithm can do against the
+    hard distribution (its view is independent of χ0).
+    """
+
+    name = "leaf-coloring/horizon-limited"
+
+    def __init__(self, horizon: int) -> None:
+        self.horizon = horizon
+        self.name = f"leaf-coloring/horizon-{horizon}"
+
+    def run(self, view: ProbeView):
+        topo = ProbeTopology(view)
+        start = view.start
+        if not is_internal(topo, start):
+            return view.start_info.label.color
+        frontier = [start]
+        seen = {start}
+        for _ in range(self.horizon):
+            next_frontier = []
+            for u in frontier:
+                for child in (
+                    left_child_node(topo, u),
+                    right_child_node(topo, u),
+                ):
+                    if child is None or child in seen:
+                        continue
+                    seen.add(child)
+                    if is_leaf(topo, child):
+                        return view.info(child).label.color
+                    if is_internal(topo, child):
+                        next_frontier.append(child)
+            if not next_frontier:
+                break
+            frontier = next_frontier
+        return "R"  # guess: the hard distribution flips a fair coin
+
+
+@dataclass
+class HorizonSweepPoint:
+    """Measured success probability at one horizon."""
+
+    horizon: int
+    depth: int
+    trials: int
+    success_probability: float
+
+
+def horizon_sweep(
+    depth: int,
+    horizons: List[int],
+    trials: int = 40,
+    base_seed: int = 0,
+) -> List[HorizonSweepPoint]:
+    """Success probability of the horizon-limited solver vs the horizon.
+
+    Each trial draws a fresh instance from the hard distribution (fresh
+    coin for χ0).  The paper's prediction: ≈ 1/2 below the depth, 1 at or
+    above it.
+    """
+    problem = LeafColoring()
+    results: List[HorizonSweepPoint] = []
+    for horizon in horizons:
+        algorithm = HorizonLimitedLeafColoring(horizon)
+        successes = 0
+        for trial in range(trials):
+            rnd = random.Random(base_seed * 1_000_003 + trial)
+            instance = hard_leaf_coloring_instance(depth, rng=rnd)
+            report = solve_and_check(problem, instance, algorithm)
+            if report.valid:
+                successes += 1
+        results.append(
+            HorizonSweepPoint(
+                horizon=horizon,
+                depth=depth,
+                trials=trials,
+                success_probability=successes / trials,
+            )
+        )
+    return results

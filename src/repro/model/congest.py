@@ -1,0 +1,158 @@
+"""A synchronous CONGEST simulator (Section 7.3).
+
+The CONGEST model refines LOCAL by limiting every message to ``B`` bits per
+edge per round (typically B = O(log n)).  The paper uses it twice:
+
+* Observation 7.4 — BalancedTree is solvable in O(log n) CONGEST rounds by
+  flooding "inconsistency" notices, so the Ω(n) volume bound shows volume
+  can be exponentially *larger* than CONGEST time.
+* Example 7.6 — the two-trees-with-a-bridge relay problem needs Ω(n/B)
+  CONGEST rounds but only O(log n) probe volume, the opposite separation.
+
+The simulator is deliberately strict: a message whose declared bit size
+exceeds the bandwidth raises, and per-round per-edge usage is recorded so
+benches can report total communication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.graphs.labelings import Instance
+from repro.model.oracle import NodeInfo, StaticOracle
+
+
+class CongestError(RuntimeError):
+    """A bandwidth or protocol violation inside the simulator."""
+
+
+@dataclass
+class Message:
+    """A CONGEST message with an explicit bit size.
+
+    Payloads are arbitrary Python values; honesty about ``bits`` is the
+    algorithm author's responsibility and is sanity-checked against the
+    bandwidth only.
+    """
+
+    payload: object
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise CongestError("messages must carry at least one bit")
+
+
+class CongestAlgorithm:
+    """Base class: per-node synchronous state machines.
+
+    ``init_state(info, n)`` builds the node state before round 1.
+    ``step(state, round_index, inbox)`` returns ``(outbox, output)`` where
+    ``inbox``/``outbox`` map port numbers to :class:`Message`; a non-None
+    ``output`` halts the node (it keeps forwarding nothing afterwards).
+    """
+
+    name: str = "congest-algorithm"
+
+    def init_state(self, info: NodeInfo, n: int) -> dict:
+        raise NotImplementedError
+
+    def step(
+        self,
+        state: dict,
+        round_index: int,
+        inbox: Dict[int, Message],
+    ) -> Tuple[Dict[int, Message], Optional[object]]:
+        raise NotImplementedError
+
+
+@dataclass
+class CongestResult:
+    """Outcome of a CONGEST execution."""
+
+    rounds: int
+    outputs: Dict[int, object]
+    total_bits: int
+    max_bits_on_edge: int
+
+    @property
+    def all_terminated(self) -> bool:
+        return all(v is not None for v in self.outputs.values())
+
+
+def run_congest(
+    instance: Instance,
+    algorithm: CongestAlgorithm,
+    bandwidth: int,
+    max_rounds: int,
+    done_predicate=None,
+) -> CongestResult:
+    """Run the synchronous protocol until done (or the round cap).
+
+    By default "done" means every node produced an output; protocols whose
+    relays never halt (e.g. the Example 7.6 pipeline) pass a
+    ``done_predicate(outputs)`` — typically "all leaves answered".
+    """
+    if bandwidth < 1:
+        raise CongestError("bandwidth must be >= 1")
+    oracle = StaticOracle(instance)
+    graph = instance.graph
+    nodes = list(graph.nodes())
+    n = instance.n
+
+    states: Dict[int, dict] = {}
+    outputs: Dict[int, Optional[object]] = {}
+    for v in nodes:
+        states[v] = algorithm.init_state(oracle.node_info(v), n)
+        outputs[v] = None
+
+    # edge_bits[(u, port)] tracks usage of the directed edge out of u.
+    total_bits = 0
+    max_edge_bits = 0
+    inboxes: Dict[int, Dict[int, Message]] = {v: {} for v in nodes}
+
+    if done_predicate is None:
+        def done_predicate(outs):
+            return all(v is not None for v in outs.values())
+
+    rounds = 0
+    for round_index in range(1, max_rounds + 1):
+        if done_predicate(outputs):
+            break
+        rounds = round_index
+        next_inboxes: Dict[int, Dict[int, Message]] = {v: {} for v in nodes}
+        for v in nodes:
+            if outputs[v] is not None:
+                continue
+            outbox, output = algorithm.step(
+                states[v], round_index, inboxes[v]
+            )
+            if output is not None:
+                outputs[v] = output
+            for port, message in outbox.items():
+                if message.bits > bandwidth:
+                    raise CongestError(
+                        f"node {v} sent {message.bits} bits on port {port} "
+                        f"(bandwidth {bandwidth})"
+                    )
+                endpoint = (
+                    graph.neighbor_at(v, port)
+                    if 1 <= port <= graph.num_ports(v)
+                    else None
+                )
+                if endpoint is None:
+                    raise CongestError(
+                        f"node {v} sent a message into dangling port {port}"
+                    )
+                back_port = graph.endpoint_port(v, port)
+                next_inboxes[endpoint][back_port] = message
+                total_bits += message.bits
+                max_edge_bits = max(max_edge_bits, message.bits)
+        inboxes = next_inboxes
+    return CongestResult(
+        rounds=rounds,
+        outputs={v: outputs[v] for v in nodes},
+        total_bits=total_bits,
+        max_bits_on_edge=max_edge_bits,
+    )

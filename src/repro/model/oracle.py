@@ -1,0 +1,86 @@
+"""Graph oracles: how a probe execution learns about the input graph.
+
+The probe engine never touches an :class:`~repro.graphs.labelings.Instance`
+directly; it asks a :class:`GraphOracle`.  This indirection is what lets the
+lower-bound processes of Propositions 3.13 and 5.20 be implemented exactly
+as the paper specifies them: the adversary *is* an oracle that constructs
+the graph lazily in response to the algorithm's queries.
+
+:class:`StaticOracle` is the ordinary case: a fixed labeled graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Protocol
+
+from repro.graphs.labelings import Instance, NodeLabel
+
+
+@dataclass(frozen=True)
+class NodeInfo:
+    """What a query (or the initial self-inspection) reveals about a node.
+
+    Section 2.2: the response to ``query(w, j)`` carries the identity of the
+    endpoint, its degree, and its entire input.  ``ports`` lists the node's
+    *connected* port numbers: in the paper ports are exactly
+    ``1..deg(v)`` (all connected), so this is redundant there; we expose
+    the list because our builders follow the paper's looser conventions
+    (e.g. lateral edges on ports 4/5 regardless of degree), and it
+    restores exactly the information an algorithm would have had under
+    strict numbering — which edges exist — and nothing more.
+    """
+
+    node_id: int
+    degree: int
+    label: NodeLabel
+    ports: tuple  # the node's *connected* ports (see docstring above)
+
+
+class GraphOracle(Protocol):
+    """The interface the probe engine uses to explore an input."""
+
+    @property
+    def n(self) -> int:
+        """The advertised number of nodes (given to every algorithm)."""
+
+    def node_info(self, node_id: int) -> NodeInfo:
+        """Inspect a node (used for the initiating node, which is free)."""
+
+    def resolve(self, node_id: int, port: int) -> Optional[int]:
+        """The node on the other end of ``(node_id, port)``, or None."""
+
+
+class StaticOracle:
+    """A :class:`GraphOracle` over a concrete, fully built instance."""
+
+    def __init__(self, instance: Instance) -> None:
+        self._instance = instance
+
+    @property
+    def n(self) -> int:
+        return self._instance.n
+
+    @property
+    def instance(self) -> Instance:
+        return self._instance
+
+    def node_info(self, node_id: int) -> NodeInfo:
+        graph = self._instance.graph
+        ports = tuple(
+            p
+            for p in range(1, graph.num_ports(node_id) + 1)
+            if graph.neighbor_at(node_id, p) is not None
+        )
+        return NodeInfo(
+            node_id=node_id,
+            degree=graph.degree(node_id),
+            label=self._instance.label(node_id),
+            ports=ports,
+        )
+
+    def resolve(self, node_id: int, port: int) -> Optional[int]:
+        graph = self._instance.graph
+        if port < 1 or port > graph.num_ports(node_id):
+            return None
+        return graph.neighbor_at(node_id, port)

@@ -1,0 +1,244 @@
+"""The probe-model execution engine (Section 2.2).
+
+An execution initiated at ``v`` maintains a set ``V_v`` of visited nodes,
+initially ``{v}``.  Each step issues ``query(w, j)`` for a visited ``w`` and
+port ``j``; the response reveals the endpoint's identity, degree and entire
+input (including, for randomized algorithms, access to its random string),
+and the endpoint joins ``V_v``.  The two costs of Definitions 2.1 / 2.2:
+
+* ``VOL`` — ``|V_v|`` at termination;
+* ``DIST`` — ``max { dist(v, w) : w ∈ V_v }``.
+
+``DIST`` is computed by BFS over the *explored* subgraph.  On forests and
+pseudo-forests — every instance family in the paper — explored-subgraph
+distance equals true graph distance (paths are unique); in general it is an
+upper bound.  This is documented in DESIGN.md §1.4.
+
+The engine enforces the model's information constraints: only visited nodes
+may be queried, and random tapes are readable only as the active
+:class:`~repro.model.randomness.RandomnessModel` allows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.model.oracle import GraphOracle, NodeInfo
+from repro.model.randomness import (
+    RandomnessContext,
+    RandomnessModel,
+    TapeStore,
+)
+
+
+class ProbeError(RuntimeError):
+    """An algorithm violated the probe model (e.g. queried an unseen node)."""
+
+
+class BudgetExceeded(RuntimeError):
+    """The execution outgrew its volume or query budget.
+
+    Used for the Remark 3.11 truncation: randomized algorithms with a
+    high-probability volume bound are cut off at that bound, and the node
+    falls back to an arbitrary output.
+    """
+
+    def __init__(self, kind: str, limit: int) -> None:
+        super().__init__(f"{kind} budget of {limit} exceeded")
+        self.kind = kind
+        self.limit = limit
+
+
+@dataclass
+class CostProfile:
+    """The measured costs of one per-node execution."""
+
+    volume: int
+    distance: int
+    queries: int
+    random_bits: int
+    truncated: bool = False
+
+
+class ProbeView:
+    """What a single per-node execution can see and do.
+
+    The algorithm receives exactly this object.  All information flows
+    through :meth:`query`; the initiating node's own info is available for
+    free (``V_v`` starts as ``{v}``).
+    """
+
+    def __init__(
+        self,
+        oracle: GraphOracle,
+        start: int,
+        randomness: RandomnessContext,
+        max_volume: Optional[int] = None,
+        max_queries: Optional[int] = None,
+    ) -> None:
+        self._oracle = oracle
+        self._start = start
+        self._randomness = randomness
+        self._max_volume = max_volume
+        self._max_queries = max_queries
+        self._visited: Dict[int, NodeInfo] = {}
+        self._adjacency: Dict[int, Set[int]] = {start: set()}
+        self._queries = 0
+        self._record_visit(oracle.node_info(start))
+
+    # ------------------------------------------------------------------
+    # model interface
+    # ------------------------------------------------------------------
+    @property
+    def start(self) -> int:
+        """The node this execution was initiated at."""
+        return self._start
+
+    @property
+    def start_info(self) -> NodeInfo:
+        return self._visited[self._start]
+
+    @property
+    def n(self) -> int:
+        """The number of nodes, provided as input to every algorithm."""
+        return self._oracle.n
+
+    def query(self, node_id: int, port: int) -> Optional[NodeInfo]:
+        """Issue ``query(node_id, port)``; returns the endpoint's info.
+
+        ``node_id`` must already be visited.  A dangling or out-of-range
+        port returns ``None`` (the query is still counted).
+        """
+        if node_id not in self._visited:
+            raise ProbeError(
+                f"query at unvisited node {node_id} (start {self._start})"
+            )
+        self._queries += 1
+        if self._max_queries is not None and self._queries > self._max_queries:
+            raise BudgetExceeded("query", self._max_queries)
+        endpoint = self._oracle.resolve(node_id, port)
+        if endpoint is None:
+            return None
+        self._adjacency.setdefault(node_id, set()).add(endpoint)
+        self._adjacency.setdefault(endpoint, set()).add(node_id)
+        if endpoint in self._visited:
+            return self._visited[endpoint]
+        if (
+            self._max_volume is not None
+            and len(self._visited) + 1 > self._max_volume
+        ):
+            raise BudgetExceeded("volume", self._max_volume)
+        info = self._oracle.node_info(endpoint)
+        self._record_visit(info)
+        return info
+
+    def info(self, node_id: int) -> NodeInfo:
+        """Re-read a visited node's info (free: no new query)."""
+        try:
+            return self._visited[node_id]
+        except KeyError:
+            raise ProbeError(f"node {node_id} has not been visited") from None
+
+    def is_visited(self, node_id: int) -> bool:
+        return node_id in self._visited
+
+    def random_bit(self, node_id: int, index: int) -> int:
+        """Read bit ``index`` of ``r_{node_id}`` (discipline permitting)."""
+        return self._randomness.bit(node_id, index)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def volume(self) -> int:
+        return len(self._visited)
+
+    @property
+    def queries(self) -> int:
+        return self._queries
+
+    def distance_cost(self) -> int:
+        """``max dist(start, w)`` over visited ``w`` in the explored graph."""
+        dist = {self._start: 0}
+        frontier = [self._start]
+        best = 0
+        while frontier:
+            nxt: List[int] = []
+            for u in frontier:
+                for w in self._adjacency.get(u, ()):
+                    if w in self._visited and w not in dist:
+                        dist[w] = dist[u] + 1
+                        best = max(best, dist[w])
+                        nxt.append(w)
+            frontier = nxt
+        return best
+
+    def cost_profile(self, truncated: bool = False) -> CostProfile:
+        return CostProfile(
+            volume=self.volume,
+            distance=self.distance_cost(),
+            queries=self._queries,
+            random_bits=self._randomness.bits_read,
+            truncated=truncated,
+        )
+
+    def _record_visit(self, info: NodeInfo) -> None:
+        self._visited[info.node_id] = info
+
+
+class ProbeAlgorithm:
+    """Base class for per-node probe algorithms.
+
+    Subclasses implement :meth:`run`, returning the node's output (any
+    hashable value; problems define their own output conventions).  If the
+    engine raises :class:`BudgetExceeded`, the runner calls
+    :meth:`fallback`, the "arbitrary output" of the Remark 3.11 truncation.
+    """
+
+    name: str = "probe-algorithm"
+    randomness: RandomnessModel = RandomnessModel.DETERMINISTIC
+
+    def run(self, view: ProbeView):
+        raise NotImplementedError
+
+    def fallback(self, view: ProbeView):
+        """Output to emit when truncated (default: the node's input color)."""
+        label = view.start_info.label
+        return label.color
+
+    @property
+    def is_randomized(self) -> bool:
+        return self.randomness is not RandomnessModel.DETERMINISTIC
+
+
+def execute_at(
+    oracle: GraphOracle,
+    algorithm: ProbeAlgorithm,
+    node: int,
+    tape_store: Optional[TapeStore] = None,
+    max_volume: Optional[int] = None,
+    max_queries: Optional[int] = None,
+):
+    """Run ``algorithm`` from ``node``; returns ``(output, CostProfile)``.
+
+    Budget overruns are converted into the algorithm's fallback output with
+    ``truncated=True`` in the profile, matching Remark 3.11.
+    """
+    view = ProbeView(
+        oracle,
+        node,
+        RandomnessContext(
+            tape_store,
+            algorithm.randomness,
+            node,
+            readable=lambda nid: nid in view._visited,  # noqa: B023
+        ),
+        max_volume=max_volume,
+        max_queries=max_queries,
+    )
+    try:
+        output = algorithm.run(view)
+        return output, view.cost_profile()
+    except BudgetExceeded:
+        return algorithm.fallback(view), view.cost_profile(truncated=True)

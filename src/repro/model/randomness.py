@@ -1,0 +1,140 @@
+"""Random tapes and the randomness disciplines of Sections 2.2 and 7.4.
+
+The paper's model gives each node ``v`` a private random string
+``r_v : N → {0, 1}`` of iid fair bits.  The string is *part of v's input*,
+so any execution that visits ``v`` can read ``r_v`` — crucially, every
+execution reads the **same** bits (this is what makes ``RWtoLeaf`` walks
+started at different nodes merge, Proposition 3.10).
+
+Section 7.4 contrasts three disciplines, all implemented here:
+
+* **public** — one shared string visible to every execution;
+* **private** — per-node strings, readable once the node is visited
+  (the paper's default model);
+* **secret** — per-node strings readable *only* by the node itself.
+
+Bits are produced lazily and cached, so re-reading past indices is allowed
+while new bits are only ever generated at the end of the tape — this is the
+paper's technical "sequential access" assumption (Section 2.2 footnote),
+under which the Chang et al. derandomization carries over to volume.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import Dict, List, Optional
+
+
+class RandomnessModel(enum.Enum):
+    """Which random strings an execution started at ``v`` may read."""
+
+    DETERMINISTIC = "deterministic"
+    PRIVATE = "private"
+    PUBLIC = "public"
+    SECRET = "secret"
+
+
+class RandomnessError(RuntimeError):
+    """Raised on an access the active randomness discipline forbids."""
+
+
+class Tape:
+    """One lazily generated, cached random bit string ``r : N → {0, 1}``."""
+
+    def __init__(self, seed_material: str) -> None:
+        self._rng = random.Random(seed_material)
+        self._bits: List[int] = []
+
+    def bit(self, index: int) -> int:
+        """The ``index``-th bit; generates sequentially up to that index."""
+        if index < 0:
+            raise IndexError("random bit index must be non-negative")
+        while len(self._bits) <= index:
+            self._bits.append(self._rng.getrandbits(1))
+        return self._bits[index]
+
+    @property
+    def bits_generated(self) -> int:
+        """How many distinct bits have been materialized (the bound b)."""
+        return len(self._bits)
+
+
+class TapeStore:
+    """All tapes of one execution environment, keyed by node id.
+
+    The same store is shared by every per-node execution on an instance, so
+    different executions reading the same node's tape agree bit-for-bit —
+    the coordination property Proposition 3.10's proof relies on.
+    """
+
+    PUBLIC_KEY = "public"
+
+    def __init__(self, seed: int) -> None:
+        self._seed = seed
+        self._tapes: Dict[object, Tape] = {}
+
+    def tape_for(self, node_id: int) -> Tape:
+        return self._materialize(node_id)
+
+    def public_tape(self) -> Tape:
+        return self._materialize(self.PUBLIC_KEY)
+
+    def total_bits_generated(self) -> int:
+        return sum(t.bits_generated for t in self._tapes.values())
+
+    def _materialize(self, key: object) -> Tape:
+        tape = self._tapes.get(key)
+        if tape is None:
+            tape = Tape(f"repro-tape:{self._seed}:{key}")
+            self._tapes[key] = tape
+        return tape
+
+
+class RandomnessContext:
+    """Per-execution view onto a :class:`TapeStore` under one discipline.
+
+    ``owner`` is the node the execution was initiated at; ``readable`` is a
+    callback telling whether a node has been visited (for the private
+    model, where querying a node reveals its string).
+    """
+
+    def __init__(
+        self,
+        store: Optional[TapeStore],
+        model: RandomnessModel,
+        owner: int,
+        readable,
+    ) -> None:
+        self._store = store
+        self._model = model
+        self._owner = owner
+        self._readable = readable
+        self.bits_read = 0
+
+    @property
+    def model(self) -> RandomnessModel:
+        return self._model
+
+    def bit(self, node_id: int, index: int) -> int:
+        """Read ``r_{node_id}(index)`` if the discipline permits it."""
+        if self._model is RandomnessModel.DETERMINISTIC or self._store is None:
+            raise RandomnessError(
+                "deterministic execution attempted to read a random bit"
+            )
+        if self._model is RandomnessModel.PUBLIC:
+            # Public randomness is one shared string; the node argument is
+            # accepted for interface uniformity but ignored.
+            self.bits_read += 1
+            return self._store.public_tape().bit(index)
+        if self._model is RandomnessModel.SECRET and node_id != self._owner:
+            raise RandomnessError(
+                f"secret-randomness execution at {self._owner} tried to read "
+                f"the tape of node {node_id}"
+            )
+        if self._model is RandomnessModel.PRIVATE and not self._readable(node_id):
+            raise RandomnessError(
+                f"private tape of {node_id} read before the node was visited"
+            )
+        self.bits_read += 1
+        return self._store.tape_for(node_id).bit(index)

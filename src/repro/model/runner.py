@@ -1,0 +1,154 @@
+"""Running algorithms over whole instances and verifying the results.
+
+Definition 2.4: an algorithm solves a problem when the per-node outputs
+``L'(v) = A(v, G, L)`` form a valid output labeling.  The runner executes
+the algorithm once from *every* node (they share one tape store, so a
+randomized run is one joint sample of all nodes' strings), aggregates the
+cost profiles, and checks validity against the problem's checker.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.graphs.labelings import Instance
+from repro.model.oracle import StaticOracle
+from repro.model.probe import CostProfile, ProbeAlgorithm, execute_at
+from repro.model.randomness import TapeStore
+
+
+@dataclass
+class RunResult:
+    """Outputs and cost profiles of one whole-instance run."""
+
+    algorithm: str
+    instance: str
+    outputs: Dict[int, object] = field(default_factory=dict)
+    profiles: Dict[int, CostProfile] = field(default_factory=dict)
+
+    @property
+    def max_volume(self) -> int:
+        """``VOL_n(A)`` on this instance: the worst per-node volume."""
+        return max(p.volume for p in self.profiles.values())
+
+    @property
+    def max_distance(self) -> int:
+        """``DIST_n(A)`` on this instance: the worst per-node distance."""
+        return max(p.distance for p in self.profiles.values())
+
+    @property
+    def max_queries(self) -> int:
+        return max(p.queries for p in self.profiles.values())
+
+    @property
+    def mean_volume(self) -> float:
+        return statistics.fmean(p.volume for p in self.profiles.values())
+
+    @property
+    def total_random_bits(self) -> int:
+        return sum(p.random_bits for p in self.profiles.values())
+
+    @property
+    def truncated_nodes(self) -> List[int]:
+        return [v for v, p in self.profiles.items() if p.truncated]
+
+
+def run_algorithm(
+    instance: Instance,
+    algorithm: ProbeAlgorithm,
+    seed: int = 0,
+    nodes: Optional[Iterable[int]] = None,
+    max_volume: Optional[int] = None,
+    max_queries: Optional[int] = None,
+) -> RunResult:
+    """Execute ``algorithm`` from every node (or the given subset)."""
+    oracle = StaticOracle(instance)
+    tapes = TapeStore(seed) if algorithm.is_randomized else None
+    result = RunResult(algorithm=algorithm.name, instance=instance.name)
+    node_iter = instance.graph.nodes() if nodes is None else nodes
+    for node in node_iter:
+        output, profile = execute_at(
+            oracle,
+            algorithm,
+            node,
+            tape_store=tapes,
+            max_volume=max_volume,
+            max_queries=max_queries,
+        )
+        result.outputs[node] = output
+        result.profiles[node] = profile
+    return result
+
+
+@dataclass
+class SolveReport:
+    """A run together with its validity verdict."""
+
+    run: RunResult
+    valid: bool
+    violations: List["Violation"]
+
+    @property
+    def max_volume(self) -> int:
+        return self.run.max_volume
+
+    @property
+    def max_distance(self) -> int:
+        return self.run.max_distance
+
+
+def solve_and_check(
+    problem,
+    instance: Instance,
+    algorithm: ProbeAlgorithm,
+    seed: int = 0,
+    max_volume: Optional[int] = None,
+    max_queries: Optional[int] = None,
+) -> SolveReport:
+    """Run the algorithm on the full instance and verify its output."""
+    run = run_algorithm(
+        instance,
+        algorithm,
+        seed=seed,
+        max_volume=max_volume,
+        max_queries=max_queries,
+    )
+    violations = problem.validate(instance, run.outputs)
+    return SolveReport(run=run, valid=not violations, violations=violations)
+
+
+def success_probability(
+    problem,
+    instance_factory,
+    algorithm: ProbeAlgorithm,
+    trials: int,
+    base_seed: int = 0,
+    max_volume: Optional[int] = None,
+    max_queries: Optional[int] = None,
+) -> float:
+    """Fraction of independent trials in which the algorithm solved Π.
+
+    ``instance_factory(trial_index)`` supplies the input for each trial
+    (fixed instance, or a fresh draw from a hard distribution as in the
+    Proposition 3.12 experiment); trial ``i`` uses seed ``base_seed + i``.
+    """
+    successes = 0
+    for trial in range(trials):
+        instance = instance_factory(trial)
+        report = solve_and_check(
+            problem,
+            instance,
+            algorithm,
+            seed=base_seed + trial,
+            max_volume=max_volume,
+            max_queries=max_queries,
+        )
+        if report.valid:
+            successes += 1
+    return successes / trials
+
+
+# Imported late to avoid a cycle: problems import model pieces too.
+from repro.lcl.base import Violation  # noqa: E402

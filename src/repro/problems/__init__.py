@@ -1,0 +1,28 @@
+"""Problem definitions: the paper's five constructions plus classic LCLs."""
+
+from repro.problems.balanced_tree import BalancedTree
+from repro.problems.hh_thc import HHTHC
+from repro.problems.hierarchical_thc import HierarchicalTHC
+from repro.problems.hybrid_thc import HybridTHC
+from repro.problems.leaf_coloring import LeafColoring
+from repro.problems.classic.cycle_coloring import (
+    CycleColoring,
+    MaximalIndependentSet,
+    TwoColoring,
+)
+from repro.problems.classic.relay import RelayProblem
+from repro.problems.classic.trivial import ConstantProblem, DegreeParity
+
+__all__ = [
+    "BalancedTree",
+    "ConstantProblem",
+    "CycleColoring",
+    "DegreeParity",
+    "HHTHC",
+    "HierarchicalTHC",
+    "HybridTHC",
+    "LeafColoring",
+    "MaximalIndependentSet",
+    "RelayProblem",
+    "TwoColoring",
+]

@@ -1,0 +1,99 @@
+"""Hierarchical-or-hybrid 2½-coloring, HH-THC(k, ℓ) (Section 6.1, Def 6.4).
+
+Every node carries a selector bit ``b_v``: bit-0 nodes must jointly solve
+Hierarchical-THC(ℓ) on their induced subgraph G_0, bit-1 nodes solve
+Hybrid-THC(k) on G_1.  For k ≤ ℓ the complexity is the max of the parts
+(Theorem 6.5):
+
+* R-DIST = D-DIST = Θ(n^{1/ℓ})    (from the hierarchical part),
+* R-VOL = Θ̃(n^{1/k})             (from the hybrid part; n^{1/k} ≥ n^{1/ℓ}),
+* D-VOL = Θ̃(n).
+
+These are the family that populates Figure 3's general position: distance
+n^{1/ℓ} with randomized volume n^{1/k} for any k ≤ ℓ.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.graphs.labelings import Instance
+from repro.graphs.tree_structure import InstanceTopology, Topology
+from repro.lcl.base import LCLProblem, Violation
+from repro.problems.hierarchical_thc import HierarchicalTHC
+from repro.problems.hierarchical_thc import (
+    reference_solution as hierarchical_reference,
+)
+from repro.problems.hybrid_thc import HybridTHC
+from repro.problems.hybrid_thc import reference_solution as hybrid_reference
+
+
+class HHTHC(LCLProblem):
+    """HH-THC(k, ℓ) (Definition 6.4): dispatch on the input bit."""
+
+    def __init__(self, k: int, ell: int) -> None:
+        if k > ell:
+            raise ValueError("HH-THC requires k <= ell")
+        self.k = k
+        self.ell = ell
+        self.name = f"hh-thc({k},{ell})"
+        self._hierarchical = HierarchicalTHC(ell)
+        self._hybrid = HybridTHC(k)
+        self.checking_radius = max(
+            self._hierarchical.checking_radius, self._hybrid.checking_radius
+        )
+        self.output_labels = ()
+
+    def check_node(
+        self,
+        topology: Topology,
+        node: int,
+        outputs: Dict[int, object],
+    ) -> List[Violation]:
+        bit = topology.label(node).bit
+        if bit == 0:
+            # Hierarchical-THC(ℓ) "with the input level ignored": bit-0
+            # nodes carry no explicit level, so Definition 5.1 levels apply.
+            return self._hierarchical.check_node(topology, node, outputs)
+        if bit == 1:
+            return self._hybrid.check_node(topology, node, outputs)
+        return [
+            Violation(node, "input", f"node has no selector bit (b_v={bit!r})")
+        ]
+
+
+def reference_solution(instance: Instance, k: int, ell: int) -> Dict[int, object]:
+    """Canonical valid output: solve each population with its reference."""
+    hier = hierarchical_reference(_subinstance(instance, 0), ell)
+    hyb = hybrid_reference(_subinstance(instance, 1), k)
+    outputs: Dict[int, object] = {}
+    outputs.update(hier)
+    outputs.update(hyb)
+    return outputs
+
+
+def _subinstance(instance: Instance, bit: int) -> Instance:
+    """The induced sub-instance of one population.
+
+    HH instances are disjoint unions, so the induced subgraph is a union of
+    whole components; we rebuild it as a standalone instance for the
+    per-part reference solvers.
+    """
+    from repro.graphs.port_graph import PortGraph
+
+    keep = {
+        v for v in instance.graph.nodes() if instance.label(v).bit == bit
+    }
+    sub = PortGraph(max_degree=instance.graph.max_degree)
+    for v in keep:
+        sub.add_node(v)
+    for edge in instance.graph.edges():
+        if edge.u in keep and edge.v in keep:
+            sub.add_edge(edge.u, edge.u_port, edge.v, edge.v_port)
+    labeling = instance.labeling.copy()
+    return Instance(
+        graph=sub,
+        labeling=labeling,
+        n=len(keep),
+        name=f"{instance.name}-bit{bit}",
+    )

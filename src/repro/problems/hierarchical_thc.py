@@ -1,0 +1,252 @@
+"""Hierarchical 2½-coloring, Hierarchical-THC(k) (Section 5, Definition 5.5).
+
+A variant of Chang–Pettie hierarchical 2½ coloring with, for each fixed k
+(Theorem 5.9):
+
+* R-DIST = D-DIST = Θ(n^{1/k}),
+* R-VOL = O(n^{1/k} · polylog n),
+* D-VOL = Ω(n / log n),
+
+giving the polynomial rungs of the randomized volume hierarchy.
+
+**Input:** a colored tree labeling.  Node levels follow right-child chains
+(Definition 5.1): level 1 ⇔ RC = ⊥, else 1 + level(RC(v)).  Levels above k
+are *exempt* and must output X.  Each level-ℓ "backbone" (maximal
+same-level LC-chain, Observation 5.4) is a path or cycle whose nodes hang
+level-(ℓ−1) components from their RC ports.
+
+**Output:** χout ∈ {R, B, D, X} (colors, *decline*, *exempt*).
+
+**Validity (Definition 5.5):** condition 1 exempts high levels; condition 2
+lets level leaves echo χin or decline or go exempt; condition 3 forces
+level-1 backbones to color unanimously (leaf color or all-decline);
+condition 4 governs middle levels, where a node may go exempt only if its
+hung component committed to a color (4(b)), must otherwise copy its
+backbone successor (4(a)) or restart a colored run above an exempt
+successor (4(c)); condition 5 is the stricter top level, where declining
+is forbidden.
+
+The per-condition helpers are shared with Hybrid-THC (Definition 6.1),
+which swaps out condition 4(b)'s exemption predicate at level 2.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.graphs.labelings import (
+    BLUE,
+    DECLINE,
+    EXEMPT,
+    Instance,
+    RED,
+    THC_OUTPUTS,
+)
+from repro.graphs.tree_structure import (
+    InstanceTopology,
+    Topology,
+    all_backbones,
+    is_level_leaf,
+    left_child_node,
+    level_of,
+    right_child_node,
+)
+from repro.lcl.base import LCLProblem, Violation
+
+_COLOR_OR_EXEMPT = (RED, BLUE, EXEMPT)
+_COLOR_OR_DECLINE = (RED, BLUE, DECLINE)
+
+
+def check_cond2_level_leaf(
+    t: Topology, v: int, out, violations: List[Violation]
+) -> None:
+    """Condition 2: a level-ℓ leaf outputs χin(v), D or X."""
+    chi_in = t.label(v).color
+    if out not in (chi_in, DECLINE, EXEMPT):
+        violations.append(
+            Violation(
+                v,
+                "cond2",
+                f"level leaf must output χin={chi_in!r}, D or X; got {out!r}",
+            )
+        )
+
+
+def check_cond3_level_one(
+    t: Topology, v: int, out, outputs: Dict[int, object],
+    violations: List[Violation],
+) -> None:
+    """Condition 3: level-1 nodes color in {R, B, D} and copy successors."""
+    if out not in _COLOR_OR_DECLINE:
+        violations.append(
+            Violation(v, "cond3a", f"level-1 output must be R/B/D; got {out!r}")
+        )
+        return
+    if not is_level_leaf(t, v):
+        lc = left_child_node(t, v)
+        if out != outputs.get(lc):
+            violations.append(
+                Violation(
+                    v,
+                    "cond3b",
+                    f"level-1 non-leaf must copy LC output "
+                    f"{outputs.get(lc)!r}; got {out!r}",
+                )
+            )
+
+
+def check_cond4_middle(
+    t: Topology,
+    v: int,
+    out,
+    outputs: Dict[int, object],
+    violations: List[Violation],
+    exemption_ok: Callable[[object], bool],
+) -> None:
+    """Condition 4 (non-leaf middle levels): one of 4(a), 4(b), 4(c).
+
+    ``exemption_ok(rc_output)`` is Definition 5.5's 4(b) predicate
+    (χout(RC(v)) ∈ {R, B, X}); Hybrid-THC's Definition 6.1 substitutes
+    "RC committed to a BalancedTree answer" at level 2.
+    """
+    lc = left_child_node(t, v)
+    rc = right_child_node(t, v)
+    lc_out = outputs.get(lc)
+    chi_in = t.label(v).color
+    ok_4a = out == lc_out and out in _COLOR_OR_DECLINE
+    ok_4b = out == EXEMPT and exemption_ok(outputs.get(rc))
+    ok_4c = out in (chi_in, DECLINE) and lc_out == EXEMPT
+    if not (ok_4a or ok_4b or ok_4c):
+        violations.append(
+            Violation(
+                v,
+                "cond4",
+                f"middle-level output {out!r} satisfies none of 4(a)/(b)/(c) "
+                f"(LC out {lc_out!r}, RC out {outputs.get(rc)!r}, "
+                f"χin {chi_in!r})",
+            )
+        )
+
+
+def check_cond5_top(
+    t: Topology,
+    v: int,
+    out,
+    outputs: Dict[int, object],
+    violations: List[Violation],
+) -> None:
+    """Condition 5: top level — no declining, exemption needs colored RC."""
+    if out not in _COLOR_OR_EXEMPT:
+        violations.append(
+            Violation(v, "cond5", f"level-k output must be R/B/X; got {out!r}")
+        )
+        return
+    if out == EXEMPT:
+        rc = right_child_node(t, v)
+        if outputs.get(rc) not in _COLOR_OR_EXEMPT:
+            violations.append(
+                Violation(
+                    v,
+                    "cond5a",
+                    f"exempt level-k node needs RC output in R/B/X; "
+                    f"RC output {outputs.get(rc)!r}",
+                )
+            )
+        return
+    if not is_level_leaf(t, v):
+        lc = left_child_node(t, v)
+        lc_out = outputs.get(lc)
+        chi_in = t.label(v).color
+        ok = (lc_out != EXEMPT and out == lc_out) or (
+            lc_out == EXEMPT and out == chi_in
+        )
+        if not ok:
+            violations.append(
+                Violation(
+                    v,
+                    "cond5b",
+                    f"level-k non-leaf output {out!r} inconsistent with LC "
+                    f"output {lc_out!r} (χin {chi_in!r})",
+                )
+            )
+
+
+class HierarchicalTHC(LCLProblem):
+    """Hierarchical-THC(k) (Definition 5.5); checking radius 2(k+2)."""
+
+    output_labels = THC_OUTPUTS
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.name = f"hierarchical-thc({k})"
+        self.checking_radius = 2 * (k + 2)
+
+    def check_node(
+        self,
+        topology: Topology,
+        node: int,
+        outputs: Dict[int, object],
+    ) -> List[Violation]:
+        violations: List[Violation] = []
+        out = outputs.get(node)
+        if out not in THC_OUTPUTS:
+            violations.append(
+                Violation(node, "alphabet", f"output {out!r} not in R/B/D/X")
+            )
+            return violations
+        lvl = level_of(topology, node, cap=self.k)
+
+        if lvl > self.k:  # condition 1
+            if out != EXEMPT:
+                violations.append(
+                    Violation(
+                        node, "cond1", f"level>{self.k} must be X; got {out!r}"
+                    )
+                )
+            return violations
+
+        leaf = is_level_leaf(topology, node)
+        if leaf:
+            check_cond2_level_leaf(topology, node, out, violations)
+        if lvl == 1:
+            check_cond3_level_one(topology, node, out, outputs, violations)
+        if 1 < lvl < self.k and not leaf:
+            check_cond4_middle(
+                topology,
+                node,
+                out,
+                outputs,
+                violations,
+                exemption_ok=lambda rc_out: rc_out in _COLOR_OR_EXEMPT,
+            )
+        if lvl == self.k:
+            check_cond5_top(topology, node, out, outputs, violations)
+        return violations
+
+
+def reference_solution(instance: Instance, k: int) -> Dict[int, object]:
+    """A canonical valid output computed with global information.
+
+    Level-1 backbones color unanimously with their leaf's input color (or
+    the minimum-ID node's color on a cycle); every node at level ≥ 2 goes
+    exempt, which condition 4(b)/5(a) permits because the hung component's
+    root always ends up colored or exempt.  Levels above k are exempt by
+    condition 1.
+    """
+    outputs: Dict[int, object] = {}
+    for backbone in all_backbones(instance, cap=k):
+        if backbone.level == 1:
+            anchor = (
+                backbone.leaf
+                if not backbone.is_cycle
+                else min(backbone.nodes)
+            )
+            color = instance.label(anchor).color
+            for v in backbone.nodes:
+                outputs[v] = color
+        else:
+            for v in backbone.nodes:
+                outputs[v] = EXEMPT
+    return outputs

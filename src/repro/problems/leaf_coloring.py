@@ -1,0 +1,127 @@
+"""LeafColoring (Section 3, Definitions 3.1–3.4).
+
+The first separation construction: an LCL with
+
+* R-DIST = D-DIST = Θ(log n),
+* R-VOL = Θ(log n), but
+* D-VOL = Θ(n)   (Theorem 3.6),
+
+i.e. randomness helps volume *exponentially* even though the deterministic
+volume is linear — impossible for distance (Section 1.3).
+
+**Input:** a colored tree labeling (P/LC/RC ports plus χin ∈ {R, B}).
+**Output:** a color χout ∈ {R, B} per node.
+**Validity (Definition 3.4):** leaves and inconsistent nodes echo their
+input color; every internal node copies one of its children's outputs.
+Globally this forces each internal node's output to equal the input color
+of some descendant leaf.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.graphs.labelings import COLORS, Instance
+from repro.graphs.tree_structure import (
+    InstanceTopology,
+    Topology,
+    classify,
+    descendant_leaf_path,
+    is_internal,
+    left_child_node,
+    right_child_node,
+    INTERNAL,
+)
+from repro.lcl.base import LCLProblem, Violation
+
+
+class LeafColoring(LCLProblem):
+    """The LeafColoring LCL (Definition 3.4); checking radius 2."""
+
+    name = "leaf-coloring"
+    checking_radius = 2
+    output_labels = COLORS
+
+    def check_node(
+        self,
+        topology: Topology,
+        node: int,
+        outputs: Dict[int, object],
+    ) -> List[Violation]:
+        violations: List[Violation] = []
+        out = outputs.get(node)
+        if out not in COLORS:
+            violations.append(
+                Violation(node, "alphabet", f"output {out!r} not a color")
+            )
+            return violations
+        label = topology.label(node)
+        if is_internal(topology, node):
+            lc = left_child_node(topology, node)
+            rc = right_child_node(topology, node)
+            child_outputs = {outputs.get(lc), outputs.get(rc)}
+            if out not in child_outputs:
+                violations.append(
+                    Violation(
+                        node,
+                        "internal",
+                        f"χout={out!r} matches neither child "
+                        f"({outputs.get(lc)!r}, {outputs.get(rc)!r})",
+                    )
+                )
+        else:
+            # Leaf or inconsistent: must echo the input color.
+            if out != label.color:
+                violations.append(
+                    Violation(
+                        node,
+                        "echo-input",
+                        f"non-internal node output {out!r} != χin "
+                        f"{label.color!r}",
+                    )
+                )
+        return violations
+
+
+def reference_solution(instance: Instance) -> Dict[int, object]:
+    """A canonical valid output, computed with full (global) information.
+
+    Implements the Proposition 3.9 rule for every node: internal nodes copy
+    the input color of their nearest descendant leaf, breaking ties toward
+    the lexicographically least LC/RC path; all other nodes echo χin.  Used
+    by tests as a known-good output and by benches as the D-VOL = O(n)
+    upper-bound solver's expected answer.
+    """
+    topo = InstanceTopology(instance)
+    n = max(2, instance.graph.num_nodes)
+    limit = int(math.log2(n)) + 2
+    outputs: Dict[int, object] = {}
+    for node in instance.graph.nodes():
+        if is_internal(topo, node):
+            path = descendant_leaf_path(topo, node, limit)
+            if path is None:  # pathological; fall back to input color
+                outputs[node] = instance.label(node).color
+            else:
+                outputs[node] = instance.label(path[-1]).color
+        else:
+            outputs[node] = instance.label(node).color
+    return outputs
+
+
+def unique_solution_on_unanimous(instance: Instance) -> Optional[str]:
+    """For instances whose leaves all share color χ0, the forced output.
+
+    Proposition 3.12's induction: on a complete tree with unanimous leaf
+    color χ0 the *unique* valid output is all-χ0.  Returns χ0, or None if
+    the instance's leaves disagree.
+    """
+    topo = InstanceTopology(instance)
+    leaf_colors = {
+        instance.label(v).color
+        for v in instance.graph.nodes()
+        if classify(topo, v) != INTERNAL
+    }
+    if len(leaf_colors) == 1:
+        return next(iter(leaf_colors))
+    return None

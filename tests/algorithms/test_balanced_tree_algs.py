@@ -1,0 +1,114 @@
+"""Tests for BalancedTree algorithms, including the CONGEST protocol."""
+
+import math
+import random
+
+import pytest
+
+from repro.algorithms.balanced_tree_algs import (
+    BalancedTreeCongestFlood,
+    BalancedTreeDistanceSolver,
+    BalancedTreeFullGather,
+)
+from repro.graphs.generators import (
+    balanced_tree_instance,
+    disjointness_embedding,
+)
+from repro.graphs.labelings import BALANCED, UNBALANCED
+from repro.model.congest import run_congest
+from repro.model.runner import run_algorithm, solve_and_check
+from repro.problems.balanced_tree import BalancedTree
+
+PROBLEM = BalancedTree()
+
+
+class TestDistanceSolver:
+    def test_solves_compatible(self):
+        for depth in (2, 3, 4):
+            inst = balanced_tree_instance(depth, rng=random.Random(depth))
+            report = solve_and_check(PROBLEM, inst, BalancedTreeDistanceSolver())
+            assert report.valid, report.violations[:3]
+
+    def test_solves_broken(self):
+        for seed in range(6):
+            inst = balanced_tree_instance(
+                4, compatible=False, rng=random.Random(seed), break_count=2
+            )
+            report = solve_and_check(PROBLEM, inst, BalancedTreeDistanceSolver())
+            assert report.valid, report.violations[:3]
+
+    def test_distance_logarithmic(self):
+        for depth in (3, 5):
+            inst = balanced_tree_instance(depth, rng=random.Random(0))
+            result = run_algorithm(inst, BalancedTreeDistanceSolver())
+            # nearest leaf at depth <= depth; horizon adds small constant
+            assert result.max_distance <= depth + 4
+
+    def test_root_says_balanced_on_clean(self):
+        inst = balanced_tree_instance(3)
+        result = run_algorithm(inst, BalancedTreeDistanceSolver())
+        assert result.outputs[inst.meta["root"]] == (BALANCED, None)
+
+    def test_root_says_unbalanced_on_broken(self):
+        inst = balanced_tree_instance(4, compatible=False, rng=random.Random(3))
+        result = run_algorithm(inst, BalancedTreeDistanceSolver())
+        assert result.outputs[inst.meta["root"]][0] == UNBALANCED
+
+
+class TestFullGather:
+    def test_solves_disjointness_instances(self):
+        a = [1, 0, 1, 0]
+        b = [0, 1, 0, 1]
+        inst = disjointness_embedding(a, b)
+        report = solve_and_check(PROBLEM, inst, BalancedTreeFullGather())
+        assert report.valid
+        assert report.run.outputs[inst.meta["root"]][0] == BALANCED
+
+    def test_volume_linear(self):
+        inst = balanced_tree_instance(4)
+        result = run_algorithm(inst, BalancedTreeFullGather())
+        assert result.max_volume == inst.graph.num_nodes
+
+
+class TestCongestFlood:
+    """Observation 7.4: O(log n) CONGEST rounds with O(log n)-bit messages."""
+
+    def _run(self, inst):
+        n = inst.graph.num_nodes
+        id_bits = max(4, math.ceil(math.log2(n + 1)))
+        bandwidth = 16 * id_bits + 80  # O(log n) bits
+        algo = BalancedTreeCongestFlood(id_bits=id_bits)
+        return run_congest(
+            inst, algo, bandwidth=bandwidth, max_rounds=4 * id_bits + 16
+        )
+
+    def test_valid_on_compatible(self):
+        inst = balanced_tree_instance(3, rng=random.Random(0))
+        result = self._run(inst)
+        assert result.all_terminated
+        assert PROBLEM.validate(inst, result.outputs) == [], (
+            PROBLEM.validate(inst, result.outputs)[:3]
+        )
+
+    def test_valid_on_broken(self):
+        for seed in range(4):
+            inst = balanced_tree_instance(
+                4, compatible=False, rng=random.Random(seed)
+            )
+            result = self._run(inst)
+            assert result.all_terminated
+            assert PROBLEM.validate(inst, result.outputs) == [], (
+                seed,
+                PROBLEM.validate(inst, result.outputs)[:3],
+            )
+
+    def test_rounds_logarithmic(self):
+        rounds = []
+        for depth in (3, 5, 7):
+            inst = balanced_tree_instance(depth, rng=random.Random(1))
+            result = self._run(inst)
+            rounds.append(result.rounds)
+            n = inst.graph.num_nodes
+            # 5 setup rounds + (log n + 2) flooding + 1 decision round
+            assert result.rounds <= math.ceil(math.log2(n)) + 9
+        assert rounds == sorted(rounds)

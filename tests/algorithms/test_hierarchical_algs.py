@@ -1,0 +1,165 @@
+"""Tests for RecursiveHTHC and WaypointHTHC (Section 5)."""
+
+import math
+import random
+
+import pytest
+
+from repro.algorithms.hierarchical_algs import (
+    HierarchicalFullGather,
+    RecursiveHTHC,
+    WaypointHTHC,
+)
+from repro.graphs.generators import hierarchical_thc_instance
+from repro.graphs.labelings import DECLINE, EXEMPT
+from repro.model.runner import run_algorithm, solve_and_check
+from repro.problems.hierarchical_thc import HierarchicalTHC
+
+
+def balanced(k, m, seed=0):
+    return hierarchical_thc_instance(k, m, rng=random.Random(seed))
+
+
+def deep_top(k, m, seed=0):
+    """Top-level backbone longer than 2n^{1/k}: exercises the walk."""
+    lengths = [m] * (k - 1) + [8 * m]
+    return hierarchical_thc_instance(
+        k, m, rng=random.Random(seed), lengths=lengths
+    )
+
+
+def deep_level_one(m, seed=0):
+    """k=2 with deep level-1 components: forces declines."""
+    return hierarchical_thc_instance(
+        2, m, rng=random.Random(seed), lengths=[8 * m, m]
+    )
+
+
+def heavy_middle(seed=0):
+    """k=3 with a deep+heavy level 2 over deep level-1 components.
+
+    n = 3282, threshold 2n^{1/3} ≈ 29.7: level-1 and level-2 backbones of
+    length 40 are deep, and H_2 (size 1640) is heavy (> n^{2/3} ≈ 221) —
+    the only situation where Algorithm 2's dist(u, w) > 2n^{1/k} branch
+    (decline at a middle level) can fire (see Lemma 5.11's dichotomy).
+    """
+    return hierarchical_thc_instance(
+        3, 2, rng=random.Random(seed), lengths=[40, 40, 2]
+    )
+
+
+class TestRecursiveHTHC:
+    @pytest.mark.parametrize("k,m", [(1, 5), (2, 4), (3, 3)])
+    def test_solves_balanced_instances(self, k, m):
+        inst = balanced(k, m)
+        report = solve_and_check(
+            HierarchicalTHC(k), inst, RecursiveHTHC(k)
+        )
+        assert report.valid, report.violations[:4]
+
+    @pytest.mark.parametrize("k,m", [(2, 4), (3, 3)])
+    def test_solves_deep_top_instances(self, k, m):
+        inst = deep_top(k, m)
+        report = solve_and_check(
+            HierarchicalTHC(k), inst, RecursiveHTHC(k)
+        )
+        assert report.valid, report.violations[:4]
+
+    def test_solves_deep_level_one(self):
+        inst = deep_level_one(4)
+        report = solve_and_check(
+            HierarchicalTHC(2), inst, RecursiveHTHC(2)
+        )
+        assert report.valid, report.violations[:4]
+        # deep level-1 components decline
+        assert DECLINE in report.run.outputs.values()
+
+    def test_heavy_middle_declines(self):
+        """The dist > 2n^{1/k} branch: middle level declines on heavy H."""
+        inst = heavy_middle()
+        probes = list(inst.graph.nodes())[:200]
+        report = solve_and_check(
+            HierarchicalTHC(3), inst, RecursiveHTHC(3)
+        )
+        assert report.valid, report.violations[:4]
+        # some level-2 node declined
+        from repro.graphs.tree_structure import InstanceTopology, level_of
+
+        topo = InstanceTopology(inst)
+        declined_l2 = [
+            v
+            for v, out in report.run.outputs.items()
+            if out == DECLINE and level_of(topo, v, cap=3) == 2
+        ]
+        assert declined_l2
+
+    def test_distance_bound(self):
+        """Prop 5.12: distance O(k n^{1/k})."""
+        k, m = 2, 6
+        inst = deep_top(k, m)
+        result = run_algorithm(inst, RecursiveHTHC(k))
+        n = inst.graph.num_nodes
+        bound = 4 * k * (2 * n ** (1 / k) + 4)
+        assert result.max_distance <= bound
+
+    def test_exempt_above_colored_components(self):
+        k, m = 2, 4
+        inst = deep_top(k, m)
+        result = run_algorithm(inst, RecursiveHTHC(k))
+        assert EXEMPT in result.outputs.values()
+
+
+class TestWaypointHTHC:
+    @pytest.mark.parametrize("k,m", [(2, 4), (3, 3)])
+    def test_solves_balanced_instances(self, k, m):
+        inst = balanced(k, m, seed=1)
+        report = solve_and_check(
+            HierarchicalTHC(k), inst, WaypointHTHC(k), seed=7
+        )
+        assert report.valid, report.violations[:4]
+
+    def test_solves_deep_top_instances(self):
+        for seed in range(3):
+            inst = deep_top(2, 5, seed=seed)
+            report = solve_and_check(
+                HierarchicalTHC(2), inst, WaypointHTHC(2), seed=seed
+            )
+            assert report.valid, (seed, report.violations[:4])
+
+    def test_solves_deep_level_one(self):
+        inst = deep_level_one(5)
+        report = solve_and_check(
+            HierarchicalTHC(2), inst, WaypointHTHC(2), seed=3
+        )
+        assert report.valid, report.violations[:4]
+
+    def test_volume_is_sublinear(self):
+        """Prop 5.14: waypoint volume is Õ(n^{1/k}), far below n.
+
+        (The Θ̃(n) *deterministic* volume bound of Table 1 is adversarial —
+        Prop 5.20 — and is exercised in tests/lower_bounds; on static
+        instances RecursiveHTHC may be cheap too.)
+        """
+        m = 30
+        inst = deep_top(2, m, seed=2)  # n = 8m(m+1) = 7440
+        n = inst.graph.num_nodes
+        probes = [1, 2 * m, 4 * m, 8 * m]
+        rnd = run_algorithm(inst, WaypointHTHC(2), seed=5, nodes=probes)
+        assert rnd.max_volume <= 12 * math.sqrt(n) * math.log2(n)
+        assert rnd.max_volume < n / 4
+
+    def test_deterministic_given_seed(self):
+        inst = deep_top(2, 4, seed=0)
+        r1 = run_algorithm(inst, WaypointHTHC(2), seed=9)
+        r2 = run_algorithm(inst, WaypointHTHC(2), seed=9)
+        assert r1.outputs == r2.outputs
+
+
+class TestFullGather:
+    def test_solves_and_costs_n(self):
+        inst = balanced(2, 4)
+        report = solve_and_check(
+            HierarchicalTHC(2), inst, HierarchicalFullGather(2)
+        )
+        assert report.valid
+        assert report.run.max_volume == inst.graph.num_nodes

@@ -1,0 +1,118 @@
+"""Tests for the Hybrid-THC(k) and HH-THC(k, ℓ) solvers (Section 6)."""
+
+import math
+import random
+
+import pytest
+
+from repro.algorithms.hh_algs import (
+    HHDistanceSolver,
+    HHFullGather,
+    HHWaypointSolver,
+)
+from repro.algorithms.hybrid_algs import (
+    HybridDistanceSolver,
+    HybridFullGather,
+    HybridRecursiveSolver,
+    HybridWaypointSolver,
+)
+from repro.graphs.generators import hh_thc_instance, hybrid_thc_instance
+from repro.graphs.labelings import DECLINE, EXEMPT
+from repro.model.runner import run_algorithm, solve_and_check
+from repro.problems.hh_thc import HHTHC
+from repro.problems.hybrid_thc import HybridTHC
+
+
+class TestHybridDistanceSolver:
+    @pytest.mark.parametrize("k,m,d", [(2, 3, 2), (3, 2, 2)])
+    def test_solves(self, k, m, d):
+        inst = hybrid_thc_instance(k, m, d, rng=random.Random(k))
+        report = solve_and_check(HybridTHC(k), inst, HybridDistanceSolver(k))
+        assert report.valid, report.violations[:4]
+
+    def test_solves_broken_bt(self):
+        inst = hybrid_thc_instance(
+            2, 3, 3, rng=random.Random(1), compatible=False
+        )
+        report = solve_and_check(HybridTHC(2), inst, HybridDistanceSolver(2))
+        assert report.valid, report.violations[:4]
+
+    def test_distance_logarithmic(self):
+        inst = hybrid_thc_instance(2, 3, 5, rng=random.Random(2))
+        result = run_algorithm(inst, HybridDistanceSolver(2))
+        n = inst.graph.num_nodes
+        assert result.max_distance <= math.ceil(math.log2(n)) + 6
+
+    def test_everything_above_level_one_exempt(self):
+        inst = hybrid_thc_instance(3, 2, 2, rng=random.Random(3))
+        result = run_algorithm(inst, HybridDistanceSolver(3))
+        for node, out in result.outputs.items():
+            if inst.label(node).level >= 2:
+                assert out == EXEMPT
+
+
+class TestHybridRecursiveAndWaypoint:
+    @pytest.mark.parametrize("cls", [HybridRecursiveSolver, HybridWaypointSolver])
+    def test_solves_balanced(self, cls):
+        inst = hybrid_thc_instance(2, 3, 2, rng=random.Random(5))
+        algo = cls(2)
+        report = solve_and_check(HybridTHC(2), inst, algo, seed=4)
+        assert report.valid, report.violations[:4]
+
+    @pytest.mark.parametrize("cls", [HybridRecursiveSolver, HybridWaypointSolver])
+    def test_solves_deep_top(self, cls):
+        # deep level-2 backbone: length 40 vs threshold 2*sqrt(n)
+        inst = hybrid_thc_instance(
+            2, 4, 2, rng=random.Random(6), lengths=[40]
+        )
+        algo = cls(2)
+        report = solve_and_check(HybridTHC(2), inst, algo, seed=8)
+        assert report.valid, report.violations[:4]
+
+    def test_huge_bt_components_decline(self):
+        """Level-1 components above the gather budget decline unanimously."""
+        inst = hybrid_thc_instance(2, 2, 6, rng=random.Random(7))
+        algo = HybridRecursiveSolver(2)
+        # shrink the budget artificially to force declines
+        algo.component_budget = lambda view: 16
+        report = solve_and_check(HybridTHC(2), inst, algo)
+        assert report.valid, report.violations[:4]
+        level_one = [
+            v for v in inst.graph.nodes() if inst.label(v).level == 1
+        ]
+        assert all(report.run.outputs[v] == DECLINE for v in level_one)
+
+    def test_waypoint_volume_sublinear(self):
+        inst = hybrid_thc_instance(2, 3, 4, rng=random.Random(8), lengths=[24])
+        n = inst.graph.num_nodes
+        result = run_algorithm(
+            inst, HybridWaypointSolver(2), seed=2,
+            nodes=list(inst.graph.nodes())[:40],
+        )
+        assert result.max_volume < n / 2
+
+
+class TestHHSolvers:
+    def _instance(self, seed=0):
+        return hh_thc_instance(2, 3, 3, 2, 2, rng=random.Random(seed))
+
+    def test_distance_solver(self):
+        inst = self._instance()
+        report = solve_and_check(HHTHC(2, 3), inst, HHDistanceSolver(2, 3))
+        assert report.valid, report.violations[:4]
+
+    def test_waypoint_solver(self):
+        inst = self._instance(1)
+        report = solve_and_check(
+            HHTHC(2, 3), inst, HHWaypointSolver(2, 3), seed=6
+        )
+        assert report.valid, report.violations[:4]
+
+    def test_full_gather(self):
+        inst = self._instance(2)
+        report = solve_and_check(HHTHC(2, 3), inst, HHFullGather(2, 3))
+        assert report.valid, report.violations[:4]
+        # full gather explores the node's own component only
+        assert report.run.max_volume == max(
+            inst.meta["part0_nodes"], inst.meta["part1_nodes"]
+        )

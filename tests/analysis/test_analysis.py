@@ -1,0 +1,177 @@
+"""Tests for tail bounds, complexity fitting and landscape rendering."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.complexity_fit import (
+    GROWTH_CLASSES,
+    SweepMeasurement,
+    fit_exponent,
+    fit_growth,
+    format_sweep_row,
+    log_star,
+)
+from repro.analysis.landscape import (
+    AXIS,
+    ContributionLine,
+    LandscapePoint,
+    axis_position,
+    render_contributions,
+    render_landscape,
+)
+from repro.analysis.tail_bounds import (
+    chernoff_lower,
+    chernoff_upper,
+    monte_carlo_binomial_tail,
+    monte_carlo_negative_binomial_tail,
+    negative_binomial_tail,
+    rw_to_leaf_failure_bound,
+)
+
+
+class TestTailBounds:
+    def test_chernoff_upper_monotone_in_delta(self):
+        assert chernoff_upper(100, 0.5) < chernoff_upper(100, 0.1)
+
+    def test_chernoff_bounds_empirical_upper(self):
+        m, p, delta = 400, 0.5, 0.3
+        mu = m * p
+        empirical = monte_carlo_binomial_tail(
+            m, p, (1 + delta) * mu, trials=2000, seed=1, direction="upper"
+        )
+        assert empirical <= chernoff_upper(mu, delta) + 0.02
+
+    def test_chernoff_bounds_empirical_lower(self):
+        m, p, delta = 400, 0.5, 0.3
+        mu = m * p
+        empirical = monte_carlo_binomial_tail(
+            m, p, (1 - delta) * mu, trials=2000, seed=2, direction="lower"
+        )
+        assert empirical <= chernoff_lower(mu, delta) + 0.02
+
+    def test_negative_binomial_bound_holds(self):
+        """Lemma 2.12 against simulation."""
+        k, p, c = 10, 0.5, 3.0
+        bound = negative_binomial_tail(k, p, c)
+        empirical = monte_carlo_negative_binomial_tail(
+            k, p, cutoff=c * k / p, trials=4000, seed=3
+        )
+        assert empirical <= bound + 0.02
+
+    def test_rw_failure_bound_shrinks(self):
+        assert rw_to_leaf_failure_bound(2**16) < rw_to_leaf_failure_bound(2**8)
+        assert rw_to_leaf_failure_bound(2**20) < 1e-6
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            chernoff_upper(10, 1.5)
+        with pytest.raises(ValueError):
+            negative_binomial_tail(0, 0.5, 2)
+        with pytest.raises(ValueError):
+            negative_binomial_tail(5, 0.5, 1.0)
+
+
+class TestLogStar:
+    def test_values(self):
+        assert log_star(2) == 1.0
+        assert log_star(16) == 3.0
+        assert log_star(2**16) == 4.0
+
+    def test_extremely_slow_growth(self):
+        assert log_star(2**64) <= 6.0
+
+
+class TestFitGrowth:
+    def test_recovers_log(self):
+        ns = [2**i for i in range(4, 14)]
+        costs = [3 * math.log2(n) for n in ns]
+        fit = fit_growth(ns, costs)
+        assert fit.best == "log n"
+        assert 2.5 <= fit.multiplier <= 3.5
+
+    def test_recovers_sqrt(self):
+        ns = [2**i for i in range(6, 16)]
+        costs = [2 * n**0.5 for n in ns]
+        assert fit_growth(ns, costs).best == "n^{1/2}"
+
+    def test_recovers_linear(self):
+        ns = [100, 400, 1600, 6400]
+        costs = [0.9 * n for n in ns]
+        assert fit_growth(ns, costs).best == "n"
+
+    def test_recovers_constant(self):
+        ns = [10, 100, 1000, 10000]
+        costs = [7, 7, 7, 7]
+        assert fit_growth(ns, costs).best == "1"
+
+    def test_noise_tolerance(self):
+        import random
+
+        rnd = random.Random(0)
+        ns = [2**i for i in range(5, 15)]
+        costs = [math.log2(n) * rnd.uniform(0.9, 1.1) for n in ns]
+        assert fit_growth(ns, costs).best in ("log n", "log log n")
+
+    def test_candidate_restriction(self):
+        ns = [16, 64, 256]
+        costs = [4, 6, 8]
+        fit = fit_growth(ns, costs, candidates=["1", "n"])
+        assert fit.best in ("1", "n")
+
+    def test_exponent_fit(self):
+        ns = [2**i for i in range(5, 15)]
+        costs = [n**0.5 for n in ns]
+        assert abs(fit_exponent(ns, costs) - 0.5) < 0.01
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            fit_growth([1], [1])
+        with pytest.raises(ValueError):
+            fit_growth([1, 2], [1])
+        with pytest.raises(ValueError):
+            fit_exponent([4, 4], [1, 2])
+
+    def test_format_row_mentions_claimed_and_fitted(self):
+        sweep = SweepMeasurement(
+            label="test", ns=[4, 16], costs=[2.0, 4.0], claimed="log n"
+        )
+        row = format_sweep_row(sweep, sweep.fitted())
+        assert "claimed" in row and "fitted" in row
+
+
+class TestLandscape:
+    def test_axis_positions(self):
+        assert axis_position("1") == 0
+        assert axis_position("n") == len(AXIS) - 1
+        assert axis_position("n/log n") == axis_position("n")
+
+    def test_unknown_class(self):
+        with pytest.raises(KeyError):
+            axis_position("ackermann")
+
+    def test_render_contains_markers(self):
+        points = [
+            LandscapePoint("trivial", "1", "1"),
+            LandscapePoint("leaf-coloring", "log n", "log n"),
+        ]
+        art = render_landscape(points, "Figure 1")
+        assert "Figure 1" in art
+        assert "a: trivial" in art
+        assert "b: leaf-coloring" in art
+
+    def test_render_contributions(self):
+        lines = [
+            ContributionLine("LeafColoring", "log n", "n", "log n", "log n")
+        ]
+        text = render_contributions(lines)
+        assert "LeafColoring" in text
+
+
+@given(st.integers(min_value=8, max_value=2**20))
+@settings(max_examples=30, deadline=None)
+def test_growth_classes_positive(n):
+    for f in GROWTH_CLASSES.values():
+        assert f(n) > 0

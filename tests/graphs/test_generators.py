@@ -1,0 +1,225 @@
+"""Tests for the instance generators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import tree_structure as ts
+from repro.graphs.builders import (
+    add_lateral_edges,
+    complete_binary_tree,
+    cycle_graph,
+    path_graph,
+    two_trees_with_bridge,
+)
+from repro.graphs.generators import (
+    balanced_tree_instance,
+    cycle_instance,
+    disjointness_embedding,
+    hard_leaf_coloring_instance,
+    hh_thc_instance,
+    hybrid_thc_instance,
+    hierarchical_thc_instance,
+    leaf_coloring_instance,
+    random_tree_instance,
+    relay_instance,
+)
+from repro.graphs.labelings import BLUE, RED
+
+
+class TestBuilders:
+    def test_complete_tree_shape(self):
+        topo = complete_binary_tree(3)
+        assert topo.graph.num_nodes == 15
+        assert topo.root == 1
+        assert len(topo.leaves) == 8
+        topo.graph.validate()
+
+    def test_heap_ordering(self):
+        topo = complete_binary_tree(3)
+        for d, row in enumerate(topo.levels):
+            assert row == list(range(2**d, 2 ** (d + 1)))
+
+    def test_lateral_edges(self):
+        topo = complete_binary_tree(2, max_degree=5)
+        add_lateral_edges(topo)
+        topo.graph.validate()
+        row = topo.levels[1]
+        assert topo.graph.port_to(row[0], row[1]) == 5
+        assert topo.graph.port_to(row[1], row[0]) == 4
+
+    def test_path_and_cycle(self):
+        p = path_graph(5)
+        assert p.num_edges() == 4
+        p.validate()
+        c = cycle_graph(5)
+        assert c.num_edges() == 5
+        c.validate()
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_two_trees_with_bridge(self):
+        g, left, right = two_trees_with_bridge(2)
+        assert g.num_nodes == 14
+        assert g.port_to(left.root, right.root) == 3
+        g.validate()
+
+
+class TestLeafColoringInstances:
+    def test_fixed_leaf_color(self):
+        inst = leaf_coloring_instance(3, leaf_color=BLUE)
+        for leaf in inst.meta["leaves"]:
+            assert inst.label(leaf).color == BLUE
+
+    def test_hard_instance_unanimous(self):
+        inst = hard_leaf_coloring_instance(4, rng=random.Random(7))
+        chi0 = inst.meta["chi0"]
+        assert chi0 in (RED, BLUE)
+        for leaf in inst.meta["leaves"]:
+            assert inst.label(leaf).color == chi0
+
+    def test_random_tree_reaches_target(self):
+        inst = random_tree_instance(50, rng=random.Random(0))
+        assert 10 <= inst.graph.num_nodes <= 60
+        inst.graph.validate()
+
+    def test_random_tree_with_cycle_valid(self):
+        inst = random_tree_instance(
+            60, rng=random.Random(1), with_cycle=True, cycle_length=5
+        )
+        inst.graph.validate()
+        # ring nodes are internal
+        gt = ts.derive_gt(inst)
+        assert any(s == ts.INTERNAL for s in gt.status.values())
+
+    def test_deterministic_given_seed(self):
+        a = random_tree_instance(40, rng=random.Random(5))
+        b = random_tree_instance(40, rng=random.Random(5))
+        assert sorted(a.graph.nodes()) == sorted(b.graph.nodes())
+        assert all(
+            a.label(v).color == b.label(v).color for v in a.graph.nodes()
+        )
+
+
+class TestBalancedTreeInstances:
+    def test_compatible_instance_validates(self):
+        inst = balanced_tree_instance(3)
+        inst.graph.validate()
+        assert inst.meta["broken"] == []
+
+    def test_broken_instance_lists_victims(self):
+        inst = balanced_tree_instance(
+            3, compatible=False, rng=random.Random(0), break_count=2
+        )
+        assert len(inst.meta["broken"]) == 2
+
+    def test_lateral_labels_present(self):
+        inst = balanced_tree_instance(2)
+        root = inst.meta["root"]
+        assert inst.label(root).left_neighbor is None
+        assert inst.label(root).right_neighbor is None
+        leaves = inst.meta["leaves"]
+        assert inst.label(leaves[1]).left_neighbor is not None
+
+
+class TestDisjointnessEmbedding:
+    def test_rejects_bad_lengths(self):
+        with pytest.raises(ValueError):
+            disjointness_embedding([1, 0, 1], [0, 0, 0])
+        with pytest.raises(ValueError):
+            disjointness_embedding([1], [0, 1])
+
+    def test_disjoint_flag(self):
+        inst = disjointness_embedding([1, 0, 0, 1], [0, 1, 0, 0])
+        assert inst.meta["disjoint"] == 1
+        inst2 = disjointness_embedding([1, 0, 0, 1], [1, 0, 0, 0])
+        assert inst2.meta["disjoint"] == 0
+
+    def test_intersecting_coordinate_breaks_lateral_labels(self):
+        a = [0, 1, 0, 0]
+        b = [0, 1, 0, 0]
+        inst = disjointness_embedding(a, b)
+        leaves = inst.meta["leaves"]
+        u1, w1 = leaves[2], leaves[3]  # coordinate i=1
+        assert inst.label(u1).right_neighbor is None
+        assert inst.label(w1).left_neighbor is None
+        u0, w0 = leaves[0], leaves[1]
+        assert inst.label(u0).right_neighbor is not None
+
+    def test_coordinate_map_covers_all_leaves(self):
+        a = [0] * 8
+        b = [1] * 8
+        inst = disjointness_embedding(a, b)
+        cmap = inst.meta["coordinate_of"]
+        assert sorted(cmap.values()) == sorted(list(range(8)) * 2)
+
+
+class TestTHCInstances:
+    def test_hierarchical_structure(self):
+        inst = hierarchical_thc_instance(3, 3, rng=random.Random(0))
+        inst.graph.validate()
+        assert inst.graph.num_nodes == 3 + 3 * (3 + 3 * 3)
+
+    def test_explicit_levels_flag(self):
+        inst = hierarchical_thc_instance(
+            2, 3, rng=random.Random(0), explicit_levels=True
+        )
+        levels = {inst.label(v).level for v in inst.graph.nodes()}
+        assert levels == {1, 2}
+
+    def test_hybrid_structure(self):
+        inst = hybrid_thc_instance(2, 3, 2, rng=random.Random(0))
+        inst.graph.validate()
+        # 3 backbone nodes at level 2, each hanging a 7-node balanced tree
+        assert inst.graph.num_nodes == 3 + 3 * 7
+        assert len(inst.meta["bt_roots"]) == 3
+
+    def test_hybrid_levels(self):
+        inst = hybrid_thc_instance(3, 2, 1, rng=random.Random(0))
+        levels = sorted({inst.label(v).level for v in inst.graph.nodes()})
+        assert levels == [1, 2, 3]
+
+    def test_hh_two_populations(self):
+        inst = hh_thc_instance(2, 3, 3, 2, 1, rng=random.Random(0))
+        inst.graph.validate()
+        bits = {inst.label(v).bit for v in inst.graph.nodes()}
+        assert bits == {0, 1}
+        n0 = sum(1 for v in inst.graph.nodes() if inst.label(v).bit == 0)
+        assert n0 == inst.meta["part0_nodes"]
+
+
+class TestRelayAndCycleInstances:
+    def test_relay_bits_and_pairing(self):
+        inst = relay_instance(3, rng=random.Random(0))
+        pairing = inst.meta["pairing"]
+        assert len(pairing) == 8
+        for u_leaf, v_leaf in pairing.items():
+            assert inst.label(v_leaf).bit in (0, 1)
+            assert inst.label(u_leaf).bit is None
+
+    def test_cycle_instance_ids_shuffled(self):
+        inst = cycle_instance(16, rng=random.Random(0))
+        inst.graph.validate()
+        ids = sorted(inst.graph.nodes())
+        assert len(ids) == 16
+        assert ids != list(range(1, 17))  # shuffled into a larger range
+        assert max(ids) <= 64
+
+    def test_cycle_instance_unshuffled(self):
+        inst = cycle_instance(10, shuffle_ids=False)
+        assert sorted(inst.graph.nodes()) == list(range(1, 11))
+
+
+@given(st.integers(min_value=2, max_value=16))
+@settings(max_examples=15, deadline=None)
+def test_disjointness_embedding_compatibility_iff_disjoint(n_log):
+    """The labeling is globally compatible iff disj(a, b) = 1 (Prop 4.9)."""
+    n = 1 << (n_log.bit_length() - 1)  # power of two <= n_log
+    rnd = random.Random(n_log)
+    a = [rnd.randint(0, 1) for _ in range(n)]
+    b = [rnd.randint(0, 1) for _ in range(n)]
+    inst = disjointness_embedding(a, b)
+    intersects = any(x * y for x, y in zip(a, b))
+    assert inst.meta["disjoint"] == (0 if intersects else 1)

@@ -1,0 +1,189 @@
+"""Unit and property tests for :mod:`repro.graphs.port_graph`."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.port_graph import PortGraph, PortGraphError
+
+
+def build_triangle() -> PortGraph:
+    g = PortGraph(max_degree=3)
+    for v in (1, 2, 3):
+        g.add_node(v)
+    g.add_edge(1, 1, 2, 1)
+    g.add_edge(2, 2, 3, 1)
+    g.add_edge(3, 2, 1, 2)
+    return g
+
+
+class TestConstruction:
+    def test_add_node_and_ports(self):
+        g = PortGraph(max_degree=3)
+        g.add_node(7, num_ports=2)
+        assert g.has_node(7)
+        assert g.num_ports(7) == 2
+        assert g.degree(7) == 0
+        assert g.dangling_ports(7) == [1, 2]
+
+    def test_duplicate_node_rejected(self):
+        g = PortGraph()
+        g.add_node(1)
+        with pytest.raises(PortGraphError):
+            g.add_node(1)
+
+    def test_max_degree_enforced_on_ports(self):
+        g = PortGraph(max_degree=2)
+        g.add_node(1)
+        with pytest.raises(PortGraphError):
+            g.reserve_port(1, 3)
+
+    def test_invalid_max_degree(self):
+        with pytest.raises(PortGraphError):
+            PortGraph(max_degree=0)
+
+    def test_add_edge_symmetric(self):
+        g = build_triangle()
+        assert g.neighbor_at(1, 1) == 2
+        assert g.neighbor_at(2, 1) == 1
+        assert g.endpoint_port(1, 1) == 1
+        assert g.port_to(3, 1) == 2
+
+    def test_self_loop_rejected(self):
+        g = PortGraph()
+        g.add_node(1)
+        with pytest.raises(PortGraphError):
+            g.add_edge(1, 1, 1, 2)
+
+    def test_parallel_edge_rejected(self):
+        g = PortGraph()
+        g.add_node(1)
+        g.add_node(2)
+        g.add_edge(1, 1, 2, 1)
+        with pytest.raises(PortGraphError):
+            g.add_edge(1, 2, 2, 2)
+
+    def test_port_reuse_rejected(self):
+        g = PortGraph()
+        for v in (1, 2, 3):
+            g.add_node(v)
+        g.add_edge(1, 1, 2, 1)
+        with pytest.raises(PortGraphError):
+            g.add_edge(1, 1, 3, 1)
+
+    def test_unknown_node_raises(self):
+        g = PortGraph()
+        with pytest.raises(PortGraphError):
+            g.degree(42)
+
+
+class TestQueries:
+    def test_edges_enumerated_once(self):
+        g = build_triangle()
+        edges = {(e.u, e.v) for e in g.edges()}
+        assert edges == {(1, 2), (2, 3), (1, 3)}
+        assert g.num_edges() == 3
+
+    def test_neighbors_in_port_order(self):
+        g = build_triangle()
+        assert g.neighbors(1) == [2, 3]
+
+    def test_bfs_distances(self):
+        g = build_triangle()
+        assert g.bfs_distances(1) == {1: 0, 2: 1, 3: 1}
+
+    def test_bfs_truncated(self):
+        g = PortGraph()
+        for v in (1, 2, 3):
+            g.add_node(v)
+        g.add_edge(1, 1, 2, 1)
+        g.add_edge(2, 2, 3, 1)
+        assert g.bfs_distances(1, max_distance=1) == {1: 0, 2: 1}
+
+    def test_ball(self):
+        g = build_triangle()
+        assert g.ball(2, 0) == [2]
+        assert g.ball(2, 1) == [1, 2, 3]
+
+    def test_connected_components(self):
+        g = PortGraph()
+        for v in range(1, 5):
+            g.add_node(v)
+        g.add_edge(1, 1, 2, 1)
+        comps = g.connected_components()
+        assert sorted(map(tuple, comps)) == [(1, 2), (3,), (4,)]
+
+    def test_validate_accepts_good_graph(self):
+        build_triangle().validate()
+
+    def test_copy_is_independent(self):
+        g = build_triangle()
+        h = g.copy()
+        h.add_node(99)
+        assert not g.has_node(99)
+        assert h.has_node(99)
+
+    def test_to_networkx_roundtrip(self):
+        g = build_triangle()
+        nxg = g.to_networkx()
+        assert nxg.number_of_nodes() == 3
+        assert nxg.number_of_edges() == 3
+
+
+@st.composite
+def random_port_graphs(draw):
+    """Random bounded-degree graphs built through the public API."""
+    n = draw(st.integers(min_value=1, max_value=24))
+    max_degree = draw(st.integers(min_value=2, max_value=5))
+    g = PortGraph(max_degree=max_degree)
+    for v in range(1, n + 1):
+        g.add_node(v)
+    attempts = draw(st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=n),
+            st.integers(min_value=1, max_value=n),
+        ),
+        max_size=40,
+    ))
+    for u, v in attempts:
+        if u == v or g.port_to(u, v) is not None:
+            continue
+        if g.num_ports(u) >= max_degree or g.num_ports(v) >= max_degree:
+            continue
+        if g.dangling_ports(u) or g.dangling_ports(v):
+            u_port = (g.dangling_ports(u) or [g.num_ports(u) + 1])[0]
+            v_port = (g.dangling_ports(v) or [g.num_ports(v) + 1])[0]
+        else:
+            u_port = g.num_ports(u) + 1
+            v_port = g.num_ports(v) + 1
+        g.add_edge(u, u_port, v, v_port)
+    return g
+
+
+@given(random_port_graphs())
+@settings(max_examples=60, deadline=None)
+def test_random_graphs_validate(g):
+    g.validate()
+
+
+@given(random_port_graphs())
+@settings(max_examples=60, deadline=None)
+def test_bfs_matches_networkx(g):
+    import networkx as nx
+
+    nxg = g.to_networkx()
+    for source in list(g.nodes())[:3]:
+        ours = g.bfs_distances(source)
+        theirs = nx.single_source_shortest_path_length(nxg, source)
+        assert ours == dict(theirs)
+
+
+@given(random_port_graphs())
+@settings(max_examples=60, deadline=None)
+def test_port_symmetry_property(g):
+    for e in g.edges():
+        assert g.neighbor_at(e.u, e.u_port) == e.v
+        assert g.neighbor_at(e.v, e.v_port) == e.u
+        assert g.endpoint_port(e.u, e.u_port) == e.v_port
+        rev = e.reversed()
+        assert rev.u == e.v and rev.u_port == e.v_port

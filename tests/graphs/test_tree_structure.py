@@ -1,0 +1,252 @@
+"""Tests for consistency classification, G_T, levels and G_k backbones."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import tree_structure as ts
+from repro.graphs.builders import complete_binary_tree
+from repro.graphs.generators import (
+    corrupt_instance,
+    hierarchical_thc_instance,
+    hybrid_thc_instance,
+    leaf_coloring_instance,
+    random_tree_instance,
+    tree_labeling_for,
+)
+from repro.graphs.labelings import Instance
+
+
+def topo_of(instance: Instance) -> ts.InstanceTopology:
+    return ts.InstanceTopology(instance)
+
+
+class TestClassification:
+    def test_complete_tree_statuses(self):
+        inst = leaf_coloring_instance(3)
+        status = ts.classify_all(inst)
+        leaves = set(inst.meta["leaves"])
+        for node, s in status.items():
+            if node in leaves:
+                assert s == ts.LEAF
+            else:
+                assert s == ts.INTERNAL
+
+    def test_single_node_is_inconsistent(self):
+        inst = random_tree_instance(1, rng=random.Random(0), branch_probability=0)
+        status = ts.classify_all(inst)
+        assert set(status.values()) == {ts.INCONSISTENT}
+
+    def test_corruption_creates_inconsistent_nodes(self):
+        inst = leaf_coloring_instance(4)
+        bad = corrupt_instance(inst, fraction=0.3, rng=random.Random(1))
+        status = ts.classify_all(bad)
+        assert ts.INCONSISTENT in status.values()
+
+    def test_internal_requires_reciprocity(self):
+        inst = leaf_coloring_instance(2)
+        root = inst.meta["root"]
+        t = topo_of(inst)
+        lc = ts.left_child_node(t, root)
+        inst.labeling[lc].parent = None  # break reciprocity
+        assert not ts.is_internal(topo_of(inst), root)
+
+    def test_internal_requires_distinct_child_ports(self):
+        inst = leaf_coloring_instance(2)
+        root = inst.meta["root"]
+        inst.labeling[root].right_child = inst.labeling[root].left_child
+        assert not ts.is_internal(topo_of(inst), root)
+
+    def test_parent_port_must_differ_from_children(self):
+        inst = leaf_coloring_instance(2)
+        root = inst.meta["root"]
+        inst.labeling[root].parent = inst.labeling[root].left_child
+        assert not ts.is_internal(topo_of(inst), root)
+
+    def test_leaf_needs_internal_parent(self):
+        inst = leaf_coloring_instance(2)
+        t = topo_of(inst)
+        leaf = inst.meta["leaves"][0]
+        assert ts.is_leaf(t, leaf)
+        parent = ts.parent_node(t, leaf)
+        inst.labeling[parent].left_child = None
+        t2 = topo_of(inst)
+        assert not ts.is_leaf(t2, leaf)
+
+
+class TestGT:
+    def test_observation_37_degrees_on_clean_instances(self):
+        """Observation 3.7: out-degree 0 or 2, in-degree 0 or 1."""
+        for seed in range(5):
+            inst = random_tree_instance(60, rng=random.Random(seed))
+            gt = ts.derive_gt(inst)
+            for v in gt.nodes():
+                assert gt.out_degree(v) in (0, 2)
+                assert gt.in_degree(v) in (0, 1)
+
+    def test_gt_children_match_lc_rc(self):
+        inst = leaf_coloring_instance(3)
+        gt = ts.derive_gt(inst)
+        t = topo_of(inst)
+        for v in gt.nodes():
+            if gt.status[v] == ts.INTERNAL:
+                expected = {ts.left_child_node(t, v), ts.right_child_node(t, v)}
+                assert set(gt.children[v]) == expected
+
+    def test_cycle_instance_has_one_gt_cycle(self):
+        inst = random_tree_instance(
+            80, rng=random.Random(3), with_cycle=True, cycle_length=6
+        )
+        gt = ts.derive_gt(inst)
+        # Follow parent pointers upward from any node: must terminate or loop.
+        loops = set()
+        for start in gt.nodes():
+            seen = {}
+            v = start
+            steps = 0
+            while v is not None and v not in seen:
+                seen[v] = steps
+                v = gt.parent.get(v)
+                steps += 1
+            if v is not None:
+                loops.add(v)
+        assert loops, "expected a reachable cycle"
+
+    def test_leaf_path_lemma_3_8(self):
+        """Lemma 3.8: internal nodes reach a leaf within log n child-hops."""
+        inst = leaf_coloring_instance(6)
+        n = inst.graph.num_nodes
+        limit = int(math.log2(n)) + 1
+        t = topo_of(inst)
+        gt = ts.derive_gt(inst)
+        for v in gt.nodes():
+            if gt.status[v] != ts.INTERNAL:
+                continue
+            path = ts.descendant_leaf_path(t, v, limit)
+            assert path is not None
+            assert path[0] == v
+            assert ts.is_leaf(t, path[-1])
+            assert len(path) - 1 <= limit
+
+    def test_leaf_path_prefers_leftmost(self):
+        inst = leaf_coloring_instance(2)
+        root = inst.meta["root"]
+        t = topo_of(inst)
+        path = ts.descendant_leaf_path(t, root, 5)
+        # In a complete tree the left-most deepest path is all left children.
+        assert path is not None
+        for parent, child in zip(path, path[1:]):
+            assert ts.left_child_node(t, parent) == child
+
+
+class TestLevels:
+    def test_levels_in_hierarchical_instance(self):
+        k = 3
+        inst = hierarchical_thc_instance(k, 4, rng=random.Random(0))
+        t = topo_of(inst)
+        root = inst.meta["root"]
+        assert ts.level_of(t, root, cap=k) == k
+
+    def test_level_capped(self):
+        # A long RC chain exceeds any cap.
+        inst = hierarchical_thc_instance(4, 2, rng=random.Random(0))
+        t = topo_of(inst)
+        root = inst.meta["root"]
+        assert ts.level_of(t, root, cap=2) == 3  # reported as cap+1
+
+    def test_explicit_level_wins(self):
+        inst = hybrid_thc_instance(2, 3, 2, rng=random.Random(0))
+        t = topo_of(inst)
+        for node in inst.graph.nodes():
+            lvl = inst.label(node).level
+            assert ts.level_of(t, node, cap=5) == lvl
+
+    def test_level_one_iff_no_rc(self):
+        inst = hierarchical_thc_instance(2, 4, rng=random.Random(1))
+        t = topo_of(inst)
+        for node in inst.graph.nodes():
+            lvl = ts.level_of(t, node, cap=2)
+            if lvl == 1:
+                assert ts.right_child_node(t, node) is None
+
+
+class TestBackbones:
+    def test_backbones_partition_balanced_instance(self):
+        k, m = 3, 4
+        inst = hierarchical_thc_instance(k, m, rng=random.Random(2))
+        backbones = ts.all_backbones(inst, cap=k)
+        sizes = [len(b) for b in backbones]
+        assert all(s == m for s in sizes)
+        total = sum(sizes)
+        assert total == inst.graph.num_nodes
+
+    def test_backbone_levels(self):
+        k, m = 2, 5
+        inst = hierarchical_thc_instance(k, m, rng=random.Random(2))
+        backbones = ts.all_backbones(inst, cap=k)
+        level_counts = {}
+        for b in backbones:
+            level_counts[b.level] = level_counts.get(b.level, 0) + 1
+        # one level-2 backbone, m level-1 backbones
+        assert level_counts == {2: 1, 1: m}
+
+    def test_backbone_root_and_leaf(self):
+        inst = hierarchical_thc_instance(2, 4, rng=random.Random(0))
+        t = topo_of(inst)
+        for b in ts.all_backbones(inst, cap=2):
+            assert not b.is_cycle
+            assert ts.is_level_leaf(t, b.leaf)
+            assert ts.is_level_root(t, b.root)
+
+    def test_backbone_limit_truncates(self):
+        inst = hierarchical_thc_instance(2, 10, rng=random.Random(0))
+        t = topo_of(inst)
+        root = inst.meta["root"]
+        segment = ts.backbone_of(t, root, cap=2, limit=3)
+        assert len(segment) <= 7
+
+    def test_hung_subtree_root(self):
+        k, m = 2, 3
+        inst = hierarchical_thc_instance(k, m, rng=random.Random(0))
+        t = topo_of(inst)
+        root = inst.meta["root"]
+        child = ts.hung_subtree_root(t, root, cap=k)
+        assert child is not None
+        assert ts.level_of(t, child, cap=k) == 1
+
+    def test_hierarchy_subtree_size(self):
+        k, m = 2, 4
+        inst = hierarchical_thc_instance(k, m, rng=random.Random(0))
+        root = inst.meta["root"]
+        size = ts.hierarchy_subtree_size(inst, root, cap=k)
+        assert size == inst.graph.num_nodes  # m + m*m
+
+
+@given(st.integers(min_value=1, max_value=4), st.integers(min_value=1, max_value=5))
+@settings(max_examples=20, deadline=None)
+def test_hierarchical_size_formula(k, m):
+    """n = m + m*n_{k-1}: the balanced construction has Θ(m^k) nodes."""
+    inst = hierarchical_thc_instance(k, m, rng=random.Random(0))
+    expected = 0
+    for level in range(1, k + 1):
+        expected = m * (1 + expected)
+    assert inst.graph.num_nodes == expected
+
+
+@given(st.integers(min_value=0, max_value=6))
+@settings(max_examples=10, deadline=None)
+def test_complete_tree_classification_property(depth):
+    inst = leaf_coloring_instance(depth)
+    status = ts.classify_all(inst)
+    n = inst.graph.num_nodes
+    internal = sum(1 for s in status.values() if s == ts.INTERNAL)
+    leaves = sum(1 for s in status.values() if s == ts.LEAF)
+    if depth == 0:
+        assert internal == 0
+    else:
+        assert internal == 2**depth - 1
+        assert leaves == 2**depth
+        assert internal + leaves == n

@@ -1,0 +1,159 @@
+"""Cross-module integration tests: the paper's global invariants.
+
+These exercise full pipelines (generator → solver → checker → costs)
+and assert relationships the paper proves *between* results: the Lemma
+2.5 sandwich on every execution, checker/locality agreement everywhere,
+the volume-vs-distance separations of Theorem 3.6, and reproducibility
+of randomized runs.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro import (
+    BalancedTree,
+    HierarchicalTHC,
+    HybridTHC,
+    LeafColoring,
+    run_algorithm,
+    solve_and_check,
+)
+from repro.algorithms.balanced_tree_algs import (
+    BalancedTreeDistanceSolver,
+    BalancedTreeFullGather,
+)
+from repro.algorithms.hierarchical_algs import RecursiveHTHC, WaypointHTHC
+from repro.algorithms.hybrid_algs import HybridDistanceSolver
+from repro.algorithms.leaf_coloring_algs import (
+    LeafColoringDistanceSolver,
+    LeafColoringFullGather,
+    RWtoLeaf,
+)
+from repro.graphs.generators import (
+    balanced_tree_instance,
+    hierarchical_thc_instance,
+    hybrid_thc_instance,
+    leaf_coloring_instance,
+    random_tree_instance,
+)
+from repro.lcl.verifier import validate_locally
+
+ALL_PIPELINES = [
+    # (problem, instance factory, algorithm factory, delta)
+    (
+        LeafColoring(),
+        lambda seed: leaf_coloring_instance(5, rng=random.Random(seed)),
+        LeafColoringDistanceSolver,
+        3,
+    ),
+    (
+        LeafColoring(),
+        lambda seed: random_tree_instance(60, rng=random.Random(seed)),
+        RWtoLeaf,
+        3,
+    ),
+    (
+        BalancedTree(),
+        lambda seed: balanced_tree_instance(
+            4, compatible=seed % 2 == 0, rng=random.Random(seed)
+        ),
+        BalancedTreeDistanceSolver,
+        5,
+    ),
+    (
+        HierarchicalTHC(2),
+        lambda seed: hierarchical_thc_instance(2, 4, rng=random.Random(seed)),
+        lambda: RecursiveHTHC(2),
+        5,
+    ),
+    (
+        HybridTHC(2),
+        lambda seed: hybrid_thc_instance(2, 3, 2, rng=random.Random(seed)),
+        lambda: HybridDistanceSolver(2),
+        5,
+    ),
+]
+
+
+@pytest.mark.parametrize("case", range(len(ALL_PIPELINES)))
+def test_pipeline_valid_and_sandwiched(case):
+    """Every pipeline solves its problem and obeys Lemma 2.5 per node."""
+    problem, make_instance, make_algorithm, delta = ALL_PIPELINES[case]
+    for seed in range(3):
+        instance = make_instance(seed)
+        report = solve_and_check(
+            problem, instance, make_algorithm(), seed=seed
+        )
+        assert report.valid, (problem.name, seed, report.violations[:3])
+        for node, profile in report.run.profiles.items():
+            assert profile.distance <= profile.volume, (problem.name, node)
+            assert profile.volume <= delta ** max(1, profile.distance) + 1
+
+
+@pytest.mark.parametrize("case", range(len(ALL_PIPELINES)))
+def test_checker_locality_agreement(case):
+    """Definition 2.6 in action: local and global validation agree."""
+    problem, make_instance, make_algorithm, _ = ALL_PIPELINES[case]
+    instance = make_instance(1)
+    report = solve_and_check(problem, instance, make_algorithm(), seed=1)
+    local = validate_locally(problem, instance, report.run.outputs)
+    glob = problem.validate(instance, report.run.outputs)
+    assert {(v.node, v.rule) for v in local} == {
+        (v.node, v.rule) for v in glob
+    }
+
+
+class TestTheorem36Separation:
+    """The paper's headline phenomenon, end to end on one instance."""
+
+    def test_randomness_beats_determinism_for_volume(self):
+        inst = leaf_coloring_instance(9, rng=random.Random(2))  # n = 1023
+        n = inst.graph.num_nodes
+        root = inst.meta["root"]
+        randomized = run_algorithm(inst, RWtoLeaf(), seed=4, nodes=[root])
+        deterministic = run_algorithm(
+            inst, LeafColoringFullGather(), nodes=[root]
+        )
+        assert deterministic.max_volume == n
+        assert randomized.max_volume <= 6 * math.log2(n)
+        # exponential separation on this instance:
+        assert randomized.max_volume**2 < deterministic.max_volume
+
+    def test_distance_identical_for_both(self):
+        inst = leaf_coloring_instance(7, rng=random.Random(3))
+        result = run_algorithm(inst, LeafColoringDistanceSolver())
+        assert result.max_distance <= math.log2(inst.graph.num_nodes) + 2
+
+
+class TestReproducibility:
+    def test_randomized_runs_reproduce(self):
+        inst = hierarchical_thc_instance(2, 5, rng=random.Random(0))
+        a = run_algorithm(inst, WaypointHTHC(2), seed=11)
+        b = run_algorithm(inst, WaypointHTHC(2), seed=11)
+        assert a.outputs == b.outputs
+        assert {v: p.volume for v, p in a.profiles.items()} == {
+            v: p.volume for v, p in b.profiles.items()
+        }
+
+    def test_generators_reproduce(self):
+        a = hybrid_thc_instance(2, 3, 2, rng=random.Random(5))
+        b = hybrid_thc_instance(2, 3, 2, rng=random.Random(5))
+        assert sorted(a.graph.nodes()) == sorted(b.graph.nodes())
+        assert all(
+            a.label(v).color == b.label(v).color for v in a.graph.nodes()
+        )
+
+
+class TestHighProbabilityGuarantee:
+    def test_rw_to_leaf_success_rate(self):
+        """Definition 2.4: randomized solvers succeed with prob 1-O(1/n);
+        across 20 seeded runs on n=127 we expect no failures at all."""
+        problem = LeafColoring()
+        inst = leaf_coloring_instance(6, rng=random.Random(9))
+        failures = sum(
+            0 if solve_and_check(problem, inst, RWtoLeaf(), seed=s).valid else 1
+            for s in range(20)
+        )
+        assert failures == 0

@@ -1,0 +1,82 @@
+"""Tests for the disjointness simulation (Prop 4.9) and Yao experiment."""
+
+import random
+
+import pytest
+
+from repro.algorithms.balanced_tree_algs import BalancedTreeFullGather
+from repro.lower_bounds.disjointness import (
+    communication_cost_of_query_plan,
+    simulate_two_party,
+)
+from repro.lower_bounds.yao_experiments import (
+    HorizonLimitedLeafColoring,
+    horizon_sweep,
+)
+
+
+class TestTwoPartySimulation:
+    def test_full_gather_computes_disjointness(self):
+        rnd = random.Random(0)
+        for _ in range(10):
+            n = 8
+            a = [rnd.randint(0, 1) for _ in range(n)]
+            b = [rnd.randint(0, 1) for _ in range(n)]
+            run = simulate_two_party(BalancedTreeFullGather(), a, b)
+            assert run.correct
+
+    def test_bits_linear_for_correct_solver(self):
+        """A correct solver reads every coordinate: 2N bits exchanged."""
+        n = 16
+        a = [0] * n
+        b = [0] * n
+        run = simulate_two_party(BalancedTreeFullGather(), a, b)
+        assert run.bits_exchanged == 2 * n
+
+    def test_theorem_2_9_accounting(self):
+        """queries ≥ bits/B with B = 2 (each query reveals ≤ 1 leaf)."""
+        n = 8
+        rnd = random.Random(3)
+        a = [rnd.randint(0, 1) for _ in range(n)]
+        b = [rnd.randint(0, 1) for _ in range(n)]
+        run = simulate_two_party(BalancedTreeFullGather(), a, b)
+        assert run.queries >= communication_cost_of_query_plan(run)
+
+    def test_bits_scale_with_n(self):
+        bits = []
+        for log_n in (3, 5):
+            n = 2**log_n
+            run = simulate_two_party(
+                BalancedTreeFullGather(), [0] * n, [1] * n
+            )
+            bits.append(run.bits_exchanged)
+        assert bits[1] == 4 * bits[0]  # linear in N
+
+    def test_promise_instances(self):
+        """Theorem 2.10 holds under the promise Σa_i b_i ∈ {0, 1}."""
+        n = 8
+        a = [1] + [0] * (n - 1)
+        b = [1] + [0] * (n - 1)  # intersection exactly 1
+        run = simulate_two_party(BalancedTreeFullGather(), a, b)
+        assert run.correct
+        assert run.g_value == 0
+
+
+class TestHorizonSweep:
+    def test_limited_horizon_fails_half_the_time(self):
+        """Prop 3.12: below the depth, success ≈ 1/2."""
+        points = horizon_sweep(depth=7, horizons=[2], trials=60, base_seed=1)
+        p = points[0].success_probability
+        assert 0.3 <= p <= 0.7
+
+    def test_full_horizon_always_succeeds(self):
+        points = horizon_sweep(depth=5, horizons=[5], trials=20, base_seed=2)
+        assert points[0].success_probability == 1.0
+
+    def test_transition_at_depth(self):
+        points = horizon_sweep(
+            depth=6, horizons=[1, 6], trials=40, base_seed=3
+        )
+        shallow, deep = points
+        assert shallow.success_probability < 0.8
+        assert deep.success_probability == 1.0

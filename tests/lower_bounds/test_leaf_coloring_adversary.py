@@ -1,0 +1,91 @@
+"""Tests for the Proposition 3.13 adversary."""
+
+import pytest
+
+from repro.algorithms.leaf_coloring_algs import (
+    LeafColoringDistanceSolver,
+    LeafColoringFullGather,
+    RWtoLeaf,
+)
+from repro.lower_bounds.leaf_coloring_adversary import (
+    AdversarialTreeOracle,
+    duel_leaf_coloring,
+)
+from repro.model.runner import run_algorithm
+from repro.problems.leaf_coloring import LeafColoring
+
+
+class TestOracle:
+    def test_root_commits_two_ports(self):
+        oracle = AdversarialTreeOracle(n=30)
+        info = oracle.node_info(oracle.ROOT)
+        assert info.ports == (1, 2)
+        assert info.label.left_child == 1
+
+    def test_lazy_materialization(self):
+        oracle = AdversarialTreeOracle(n=30)
+        child = oracle.resolve(oracle.ROOT, 1)
+        assert child is not None
+        assert oracle.resolve(oracle.ROOT, 1) == child  # stable
+        info = oracle.node_info(child)
+        assert info.ports == (1, 2, 3)
+        assert info.label.color == "R"
+
+    def test_finalize_appends_opposite_leaves(self):
+        oracle = AdversarialTreeOracle(n=30)
+        oracle.resolve(oracle.ROOT, 1)
+        instance = oracle.finalize("R")
+        assert instance.meta["chi1"] == "B"
+        instance.graph.validate()
+        # every committed port is now connected
+        for node in instance.graph.nodes():
+            assert not instance.graph.dangling_ports(node)
+
+
+class TestDuel:
+    def test_defeats_distance_solver_with_small_budget(self):
+        """Prop 3.13: any deterministic algorithm kept under n/3 queries
+        either exceeds the budget or outputs an indefensible color."""
+        outcome = duel_leaf_coloring(LeafColoringDistanceSolver(), n=200)
+        assert outcome.defeated or outcome.exceeded_budget
+
+    def test_defeats_full_gather(self):
+        outcome = duel_leaf_coloring(LeafColoringFullGather(), n=120)
+        assert outcome.defeated or outcome.exceeded_budget
+
+    def test_rejects_randomized_algorithms(self):
+        with pytest.raises(ValueError):
+            duel_leaf_coloring(RWtoLeaf(), n=50)
+
+    def test_defeat_is_genuine(self):
+        """When defeated, re-running the algorithm on the *finished*
+        instance from every node yields an invalid global output — the
+        adversary's answers were consistent with the final graph."""
+        from repro.lower_bounds.yao_experiments import (
+            HorizonLimitedLeafColoring,
+        )
+
+        algorithm = HorizonLimitedLeafColoring(horizon=3)
+        outcome = duel_leaf_coloring(algorithm, n=400)
+        assert outcome.defeated
+        inst = outcome.instance
+        result = run_algorithm(inst, HorizonLimitedLeafColoring(horizon=3))
+        # The interactive run is reproduced on the finished instance...
+        assert result.outputs[inst.meta["root"]] == outcome.root_output
+        # ...and the global output it belongs to is invalid.
+        assert LeafColoring().validate(inst, result.outputs)
+
+    def test_unbudgeted_algorithm_escapes(self):
+        """With an unconstrained budget the solver sees an appended leaf
+        region only after finalize — the duel grants it enough queries to
+        find real leaves... but the adversary never materializes any leaf,
+        so a full-gather just burns its budget: it must exceed n/3."""
+        outcome = duel_leaf_coloring(
+            LeafColoringFullGather(), n=60, query_budget=19
+        )
+        assert outcome.exceeded_budget or outcome.defeated
+
+    def test_query_accounting(self):
+        outcome = duel_leaf_coloring(LeafColoringDistanceSolver(), n=300)
+        # the budget (n/3 − 1 = 99) stops the 100th query
+        assert outcome.queries_used <= 100

@@ -1,0 +1,113 @@
+"""Tests for the CONGEST simulator's accounting and guardrails."""
+
+import pytest
+
+from repro.graphs.generators import cycle_instance
+from repro.model.congest import (
+    CongestAlgorithm,
+    CongestError,
+    Message,
+    run_congest,
+)
+from repro.model.oracle import NodeInfo
+
+
+class EchoOnce(CongestAlgorithm):
+    """Round 1: everyone sends its ID; round 2: output the received IDs."""
+
+    def init_state(self, info: NodeInfo, n: int) -> dict:
+        return {"info": info, "seen": {}}
+
+    def step(self, state, round_index, inbox):
+        if round_index == 1:
+            msg = Message(payload=state["info"].node_id, bits=16)
+            return {p: msg for p in state["info"].ports}, None
+        for port, msg in inbox.items():
+            state["seen"][port] = msg.payload
+        return {}, tuple(sorted(state["seen"].values()))
+
+
+class Oversender(CongestAlgorithm):
+    def init_state(self, info, n):
+        return {"info": info}
+
+    def step(self, state, round_index, inbox):
+        return {state["info"].ports[0]: Message(payload=0, bits=10**6)}, None
+
+
+class TestCongest:
+    def test_message_requires_positive_bits(self):
+        with pytest.raises(CongestError):
+            Message(payload="x", bits=0)
+
+    def test_echo_round_trip(self):
+        inst = cycle_instance(6, shuffle_ids=False)
+        result = run_congest(inst, EchoOnce(), bandwidth=16, max_rounds=5)
+        assert result.all_terminated
+        assert result.rounds == 2
+        for node, output in result.outputs.items():
+            assert set(output) == set(inst.graph.neighbors(node))
+
+    def test_bandwidth_enforced(self):
+        inst = cycle_instance(4, shuffle_ids=False)
+        with pytest.raises(CongestError):
+            run_congest(inst, Oversender(), bandwidth=8, max_rounds=3)
+
+    def test_bit_accounting(self):
+        inst = cycle_instance(5, shuffle_ids=False)
+        result = run_congest(inst, EchoOnce(), bandwidth=16, max_rounds=5)
+        # 5 nodes x 2 ports x 16 bits in round 1
+        assert result.total_bits == 5 * 2 * 16
+        assert result.max_bits_on_edge == 16
+
+    def test_round_cap(self):
+        class Chatter(EchoOnce):
+            def step(self, state, round_index, inbox):
+                msg = Message(payload=0, bits=1)
+                return {p: msg for p in state["info"].ports}, None
+
+        inst = cycle_instance(4, shuffle_ids=False)
+        result = run_congest(inst, Chatter(), bandwidth=8, max_rounds=7)
+        assert result.rounds == 7
+        assert not result.all_terminated
+
+    def test_bad_bandwidth(self):
+        inst = cycle_instance(4, shuffle_ids=False)
+        with pytest.raises(CongestError):
+            run_congest(inst, EchoOnce(), bandwidth=0, max_rounds=2)
+
+    def test_done_predicate_stops_early(self):
+        class Forever(EchoOnce):
+            def step(self, state, round_index, inbox):
+                state["rounds"] = round_index
+                return {}, None
+
+        inst = cycle_instance(4, shuffle_ids=False)
+        result = run_congest(
+            inst,
+            Forever(),
+            bandwidth=8,
+            max_rounds=50,
+            done_predicate=lambda outs: True,
+        )
+        assert result.rounds <= 1
+
+
+class TestVerifierHelpers:
+    def test_outputs_within_alphabet(self):
+        from repro.lcl.verifier import outputs_within_alphabet
+        from repro.problems import LeafColoring
+
+        problem = LeafColoring()
+        good = {1: "R", 2: "B"}
+        bad = {1: "R", 2: "purple"}
+        assert outputs_within_alphabet(problem, good) == []
+        assert outputs_within_alphabet(problem, bad) == [2]
+
+    def test_callable_alphabet(self):
+        from repro.lcl.verifier import outputs_within_alphabet
+        from repro.problems import BalancedTree
+
+        problem = BalancedTree()
+        assert outputs_within_alphabet(problem, {1: ("B", 1)}) == []
+        assert outputs_within_alphabet(problem, {1: "nope"}) == [1]

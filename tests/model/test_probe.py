@@ -1,0 +1,231 @@
+"""Tests for the probe engine: accounting, constraints, budgets."""
+
+import pytest
+
+from repro.graphs.generators import leaf_coloring_instance
+from repro.model.oracle import StaticOracle
+from repro.model.probe import (
+    BudgetExceeded,
+    CostProfile,
+    ProbeAlgorithm,
+    ProbeError,
+    ProbeView,
+    execute_at,
+)
+from repro.model.randomness import (
+    RandomnessContext,
+    RandomnessError,
+    RandomnessModel,
+    TapeStore,
+)
+
+
+def make_view(instance, start, model=RandomnessModel.DETERMINISTIC, **kw):
+    oracle = StaticOracle(instance)
+    store = TapeStore(0) if model is not RandomnessModel.DETERMINISTIC else None
+    view = ProbeView(
+        oracle,
+        start,
+        RandomnessContext(store, model, start, lambda nid: view.is_visited(nid)),
+        **kw,
+    )
+    return view
+
+
+@pytest.fixture
+def tree():
+    return leaf_coloring_instance(3)
+
+
+class TestVisitedSetSemantics:
+    def test_start_counts_toward_volume(self, tree):
+        view = make_view(tree, tree.meta["root"])
+        assert view.volume == 1
+        assert view.distance_cost() == 0
+
+    def test_query_reveals_id_degree_label(self, tree):
+        root = tree.meta["root"]
+        view = make_view(tree, root)
+        info = view.query(root, 1)  # root's left child
+        assert info is not None
+        assert info.node_id == 2
+        assert info.degree == 3
+        assert info.label.color is not None
+
+    def test_cannot_query_unvisited(self, tree):
+        view = make_view(tree, tree.meta["root"])
+        with pytest.raises(ProbeError):
+            view.query(5, 1)
+
+    def test_dangling_port_returns_none_but_counts(self, tree):
+        leaf = tree.meta["leaves"][0]
+        view = make_view(tree, leaf)
+        assert view.query(leaf, 3) is None
+        assert view.queries == 1
+        assert view.volume == 1
+
+    def test_requery_does_not_grow_volume(self, tree):
+        root = tree.meta["root"]
+        view = make_view(tree, root)
+        view.query(root, 1)
+        view.query(root, 1)
+        assert view.volume == 2
+        assert view.queries == 2
+
+    def test_info_requires_visit(self, tree):
+        view = make_view(tree, tree.meta["root"])
+        with pytest.raises(ProbeError):
+            view.info(99)
+
+
+class TestCosts:
+    def test_distance_is_explored_bfs(self, tree):
+        root = tree.meta["root"]
+        view = make_view(tree, root)
+        child = view.query(root, 1).node_id
+        grandchild = view.query(child, 2).node_id
+        assert view.distance_cost() == 2
+        view.query(grandchild, 1)  # back toward child: no growth
+        assert view.distance_cost() == 2
+
+    def test_volume_bounds_distance(self, tree):
+        """First inequality of Lemma 2.5 at the execution level."""
+        root = tree.meta["root"]
+        view = make_view(tree, root)
+        node = root
+        for _ in range(3):
+            info = view.query(node, 1 if node == root else 2)
+            node = info.node_id
+        assert view.distance_cost() <= view.volume
+
+    def test_cost_profile_fields(self, tree):
+        view = make_view(tree, tree.meta["root"])
+        view.query(tree.meta["root"], 1)
+        profile = view.cost_profile()
+        assert profile == CostProfile(
+            volume=2, distance=1, queries=1, random_bits=0, truncated=False
+        )
+
+
+class TestBudgets:
+    def test_volume_budget(self, tree):
+        root = tree.meta["root"]
+        view = make_view(tree, root, max_volume=2)
+        view.query(root, 1)
+        with pytest.raises(BudgetExceeded):
+            view.query(root, 2)
+
+    def test_query_budget(self, tree):
+        root = tree.meta["root"]
+        view = make_view(tree, root, max_queries=1)
+        view.query(root, 1)
+        with pytest.raises(BudgetExceeded):
+            view.query(root, 1)
+
+    def test_execute_at_truncates_to_fallback(self, tree):
+        class Gobble(ProbeAlgorithm):
+            name = "gobble"
+
+            def run(self, view):
+                frontier = [view.start]
+                for node in frontier:
+                    for port in view.info(node).ports:
+                        nxt = view.query(node, port)
+                        if nxt is not None and nxt.node_id not in frontier:
+                            frontier.append(nxt.node_id)
+                return "done"
+
+            def fallback(self, view):
+                return "truncated"
+
+        oracle = StaticOracle(tree)
+        output, profile = execute_at(
+            oracle, Gobble(), tree.meta["root"], max_volume=4
+        )
+        assert output == "truncated"
+        assert profile.truncated
+        assert profile.volume <= 4
+
+
+class TestRandomnessDisciplines:
+    def test_deterministic_forbids_randomness(self, tree):
+        view = make_view(tree, tree.meta["root"])
+        with pytest.raises(RandomnessError):
+            view.random_bit(tree.meta["root"], 0)
+
+    def test_private_requires_visit(self, tree):
+        root = tree.meta["root"]
+        view = make_view(tree, root, model=RandomnessModel.PRIVATE)
+        assert view.random_bit(root, 0) in (0, 1)
+        with pytest.raises(RandomnessError):
+            view.random_bit(12345, 0)
+        child = view.query(root, 1).node_id
+        assert view.random_bit(child, 0) in (0, 1)
+
+    def test_secret_only_own_tape(self, tree):
+        root = tree.meta["root"]
+        view = make_view(tree, root, model=RandomnessModel.SECRET)
+        assert view.random_bit(root, 0) in (0, 1)
+        child = view.query(root, 1).node_id
+        with pytest.raises(RandomnessError):
+            view.random_bit(child, 0)
+
+    def test_public_shared_across_nodes(self, tree):
+        root = tree.meta["root"]
+        oracle = StaticOracle(tree)
+        store = TapeStore(3)
+        bits = []
+        for start in (root, root + 1):
+            view = ProbeView(
+                oracle,
+                start,
+                RandomnessContext(
+                    store,
+                    RandomnessModel.PUBLIC,
+                    start,
+                    lambda nid: True,
+                ),
+            )
+            bits.append([view.random_bit(start, i) for i in range(16)])
+        assert bits[0] == bits[1]
+
+    def test_private_tapes_agree_across_executions(self, tree):
+        """Different executions reading r_w see the same bits (Prop 3.10)."""
+        root = tree.meta["root"]
+        oracle = StaticOracle(tree)
+        store = TapeStore(7)
+        reads = []
+        for start in (root, 2):
+            view = ProbeView(
+                oracle,
+                start,
+                RandomnessContext(
+                    store,
+                    RandomnessModel.PRIVATE,
+                    start,
+                    lambda nid: view.is_visited(nid),  # noqa: B023
+                ),
+            )
+            if start == root:
+                target = view.query(root, 1).node_id
+            else:
+                target = start
+            reads.append([view.random_bit(target, i) for i in range(8)])
+        assert reads[0] == reads[1]
+
+    def test_bit_reads_are_counted(self, tree):
+        root = tree.meta["root"]
+        view = make_view(tree, root, model=RandomnessModel.PRIVATE)
+        view.random_bit(root, 0)
+        view.random_bit(root, 1)
+        assert view.cost_profile().random_bits == 2
+
+    def test_same_seed_same_tape(self):
+        a = TapeStore(5).tape_for(9)
+        b = TapeStore(5).tape_for(9)
+        assert [a.bit(i) for i in range(32)] == [b.bit(i) for i in range(32)]
+
+    def test_different_seeds_differ(self):
+        a = TapeStore(5).tape_for(9)
+        b = TapeStore(6).tape_for(9)
+        assert [a.bit(i) for i in range(64)] != [b.bit(i) for i in range(64)]

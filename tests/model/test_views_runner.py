@@ -1,0 +1,148 @@
+"""Tests for ball gathering, the probe topology adapter, and the runner."""
+
+import pytest
+
+from repro.graphs import tree_structure as ts
+from repro.graphs.generators import (
+    cycle_instance,
+    hierarchical_thc_instance,
+    leaf_coloring_instance,
+)
+from repro.lcl.base import LCLProblem, Violation
+from repro.model.oracle import StaticOracle
+from repro.model.probe import ProbeAlgorithm, ProbeView
+from repro.model.randomness import RandomnessContext, RandomnessModel
+from repro.model.runner import run_algorithm, solve_and_check
+from repro.model.views import ProbeTopology, gather_ball
+
+
+def det_view(instance, start):
+    oracle = StaticOracle(instance)
+    return ProbeView(
+        oracle,
+        start,
+        RandomnessContext(
+            None, RandomnessModel.DETERMINISTIC, start, lambda nid: True
+        ),
+    )
+
+
+class TestGatherBall:
+    def test_radius_zero(self):
+        inst = leaf_coloring_instance(3)
+        view = det_view(inst, inst.meta["root"])
+        ball = gather_ball(view, 0)
+        assert ball.nodes() == [inst.meta["root"]]
+
+    def test_ball_matches_graph_ball(self):
+        inst = leaf_coloring_instance(4)
+        root = inst.meta["root"]
+        for radius in (1, 2, 3):
+            view = det_view(inst, root)
+            ball = gather_ball(view, radius)
+            assert ball.nodes() == inst.graph.ball(root, radius)
+            assert view.distance_cost() == radius
+
+    def test_ball_distances_correct(self):
+        inst = leaf_coloring_instance(3)
+        root = inst.meta["root"]
+        view = det_view(inst, root)
+        ball = gather_ball(view, 2)
+        truth = inst.graph.bfs_distances(root, max_distance=2)
+        assert ball.distance == truth
+
+    def test_ball_volume_cost(self):
+        """Lemma 2.5: a distance-r gather costs at most Δ^r + ... volume."""
+        inst = leaf_coloring_instance(5)
+        root = inst.meta["root"]
+        view = det_view(inst, root)
+        gather_ball(view, 3)
+        assert view.volume == len(inst.graph.ball(root, 3))
+
+    def test_ball_stops_at_graph_end(self):
+        inst = leaf_coloring_instance(2)
+        view = det_view(inst, inst.meta["root"])
+        ball = gather_ball(view, 50)
+        assert len(ball.nodes()) == inst.graph.num_nodes
+
+
+class TestProbeTopology:
+    def test_predicates_work_over_probes(self):
+        inst = leaf_coloring_instance(3)
+        root = inst.meta["root"]
+        view = det_view(inst, root)
+        topo = ProbeTopology(view)
+        assert ts.is_internal(topo, root)
+        leaf_view = det_view(inst, inst.meta["leaves"][0])
+        leaf_topo = ProbeTopology(leaf_view)
+        assert ts.is_leaf(leaf_topo, inst.meta["leaves"][0])
+
+    def test_memoized_resolution_saves_queries(self):
+        inst = leaf_coloring_instance(3)
+        root = inst.meta["root"]
+        view = det_view(inst, root)
+        topo = ProbeTopology(view)
+        ts.is_internal(topo, root)
+        q1 = view.queries
+        ts.is_internal(topo, root)
+        assert view.queries == q1
+
+    def test_level_probe_cost_is_o_of_k(self):
+        """Observation 5.3: levels are computable from O(k)-radius views."""
+        k = 3
+        inst = hierarchical_thc_instance(k, 4)
+        root = inst.meta["root"]
+        view = det_view(inst, root)
+        topo = ProbeTopology(view)
+        assert ts.level_of(topo, root, cap=k) == k
+        assert view.volume <= 2 * k + 1
+
+
+class ConstantAlgorithm(ProbeAlgorithm):
+    name = "constant"
+
+    def run(self, view):
+        return "ok"
+
+
+class ConstantProblem(LCLProblem):
+    name = "constant-problem"
+    output_labels = ("ok",)
+
+    def check_node(self, topology, node, outputs):
+        if outputs.get(node) != "ok":
+            return [Violation(node, "const", "expected 'ok'")]
+        return []
+
+
+class TestRunner:
+    def test_run_all_nodes(self):
+        inst = leaf_coloring_instance(3)
+        result = run_algorithm(inst, ConstantAlgorithm())
+        assert set(result.outputs) == set(inst.graph.nodes())
+        assert result.max_volume == 1
+        assert result.max_distance == 0
+
+    def test_solve_and_check_valid(self):
+        inst = leaf_coloring_instance(2)
+        report = solve_and_check(ConstantProblem(), inst, ConstantAlgorithm())
+        assert report.valid
+        assert report.violations == []
+
+    def test_solve_and_check_detects_violation(self):
+        class Wrong(ProbeAlgorithm):
+            name = "wrong"
+
+            def run(self, view):
+                return "nope"
+
+        inst = leaf_coloring_instance(2)
+        report = solve_and_check(ConstantProblem(), inst, Wrong())
+        assert not report.valid
+        assert len(report.violations) == inst.graph.num_nodes
+
+    def test_node_subset(self):
+        inst = cycle_instance(8)
+        some = sorted(inst.graph.nodes())[:3]
+        result = run_algorithm(inst, ConstantAlgorithm(), nodes=some)
+        assert sorted(result.outputs) == some

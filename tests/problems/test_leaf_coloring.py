@@ -1,0 +1,134 @@
+"""Tests for the LeafColoring problem definition and checker."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import (
+    corrupt_instance,
+    hard_leaf_coloring_instance,
+    leaf_coloring_instance,
+    random_tree_instance,
+)
+from repro.graphs.labelings import BLUE, RED, other_color
+from repro.lcl.verifier import validate_locally
+from repro.problems.leaf_coloring import (
+    LeafColoring,
+    reference_solution,
+    unique_solution_on_unanimous,
+)
+
+PROBLEM = LeafColoring()
+
+
+class TestChecker:
+    def test_reference_accepted_on_complete_tree(self):
+        inst = leaf_coloring_instance(4, rng=random.Random(0))
+        outputs = reference_solution(inst)
+        assert PROBLEM.validate(inst, outputs) == []
+
+    def test_reference_accepted_on_random_trees(self):
+        for seed in range(8):
+            inst = random_tree_instance(80, rng=random.Random(seed))
+            outputs = reference_solution(inst)
+            assert PROBLEM.validate(inst, outputs) == []
+
+    def test_reference_accepted_with_cycles(self):
+        for seed in range(5):
+            inst = random_tree_instance(
+                90, rng=random.Random(seed), with_cycle=True, cycle_length=7
+            )
+            outputs = reference_solution(inst)
+            assert PROBLEM.validate(inst, outputs) == []
+
+    def test_reference_accepted_on_corrupted(self):
+        inst = corrupt_instance(
+            leaf_coloring_instance(4), 0.25, rng=random.Random(2)
+        )
+        outputs = reference_solution(inst)
+        assert PROBLEM.validate(inst, outputs) == []
+
+    def test_leaf_must_echo_input(self):
+        inst = leaf_coloring_instance(2, leaf_color=RED)
+        outputs = reference_solution(inst)
+        leaf = inst.meta["leaves"][0]
+        outputs[leaf] = BLUE
+        violations = PROBLEM.validate(inst, outputs)
+        assert any(v.node == leaf and v.rule == "echo-input" for v in violations)
+
+    def test_internal_must_copy_a_child(self):
+        inst = leaf_coloring_instance(3, leaf_color=RED)
+        outputs = reference_solution(inst)
+        root = inst.meta["root"]
+        outputs[root] = BLUE
+        violations = PROBLEM.validate(inst, outputs)
+        assert any(v.node == root and v.rule == "internal" for v in violations)
+
+    def test_alphabet_enforced(self):
+        inst = leaf_coloring_instance(1)
+        outputs = reference_solution(inst)
+        outputs[inst.meta["root"]] = "purple"
+        violations = PROBLEM.validate(inst, outputs)
+        assert any(v.rule == "alphabet" for v in violations)
+
+    def test_missing_output_flagged(self):
+        inst = leaf_coloring_instance(1)
+        outputs = reference_solution(inst)
+        del outputs[inst.meta["root"]]
+        assert PROBLEM.validate(inst, outputs)
+
+
+class TestLocality:
+    """Lemma 3.5: LeafColoring is an LCL — check radius 2 suffices."""
+
+    def test_checker_is_local_on_tree(self):
+        inst = leaf_coloring_instance(4, rng=random.Random(0))
+        outputs = reference_solution(inst)
+        assert validate_locally(PROBLEM, inst, outputs) == []
+
+    def test_checker_is_local_on_corrupted(self):
+        inst = corrupt_instance(
+            leaf_coloring_instance(4), 0.3, rng=random.Random(5)
+        )
+        outputs = reference_solution(inst)
+        local = validate_locally(PROBLEM, inst, outputs)
+        assert local == PROBLEM.validate(inst, outputs)
+
+    def test_local_and_global_agree_on_bad_outputs(self):
+        inst = leaf_coloring_instance(3, rng=random.Random(1))
+        outputs = reference_solution(inst)
+        outputs[inst.meta["root"]] = other_color(outputs[inst.meta["root"]])
+        local = validate_locally(PROBLEM, inst, outputs)
+        glob = PROBLEM.validate(inst, outputs)
+        assert {(v.node, v.rule) for v in local} == {
+            (v.node, v.rule) for v in glob
+        }
+
+
+class TestUniqueSolution:
+    def test_unanimous_forces_global_color(self):
+        """Proposition 3.12: unanimous leaves force everyone to χ0."""
+        inst = hard_leaf_coloring_instance(4, rng=random.Random(0))
+        chi0 = inst.meta["chi0"]
+        assert unique_solution_on_unanimous(inst) == chi0
+        outputs = {v: chi0 for v in inst.graph.nodes()}
+        assert PROBLEM.validate(inst, outputs) == []
+        # flipping the root breaks validity
+        outputs[inst.meta["root"]] = other_color(chi0)
+        assert PROBLEM.validate(inst, outputs)
+
+    def test_mixed_leaves_give_none(self):
+        inst = leaf_coloring_instance(3, rng=random.Random(0))
+        colors = {inst.label(v).color for v in inst.meta["leaves"]}
+        if len(colors) > 1:
+            assert unique_solution_on_unanimous(inst) is None
+
+
+@given(st.integers(min_value=0, max_value=5), st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=25, deadline=None)
+def test_reference_always_valid_property(depth, seed):
+    inst = leaf_coloring_instance(depth, rng=random.Random(seed))
+    outputs = reference_solution(inst)
+    assert PROBLEM.validate(inst, outputs) == []
