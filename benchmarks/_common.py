@@ -5,20 +5,44 @@ relevant costs on the instance families the paper's proofs use, fits the
 growth class, and prints a paper-claimed vs measured table.  Absolute
 numbers are not expected to match the paper (there are none to match —
 the results are asymptotic); the *shape* is the reproduction target.
+
+The sweeps themselves are declarative :class:`repro.exec.sweep.SweepSpec`
+objects executed by the sweep orchestrator.  Two environment knobs:
+
+* ``REPRO_BENCH_BACKEND`` — execution backend for every sweep
+  (``serial`` default; ``process`` / ``process:N`` / ``batch``);
+* ``REPRO_SWEEP_CACHE`` — directory for on-disk sweep result caching
+  (off when unset, so benches always re-measure by default).
 """
 
 from __future__ import annotations
 
-import sys
-from typing import Iterable, List, Optional, Sequence
+import os
+from typing import List, Sequence
 
-from repro.analysis.complexity_fit import (
-    FitResult,
-    SweepMeasurement,
-    fit_growth,
-    format_sweep_row,
+from repro.exec.backends import get_backend
+from repro.exec.sweep import (
+    InstanceFamily,
+    SweepResult,
+    SweepSpec,
+    cache_from_env,
+    run_sweeps,
 )
-from repro.model.runner import run_algorithm
+
+# Candidate growth classes shared by the Table-1 style benches.
+DIST_CANDIDATES = ["log log n", "log n", "n^{1/3}", "n^{1/2}", "n"]
+VOL_CANDIDATES = [
+    "log n",
+    "log^2 n",
+    "n^{1/3}",
+    "n^{1/2}",
+    "n^{1/2} log n",
+    "n",
+]
+
+BACKEND = get_backend(os.environ.get("REPRO_BENCH_BACKEND"))
+CACHE = cache_from_env()
+VERBOSE = bool(os.environ.get("REPRO_BENCH_PROGRESS"))
 
 
 def banner(title: str) -> None:
@@ -28,42 +52,28 @@ def banner(title: str) -> None:
     print("=" * 78)
 
 
-def report_sweep(
-    label: str,
-    claimed: str,
-    ns: Sequence[int],
-    costs: Sequence[float],
-    candidates: Optional[Sequence[str]] = None,
-) -> SweepMeasurement:
-    sweep = SweepMeasurement(
-        label=label, ns=list(ns), costs=list(costs), claimed=claimed
-    )
-    fit = sweep.fitted(candidates)
-    print(format_sweep_row(sweep, fit))
-    return sweep
-
-
-def measure_cost(
-    instance,
-    algorithm,
-    metric: str,
-    nodes: Optional[Iterable[int]] = None,
-    seed: int = 0,
-    max_volume: Optional[int] = None,
-) -> float:
-    """Worst per-node cost (max over started executions) of one metric."""
-    result = run_algorithm(
-        instance, algorithm, seed=seed, nodes=nodes, max_volume=max_volume
-    )
-    if metric == "distance":
-        return result.max_distance
-    if metric == "volume":
-        return result.max_volume
-    if metric == "queries":
-        return result.max_queries
-    raise ValueError(f"unknown metric {metric!r}")
+def report_sweeps(specs: Sequence[SweepSpec]) -> List[SweepResult]:
+    """Run a batch of sweeps on the configured backend and print rows."""
+    progress = print if VERBOSE else None
+    results = run_sweeps(specs, BACKEND, cache=CACHE, progress=progress)
+    for result in results:
+        print(result.format_row())
+    return results
 
 
 def once(benchmark, fn):
     """Run a measurement exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+__all__ = [
+    "BACKEND",
+    "CACHE",
+    "DIST_CANDIDATES",
+    "VOL_CANDIDATES",
+    "InstanceFamily",
+    "SweepSpec",
+    "banner",
+    "once",
+    "report_sweeps",
+]

@@ -6,12 +6,24 @@
   its volume is Θ(n) — the opposite separation.
 * E10 ablation: waypoint probability multiplier vs volume and validity.
 * E11 ablation: private vs secret randomness for RWtoLeaf (§7.4).
+
+The CONGEST-vs-probe comparisons are sweep pairs sharing one memoized
+composite measurement per size; the ablations dispatch their repeated
+runs through a :class:`BatchBackend` so the instance oracle is built
+once, not once per trial.
 """
 
 import math
 import random
 
-from _common import banner, once, report_sweep
+from _common import (
+    BACKEND,
+    InstanceFamily,
+    SweepSpec,
+    banner,
+    once,
+    report_sweeps,
+)
 
 from repro.algorithms.balanced_tree_algs import (
     BalancedTreeCongestFlood,
@@ -20,6 +32,7 @@ from repro.algorithms.balanced_tree_algs import (
 from repro.algorithms.classic_algs import RelayCongest, RelayProbeSolver
 from repro.algorithms.hierarchical_algs import WaypointHTHC
 from repro.algorithms.leaf_coloring_algs import RWtoLeaf, SecretRWtoLeaf
+from repro.exec.backends import BatchBackend
 from repro.graphs.generators import (
     balanced_tree_instance,
     hard_leaf_coloring_instance,
@@ -28,30 +41,38 @@ from repro.graphs.generators import (
     relay_instance,
 )
 from repro.model.congest import run_congest
-from repro.model.runner import run_algorithm, solve_and_check
+from repro.model.runner import (
+    run_algorithm,
+    solve_and_check,
+    success_probability,
+)
 from repro.problems.balanced_tree import BalancedTree
 from repro.problems.hierarchical_thc import HierarchicalTHC
 from repro.problems.leaf_coloring import LeafColoring
 
 
 def test_example76_volume_vs_congest(benchmark):
-    def run():
-        banner(
-            "Example 7.6 — relay: probe volume O(log n) vs CONGEST rounds "
-            "Ω(n/B)"
-        )
-        ns, volumes, rounds = [], [], []
-        for depth in (3, 4, 5, 6):
-            inst = relay_instance(depth, rng=random.Random(depth))
-            n = inst.graph.num_nodes
+    family = InstanceFamily(
+        "relay",
+        lambda depth: relay_instance(depth, rng=random.Random(depth)),
+        [3, 4, 5, 6],
+    )
+    records = {}
+
+    def measure(instance, depth):
+        if depth not in records:
+            n = instance.graph.num_nodes
             id_bits = math.ceil(math.log2(n + 1))
             bandwidth = 2 * (id_bits + 1)
             probe = run_algorithm(
-                inst, RelayProbeSolver(), nodes=inst.meta["left_leaves"][:4]
+                instance,
+                RelayProbeSolver(),
+                nodes=instance.meta["left_leaves"][:4],
+                backend=BACKEND,
             )
-            left = set(inst.meta["left_leaves"])
+            left = set(instance.meta["left_leaves"])
             congest = run_congest(
-                inst,
+                instance,
                 RelayCongest(depth, id_bits, bandwidth),
                 bandwidth=bandwidth,
                 max_rounds=64 * 2**depth,
@@ -59,48 +80,67 @@ def test_example76_volume_vs_congest(benchmark):
                     outs[v] is not None for v in left
                 ),
             )
-            for u_leaf in inst.meta["left_leaves"]:
-                expected = inst.label(inst.meta["pairing"][u_leaf]).bit
+            for u_leaf in instance.meta["left_leaves"]:
+                expected = instance.label(
+                    instance.meta["pairing"][u_leaf]
+                ).bit
                 assert congest.outputs[u_leaf] == expected
-            ns.append(n)
-            volumes.append(probe.max_volume)
-            rounds.append(congest.rounds)
-        report_sweep("relay probe volume", "Θ(log n)", ns, volumes,
-                     ["log n", "n^{1/2}", "n"])
-        # with B = Θ(log n), the Ω(n/B) bottleneck reads Θ(n/log n)
-        report_sweep(f"relay CONGEST rounds (B≈2 log n)", "Θ(n/B)", ns,
-                     rounds, ["log n", "n^{1/2}", "n/log n", "n"])
+            records[depth] = (probe.max_volume, congest.rounds)
+        return records[depth]
+
+    def run():
+        banner(
+            "Example 7.6 — relay: probe volume O(log n) vs CONGEST rounds "
+            "Ω(n/B)"
+        )
+        report_sweeps([
+            SweepSpec("relay probe volume", "Θ(log n)", family,
+                      measure=lambda inst, d: measure(inst, d)[0],
+                      candidates=["log n", "n^{1/2}", "n"]),
+            # with B = Θ(log n), the Ω(n/B) bottleneck reads Θ(n/log n)
+            SweepSpec("relay CONGEST rounds (B≈2 log n)", "Θ(n/B)", family,
+                      measure=lambda inst, d: measure(inst, d)[1],
+                      candidates=["log n", "n^{1/2}", "n/log n", "n"]),
+        ])
 
     once(benchmark, run)
 
 
 def test_obs74_balanced_tree_congest(benchmark):
-    def run():
-        banner(
-            "Obs 7.4 — BalancedTree: O(log n) CONGEST rounds vs Θ(n) volume"
-        )
-        ns, rounds, volumes = [], [], []
-        for depth in (3, 4, 5, 6):
-            inst = balanced_tree_instance(depth, rng=random.Random(depth))
-            n = inst.graph.num_nodes
+    family = InstanceFamily(
+        "balanced-tree",
+        lambda depth: balanced_tree_instance(depth, rng=random.Random(depth)),
+        [3, 4, 5, 6],
+    )
+    rounds = {}
+
+    def congest_rounds(instance, depth):
+        if depth not in rounds:
+            n = instance.graph.num_nodes
             id_bits = max(4, math.ceil(math.log2(n + 1)))
             result = run_congest(
-                inst,
+                instance,
                 BalancedTreeCongestFlood(id_bits=id_bits),
                 bandwidth=16 * id_bits + 80,
                 max_rounds=4 * id_bits + 16,
             )
-            assert BalancedTree().validate(inst, result.outputs) == []
-            vol = run_algorithm(
-                inst, BalancedTreeFullGather(), nodes=[inst.meta["root"]]
-            ).max_volume
-            ns.append(n)
-            rounds.append(result.rounds)
-            volumes.append(vol)
-        report_sweep("BalancedTree CONGEST rounds", "Θ(log n)", ns, rounds,
-                     ["log n", "n^{1/2}", "n"])
-        report_sweep("BalancedTree volume", "Θ(n)", ns, volumes,
-                     ["log n", "n^{1/2}", "n"])
+            assert BalancedTree().validate(instance, result.outputs) == []
+            rounds[depth] = result.rounds
+        return rounds[depth]
+
+    def run():
+        banner(
+            "Obs 7.4 — BalancedTree: O(log n) CONGEST rounds vs Θ(n) volume"
+        )
+        report_sweeps([
+            SweepSpec("BalancedTree CONGEST rounds", "Θ(log n)", family,
+                      measure=congest_rounds,
+                      candidates=["log n", "n^{1/2}", "n"]),
+            SweepSpec("BalancedTree volume", "Θ(n)", family, "volume",
+                      BalancedTreeFullGather,
+                      nodes=lambda inst, d: [inst.meta["root"]],
+                      candidates=["log n", "n^{1/2}", "n"]),
+        ])
 
     once(benchmark, run)
 
@@ -117,16 +157,21 @@ def test_ablation_waypoint_probability(benchmark):
         )
         problem = HierarchicalTHC(2)
         probes = list(range(1, 8 * m + 1, 8))
+        batch = BatchBackend()  # one oracle for all factor × seed runs
         for factor in (0.01, 0.05, 0.2, 1.0, 2.0):
             failures = 0
             volumes = []
             for seed in range(5):
                 algo = WaypointHTHC(2, factor=factor)
-                report = solve_and_check(problem, inst, algo, seed=seed)
+                report = solve_and_check(
+                    problem, inst, algo, seed=seed, backend=batch
+                )
                 if not report.valid:
                     failures += 1
                 volumes.append(
-                    run_algorithm(inst, algo, seed=seed, nodes=probes).max_volume
+                    run_algorithm(
+                        inst, algo, seed=seed, nodes=probes, backend=batch
+                    ).max_volume
                 )
             print(
                 f"factor {factor:<5} max volume {max(volumes):<6} "
@@ -137,26 +182,36 @@ def test_ablation_waypoint_probability(benchmark):
     once(benchmark, run)
 
 
+def _promise_instance(trial: int):
+    return hard_leaf_coloring_instance(6, rng=random.Random(trial))
+
+
+def _general_instance(trial: int):
+    return leaf_coloring_instance(6, rng=random.Random(100 + trial))
+
+
 def test_ablation_randomness_models(benchmark):
     def run():
         banner(
             "Ablation E11 — §7.4: private vs secret randomness for RWtoLeaf"
         )
         problem = LeafColoring()
-        promise_ok = {"private": 0, "secret": 0}
-        general_ok = {"private": 0, "secret": 0}
         trials = 8
-        for trial in range(trials):
-            promise = hard_leaf_coloring_instance(6, rng=random.Random(trial))
-            general = leaf_coloring_instance(6, rng=random.Random(100 + trial))
-            for label, algo in (
-                ("private", RWtoLeaf()),
-                ("secret", SecretRWtoLeaf()),
-            ):
-                if solve_and_check(problem, promise, algo, seed=trial).valid:
-                    promise_ok[label] += 1
-                if solve_and_check(problem, general, algo, seed=trial).valid:
-                    general_ok[label] += 1
+        promise_ok = {}
+        general_ok = {}
+        for label, algo_factory in (
+            ("private", RWtoLeaf),
+            ("secret", SecretRWtoLeaf),
+        ):
+            with BatchBackend() as batch:
+                promise_ok[label] = round(trials * success_probability(
+                    problem, _promise_instance, algo_factory(), trials,
+                    backend=batch,
+                ))
+                general_ok[label] = round(trials * success_probability(
+                    problem, _general_instance, algo_factory(), trials,
+                    backend=batch,
+                ))
         for label in ("private", "secret"):
             print(
                 f"{label:<8} promise instances: {promise_ok[label]}/{trials} "

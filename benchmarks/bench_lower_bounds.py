@@ -6,11 +6,23 @@
   deterministic LeafColoring algorithm under n/3 queries.
 * Prop 4.9: two-party disjointness bits grow linearly in N.
 * Prop 5.20: the phased adversary defeats deterministic H-THC solvers.
+
+The sweep-shaped experiments (Prop 4.9) run through the sweep
+orchestrator with custom ``measure`` callables sharing one memoized
+simulation per instance size; the adversarial duels are inherently
+sequential games and keep their explicit loops.
 """
 
 import random
 
-from _common import banner, once, report_sweep
+from _common import (
+    BACKEND,
+    InstanceFamily,
+    SweepSpec,
+    banner,
+    once,
+    report_sweeps,
+)
 
 from repro.algorithms.balanced_tree_algs import (
     BalancedTreeDistanceSolver,
@@ -23,6 +35,7 @@ from repro.algorithms.leaf_coloring_algs import (
 from repro.algorithms.hierarchical_algs import RecursiveHTHC
 from repro.graphs.generators import (
     balanced_tree_instance,
+    disjointness_embedding,
     leaf_coloring_instance,
 )
 from repro.lower_bounds.disjointness import simulate_two_party
@@ -46,7 +59,7 @@ def test_lemma25_sandwich(benchmark):
              BalancedTreeDistanceSolver(), 5),
         ]
         for inst, algo, delta in cases:
-            result = run_algorithm(inst, algo, seed=9)
+            result = run_algorithm(inst, algo, seed=9, backend=BACKEND)
             violations = 0
             for profile in result.profiles.values():
                 if not (
@@ -74,7 +87,8 @@ def test_prop312_distance_lower_bound(benchmark):
         )
         depth = 7
         points = horizon_sweep(
-            depth=depth, horizons=[1, 3, 5, 7], trials=60, base_seed=4
+            depth=depth, horizons=[1, 3, 5, 7], trials=60, base_seed=4,
+            backend=BACKEND,
         )
         for point in points:
             verdict = (
@@ -113,26 +127,48 @@ def test_prop313_adversary(benchmark):
 
 
 def test_prop49_disjointness_bits(benchmark):
+    rnd = random.Random(0)
+
+    def embedding(log_n):
+        n = 2**log_n
+        a = [rnd.randint(0, 1) for _ in range(n)]
+        b = [rnd.randint(0, 1) for _ in range(n)]
+        return disjointness_embedding(a, b)
+
+    family = InstanceFamily("disjointness", embedding, [3, 4, 5, 6, 7])
+
+    # One simulation per size, shared by the bits and the queries sweep.
+    simulations = {}
+
+    def simulate(instance, log_n):
+        if log_n not in simulations:
+            a = instance.meta["a"]
+            b = instance.meta["b"]
+            run_ = simulate_two_party(BalancedTreeFullGather(), a, b)
+            assert run_.correct
+            simulations[log_n] = run_
+        return simulations[log_n]
+
     def run():
         banner(
             "Prop 4.9 — two-party simulation: bits (≥ queries·B lower "
             "bounds) grow linearly in N"
         )
-        ns, bits, queries = [], [], []
-        rnd = random.Random(0)
-        for log_n in (3, 4, 5, 6, 7):
-            n = 2**log_n
-            a = [rnd.randint(0, 1) for _ in range(n)]
-            b = [rnd.randint(0, 1) for _ in range(n)]
-            run_ = simulate_two_party(BalancedTreeFullGather(), a, b)
-            assert run_.correct
-            ns.append(n)
-            bits.append(run_.bits_exchanged)
-            queries.append(run_.queries)
-        report_sweep("disjointness bits", "Θ(N)", ns, bits, ["log n", "n"])
-        report_sweep("solver queries", "Ω(N)", ns, queries, ["log n", "n"])
+        bits, queries = report_sweeps([
+            SweepSpec(
+                "disjointness bits", "Θ(N)", family,
+                measure=lambda inst, p: simulate(inst, p).bits_exchanged,
+                candidates=["log n", "n"],
+            ),
+            SweepSpec(
+                "solver queries", "Ω(N)", family,
+                measure=lambda inst, p: simulate(inst, p).queries,
+                candidates=["log n", "n"],
+            ),
+        ])
         print("  Theorem 2.9: queries ≥ bits/2 on every run: "
-              + str(all(q >= b / 2 for q, b in zip(queries, bits))))
+              + str(all(q >= b / 2
+                        for q, b in zip(queries.costs, bits.costs))))
 
     once(benchmark, run)
 

@@ -3,7 +3,8 @@
 Reproduces the paper's central contrast on LeafColoring (Section 3):
 the deterministic distance solver sees *far but narrow is impossible*
 (logarithmic distance, big volume at the root), while the randomized
-walk sees *little of everything* (logarithmic volume).
+walk sees *little of everything* (logarithmic volume).  The second half
+shows the same contrast as a size sweep through the sweep orchestrator.
 
 Run:  python examples/quickstart.py
 """
@@ -15,6 +16,7 @@ from repro.algorithms.leaf_coloring_algs import (
     LeafColoringFullGather,
     RWtoLeaf,
 )
+from repro.exec.sweep import InstanceFamily, SweepSpec, run_sweeps
 from repro.graphs.generators import leaf_coloring_instance
 from repro.model.runner import solve_and_check
 from repro.problems.leaf_coloring import LeafColoring
@@ -40,6 +42,27 @@ def main() -> None:
     print("Note the Theorem 3.6 shape: all three agree on validity, the")
     print("distance solver minimizes how FAR it sees, the random walk")
     print("minimizes how MUCH it sees, and determinism pays linear volume.")
+
+    # The same contrast as a declarative sweep: grow n, fit the class.
+    print()
+    print("Growth classes over depths 5..8 (via the sweep orchestrator):")
+    family = InstanceFamily(
+        "leaf-coloring",
+        lambda d: leaf_coloring_instance(d, rng=random.Random(d)),
+        [5, 6, 7, 8],
+    )
+    cands = ["log n", "n^{1/2}", "n"]
+    for result in run_sweeps([
+        SweepSpec("distance solver DIST", "Θ(log n)", family, "distance",
+                  LeafColoringDistanceSolver, candidates=cands),
+        SweepSpec("random walk VOL", "Θ(log n)", family, "volume",
+                  RWtoLeaf, seed=42, candidates=cands),
+        SweepSpec("full gather VOL", "Θ(n)", family, "volume",
+                  LeafColoringFullGather,
+                  nodes=lambda inst, d: [inst.meta["root"]],
+                  candidates=cands),
+    ]):
+        print("  " + result.format_row())
 
 
 if __name__ == "__main__":

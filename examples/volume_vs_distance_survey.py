@@ -1,14 +1,16 @@
 """Survey: all five constructions, four complexity measures each.
 
-A compact, runnable version of Table 1: for each problem we take one
-instance from its hard family, run the paper's algorithms, verify
-validity, and print the measured worst-case costs side by side with the
-claimed asymptotics.
+A compact, runnable version of Table 1 built on the sweep orchestrator:
+each construction contributes one declarative instance family and a
+distance/volume sweep pair; the orchestrator runs them (optionally on a
+parallel backend — pass ``process:4`` as argv[1]), verifies validity on
+the largest instance, and prints claimed vs fitted growth classes.
 
-Run:  python examples/volume_vs_distance_survey.py
+Run:  python examples/volume_vs_distance_survey.py [backend]
 """
 
 import random
+import sys
 
 from repro.algorithms.balanced_tree_algs import (
     BalancedTreeDistanceSolver,
@@ -24,6 +26,8 @@ from repro.algorithms.leaf_coloring_algs import (
     LeafColoringDistanceSolver,
     RWtoLeaf,
 )
+from repro.exec.backends import get_backend
+from repro.exec.sweep import InstanceFamily, SweepSpec, run_sweeps
 from repro.graphs.generators import (
     balanced_tree_instance,
     hh_thc_instance,
@@ -40,62 +44,81 @@ from repro.problems import (
     LeafColoring,
 )
 
+DIST_CANDS = ["log log n", "log n", "n^{1/3}", "n^{1/2}", "n"]
+VOL_CANDS = ["log n", "n^{1/3}", "n^{1/2}", "n^{1/2} log n", "n"]
 
-def survey(title, claims, problem, instance, dist_solver, vol_solver):
-    print(f"\n--- {title}  (n = {instance.graph.num_nodes}) ---")
-    print(f"    claims: {claims}")
-    dist = solve_and_check(problem, instance, dist_solver, seed=1)
-    vol = solve_and_check(problem, instance, vol_solver, seed=1)
-    assert dist.valid, dist.violations[:3]
-    assert vol.valid, vol.violations[:3]
-    print(f"    distance solver: DIST = {dist.max_distance}, "
-          f"VOL = {dist.max_volume}")
-    print(f"    volume solver:   DIST = {vol.max_distance}, "
-          f"VOL = {vol.max_volume}")
+
+def construction_specs():
+    """One family + (distance, volume) sweep pair per construction."""
+    leaf = InstanceFamily(
+        "leaf-coloring",
+        lambda d: leaf_coloring_instance(d, rng=random.Random(d)),
+        [5, 6, 7],
+    )
+    balanced = InstanceFamily(
+        "balanced-tree",
+        lambda d: balanced_tree_instance(d, rng=random.Random(d)),
+        [4, 5, 6],
+    )
+    hierarchical = InstanceFamily(
+        "hierarchical-thc-2",
+        lambda m: hierarchical_thc_instance(2, m, rng=random.Random(m)),
+        [6, 10, 14],
+    )
+    hybrid = InstanceFamily(
+        "hybrid-thc-2",
+        lambda s: hybrid_thc_instance(2, s, s, rng=random.Random(s)),
+        [3, 4, 5],
+    )
+    hh = InstanceFamily(
+        "hh-thc-2-3",
+        lambda s: hh_thc_instance(2, 3, *s, rng=random.Random(s[0])),
+        [(5, 4, 3), (6, 8, 3), (8, 8, 4)],
+    )
+    return [
+        ("LeafColoring (§3)", LeafColoring(), leaf,
+         LeafColoringDistanceSolver, RWtoLeaf,
+         "D-DIST Θ(log n)", "R-VOL Θ(log n)"),
+        ("BalancedTree (§4)", BalancedTree(), balanced,
+         BalancedTreeDistanceSolver, BalancedTreeFullGather,
+         "D-DIST Θ(log n)", "VOL Θ(n)"),
+        ("Hierarchical-THC(2) (§5)", HierarchicalTHC(2), hierarchical,
+         lambda: RecursiveHTHC(2), lambda: WaypointHTHC(2),
+         "DIST Θ(n^{1/2})", "R-VOL Θ̃(n^{1/2})"),
+        ("Hybrid-THC(2) (§6)", HybridTHC(2), hybrid,
+         lambda: HybridDistanceSolver(2), lambda: HybridWaypointSolver(2),
+         "DIST Θ(log n)", "R-VOL Θ̃(n^{1/2})"),
+        ("HH-THC(2,3) (§6.1)", HHTHC(2, 3), hh,
+         lambda: HHDistanceSolver(2, 3), lambda: HHWaypointSolver(2, 3),
+         "DIST Θ(n^{1/3})", "R-VOL Θ̃(n^{1/2})"),
+    ]
 
 
 def main() -> None:
-    rnd = random.Random(7)
-    survey(
-        "LeafColoring (§3)",
-        "R-DIST=D-DIST=R-VOL=Θ(log n), D-VOL=Θ(n)",
-        LeafColoring(),
-        leaf_coloring_instance(7, rng=rnd),
-        LeafColoringDistanceSolver(),
-        RWtoLeaf(),
-    )
-    survey(
-        "BalancedTree (§4)",
-        "R-DIST=D-DIST=Θ(log n), R-VOL=D-VOL=Θ(n)",
-        BalancedTree(),
-        balanced_tree_instance(5, rng=rnd),
-        BalancedTreeDistanceSolver(),
-        BalancedTreeFullGather(),
-    )
-    survey(
-        "Hierarchical-THC(2) (§5)",
-        "DIST=Θ(n^1/2), R-VOL=Θ̃(n^1/2), D-VOL=Θ̃(n)",
-        HierarchicalTHC(2),
-        hierarchical_thc_instance(2, 10, rng=rnd),
-        RecursiveHTHC(2),
-        WaypointHTHC(2),
-    )
-    survey(
-        "Hybrid-THC(2) (§6)",
-        "DIST=Θ(log n), R-VOL=Θ̃(n^1/2), D-VOL=Θ̃(n)",
-        HybridTHC(2),
-        hybrid_thc_instance(2, 4, 4, rng=rnd),
-        HybridDistanceSolver(2),
-        HybridWaypointSolver(2),
-    )
-    survey(
-        "HH-THC(2,3) (§6.1)",
-        "DIST=Θ(n^1/3), R-VOL=Θ̃(n^1/2), D-VOL=Θ̃(n)",
-        HHTHC(2, 3),
-        hh_thc_instance(2, 3, 5, 4, 3, rng=rnd),
-        HHDistanceSolver(2, 3),
-        HHWaypointSolver(2, 3),
-    )
+    backend = get_backend(sys.argv[1] if len(sys.argv) > 1 else None)
+    print(f"backend: {backend.name}")
+    for title, problem, family, dist_factory, vol_factory, dc, vc in (
+        construction_specs()
+    ):
+        print(f"\n--- {title} ---")
+        dist, vol = run_sweeps(
+            [
+                SweepSpec(f"{title} distance", dc, family, "distance",
+                          dist_factory, seed=1, candidates=DIST_CANDS),
+                SweepSpec(f"{title} volume", vc, family, "volume",
+                          vol_factory, seed=1, candidates=VOL_CANDS),
+            ],
+            backend,
+        )
+        print("    " + dist.format_row())
+        print("    " + vol.format_row())
+        largest = family.instance(family.params[-1])
+        for factory in (dist_factory, vol_factory):
+            report = solve_and_check(
+                problem, largest, factory(), seed=1, backend=backend
+            )
+            assert report.valid, report.violations[:3]
+        print(f"    outputs verified on n = {largest.graph.num_nodes}")
     print("\nAll outputs verified against the paper-verbatim checkers.")
 
 

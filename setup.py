@@ -1,9 +1,10 @@
-"""Setup shim.
+"""Legacy setup shim — all real metadata lives in pyproject.toml.
 
-This environment has no network access and no ``wheel`` package, so PEP-517
-editable installs (which need ``bdist_wheel``) fail.  Keeping a classic
-``setup.py`` lets ``pip install -e . --no-build-isolation --no-use-pep517``
-do a legacy develop install with the stock setuptools.
+Offline environments without ``wheel`` cannot do PEP-517 editable
+installs (they need ``bdist_wheel``); keeping a classic ``setup.py``
+lets ``pip install -e . --no-build-isolation --no-use-pep517`` do a
+legacy develop install with the stock setuptools, which (>= 61) reads
+the package metadata from pyproject.toml.
 """
 
 from setuptools import setup

@@ -5,6 +5,21 @@ Public API surface: the problem definitions, the model runner, and the
 instance generators; see README.md for a tour.
 """
 
+from repro.exec.backends import (
+    BatchBackend,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    get_backend,
+)
+from repro.exec.sweep import (
+    InstanceFamily,
+    SweepCache,
+    SweepResult,
+    SweepSpec,
+    run_sweep,
+    run_sweeps,
+)
 from repro.graphs.labelings import Instance, Labeling, NodeLabel
 from repro.graphs.port_graph import PortGraph
 from repro.model.probe import CostProfile, ProbeAlgorithm, ProbeView
@@ -28,21 +43,32 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BalancedTree",
+    "BatchBackend",
     "CostProfile",
+    "ExecutionBackend",
     "HHTHC",
     "HierarchicalTHC",
     "HybridTHC",
     "Instance",
+    "InstanceFamily",
     "Labeling",
     "LeafColoring",
     "NodeLabel",
     "PortGraph",
     "ProbeAlgorithm",
     "ProbeView",
+    "ProcessPoolBackend",
     "RandomnessModel",
     "RunResult",
+    "SerialBackend",
     "SolveReport",
+    "SweepCache",
+    "SweepResult",
+    "SweepSpec",
+    "get_backend",
     "run_algorithm",
+    "run_sweep",
+    "run_sweeps",
     "solve_and_check",
     "success_probability",
 ]

@@ -13,6 +13,8 @@ every solver simply runs the right sub-solver for its node's population:
 
 from __future__ import annotations
 
+import functools
+
 from repro.model.probe import ProbeAlgorithm, ProbeView
 from repro.model.randomness import RandomnessModel
 from repro.algorithms.generic import FullGatherAlgorithm
@@ -72,6 +74,6 @@ class HHFullGather(FullGatherAlgorithm):
 
     def __init__(self, k: int, ell: int) -> None:
         super().__init__(
-            lambda instance: hh_reference(instance, k, ell),
+            functools.partial(hh_reference, k=k, ell=ell),
             name=f"hh-thc({k},{ell})/full-gather",
         )

@@ -28,6 +28,8 @@ Implementation notes relative to the paper's pseudocode (Algorithm 2):
 
 from __future__ import annotations
 
+import functools
+
 import math
 from typing import Dict, Optional
 
@@ -276,6 +278,6 @@ class HierarchicalFullGather(FullGatherAlgorithm):
 
     def __init__(self, k: int) -> None:
         super().__init__(
-            lambda instance: reference_solution(instance, k),
+            functools.partial(reference_solution, k=k),
             name=f"hierarchical-thc({k})/full-gather",
         )

@@ -16,6 +16,7 @@ Theorem 6.3's upper bounds:
 
 from __future__ import annotations
 
+import functools
 import math
 from typing import Dict, List, Optional, Set
 
@@ -169,6 +170,6 @@ class HybridFullGather(FullGatherAlgorithm):
 
     def __init__(self, k: int) -> None:
         super().__init__(
-            lambda instance: hybrid_reference(instance, k),
+            functools.partial(hybrid_reference, k=k),
             name=f"hybrid-thc({k})/full-gather",
         )

@@ -1,0 +1,41 @@
+"""Execution subsystem: pluggable backends and sweep orchestration.
+
+The science code (model / problems / algorithms) defines what a run *is*;
+this package decides how runs are *dispatched* — serially, over a process
+pool, or batched with shared oracles — and orchestrates whole sweeps of
+runs declaratively.  See README.md ("Choosing a backend") for the guide.
+"""
+
+from repro.exec.backends import (
+    BatchBackend,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    get_backend,
+)
+from repro.exec.sweep import (
+    InstanceFamily,
+    SweepCache,
+    SweepPoint,
+    SweepResult,
+    SweepSpec,
+    cache_from_env,
+    run_sweep,
+    run_sweeps,
+)
+
+__all__ = [
+    "BatchBackend",
+    "ExecutionBackend",
+    "InstanceFamily",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "SweepCache",
+    "SweepPoint",
+    "SweepResult",
+    "SweepSpec",
+    "cache_from_env",
+    "get_backend",
+    "run_sweep",
+    "run_sweeps",
+]

@@ -1,0 +1,436 @@
+"""Pluggable execution backends for whole-instance runs.
+
+The model layer defines *what* one per-node execution is
+(:func:`~repro.model.probe.execute_at`); this module defines *how* the
+executions of a whole-instance run are dispatched.  Three strategies:
+
+* :class:`SerialBackend` — the reference semantics: one process, nodes in
+  iteration order.  This is the default everywhere and is what the
+  paper's definitions describe.
+* :class:`ProcessPoolBackend` — chunked fan-out of start nodes over a
+  ``concurrent.futures`` process pool.  Results are merged back in the
+  original node order, so the returned :class:`~repro.model.runner.RunResult`
+  is **bitwise identical** to the serial one.
+* :class:`BatchBackend` — serial execution with an oracle cache, so
+  repeated runs over the same instance (ablations, the trial loop of
+  :func:`~repro.model.runner.success_probability`) do not rebuild the
+  :class:`~repro.model.oracle.StaticOracle` each time.
+
+Why parallel fan-out is sound here: a node's random tape is seeded by the
+string ``repro-tape:{seed}:{node_id}`` (see
+:class:`~repro.model.randomness.TapeStore`), so the bits any execution
+reads depend only on ``(seed, node_id, index)`` — never on which process
+generates them or in what order executions run.  Each worker rebuilds its
+own :class:`TapeStore` from the same seed and observes exactly the bits
+the shared serial store would have produced.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.model.oracle import StaticOracle
+from repro.model.probe import CostProfile, ProbeAlgorithm, execute_at
+from repro.model.randomness import TapeStore
+from repro.model.runner import RunResult
+
+
+def _execute_nodes(
+    oracle,
+    algorithm: ProbeAlgorithm,
+    nodes: Sequence[int],
+    seed: int,
+    max_volume: Optional[int],
+    max_queries: Optional[int],
+) -> List[Tuple[int, object, CostProfile]]:
+    """The shared inner loop: run ``algorithm`` from each node in order."""
+    tapes = TapeStore(seed) if algorithm.is_randomized else None
+    out: List[Tuple[int, object, CostProfile]] = []
+    for node in nodes:
+        output, profile = execute_at(
+            oracle,
+            algorithm,
+            node,
+            tape_store=tapes,
+            max_volume=max_volume,
+            max_queries=max_queries,
+        )
+        out.append((node, output, profile))
+    return out
+
+
+def _run_chunk(payload: bytes) -> List[Tuple[int, object, CostProfile]]:
+    """Worker entry point: one contiguous chunk of start nodes."""
+    instance, algorithm, nodes, seed, max_volume, max_queries = pickle.loads(
+        payload
+    )
+    oracle = StaticOracle(instance)
+    return _execute_nodes(oracle, algorithm, nodes, seed, max_volume, max_queries)
+
+
+def _run_trials(payload: bytes) -> List[bool]:
+    """Worker entry point: a chunk of independent success trials."""
+    from repro.model.runner import solve_and_check
+
+    (
+        problem,
+        instance_factory,
+        algorithm,
+        trial_indices,
+        base_seed,
+        max_volume,
+        max_queries,
+    ) = pickle.loads(payload)
+    backend = BatchBackend()  # amortize oracles if the factory repeats
+    verdicts: List[bool] = []
+    for trial in trial_indices:
+        instance = instance_factory(trial)
+        report = solve_and_check(
+            problem,
+            instance,
+            algorithm,
+            seed=base_seed + trial,
+            max_volume=max_volume,
+            max_queries=max_queries,
+            backend=backend,
+        )
+        verdicts.append(bool(report.valid))
+    return verdicts
+
+
+class ExecutionBackend(abc.ABC):
+    """How the per-node executions of a whole-instance run are dispatched.
+
+    Every backend must produce results *identical* to
+    :class:`SerialBackend` — backends may change wall-clock behavior and
+    resource usage, never observable outputs.
+    """
+
+    name: str = "backend"
+
+    @abc.abstractmethod
+    def run(
+        self,
+        instance,
+        algorithm: ProbeAlgorithm,
+        nodes: Optional[Iterable[int]] = None,
+        *,
+        seed: int = 0,
+        max_volume: Optional[int] = None,
+        max_queries: Optional[int] = None,
+    ) -> RunResult:
+        """Execute ``algorithm`` from every node (or the given subset)."""
+
+    def success_probability(
+        self,
+        problem,
+        instance_factory,
+        algorithm: ProbeAlgorithm,
+        trials: int,
+        *,
+        base_seed: int = 0,
+        max_volume: Optional[int] = None,
+        max_queries: Optional[int] = None,
+    ) -> float:
+        """Fraction of independent trials the algorithm solved Π on.
+
+        The default dispatches trials serially through :meth:`run` (so an
+        oracle-caching backend amortizes repeated instances for free).
+        """
+        from repro.model.runner import solve_and_check
+
+        if trials <= 0:
+            raise ValueError("success_probability needs at least one trial")
+        successes = 0
+        for trial in range(trials):
+            instance = instance_factory(trial)
+            report = solve_and_check(
+                problem,
+                instance,
+                algorithm,
+                seed=base_seed + trial,
+                max_volume=max_volume,
+                max_queries=max_queries,
+                backend=self,
+            )
+            if report.valid:
+                successes += 1
+        return successes / trials
+
+    # Backends that hold external resources (pools) override these.
+    def close(self) -> None:
+        """Release any held resources (idempotent)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _resolve_nodes(self, instance, nodes) -> List[int]:
+        return list(instance.graph.nodes() if nodes is None else nodes)
+
+    def _assemble(
+        self,
+        instance,
+        algorithm: ProbeAlgorithm,
+        triples: Iterable[Tuple[int, object, CostProfile]],
+    ) -> RunResult:
+        result = RunResult(algorithm=algorithm.name, instance=instance.name)
+        for node, output, profile in triples:
+            result.outputs[node] = output
+            result.profiles[node] = profile
+        return result
+
+
+class SerialBackend(ExecutionBackend):
+    """The reference implementation: one process, nodes in order."""
+
+    name = "serial"
+
+    def run(
+        self,
+        instance,
+        algorithm: ProbeAlgorithm,
+        nodes: Optional[Iterable[int]] = None,
+        *,
+        seed: int = 0,
+        max_volume: Optional[int] = None,
+        max_queries: Optional[int] = None,
+    ) -> RunResult:
+        node_list = self._resolve_nodes(instance, nodes)
+        oracle = self._oracle_for(instance)
+        triples = _execute_nodes(
+            oracle, algorithm, node_list, seed, max_volume, max_queries
+        )
+        return self._assemble(instance, algorithm, triples)
+
+    def _oracle_for(self, instance) -> StaticOracle:
+        return StaticOracle(instance)
+
+
+class BatchBackend(SerialBackend):
+    """Serial execution with an oracle cache for repeated instances.
+
+    ``success_probability`` with a fixed-instance factory, and ablation
+    loops that re-run many algorithms/seeds on one instance, construct a
+    fresh :class:`StaticOracle` per call under :class:`SerialBackend`;
+    this backend builds it once per distinct instance and reuses it.
+    """
+
+    name = "batch"
+
+    def __init__(self, max_cached: int = 64) -> None:
+        if max_cached < 1:
+            raise ValueError("max_cached must be positive")
+        self._max_cached = max_cached
+        # id() keys are only stable while the object lives; the oracle
+        # holds a strong reference to its instance, keeping the id valid
+        # for as long as the entry is cached.
+        self._oracles: "dict[int, StaticOracle]" = {}
+
+    def _oracle_for(self, instance) -> StaticOracle:
+        key = id(instance)
+        oracle = self._oracles.get(key)
+        if oracle is None or oracle.instance is not instance:
+            oracle = StaticOracle(instance)
+            if len(self._oracles) >= self._max_cached:
+                self._oracles.pop(next(iter(self._oracles)))
+            self._oracles[key] = oracle
+        return oracle
+
+    def close(self) -> None:
+        self._oracles.clear()
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Chunked fan-out of start nodes over a process pool.
+
+    The node list is split into contiguous chunks, each chunk runs the
+    plain serial loop in a worker, and the chunk results are merged back
+    in submission order — so outputs, profiles and iteration order are
+    identical to :class:`SerialBackend` (see the module docstring for why
+    the random tapes agree bit-for-bit).
+
+    ``success_probability`` fans the *trials* out instead, which is the
+    better unit of work when each trial draws a fresh instance.  If the
+    work items cannot be pickled (e.g. an instance factory defined inside
+    a test function), it silently falls back to the serial path.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be positive")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        self.workers = workers or os.cpu_count() or 1
+        self.chunk_size = chunk_size
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        instance,
+        algorithm: ProbeAlgorithm,
+        nodes: Optional[Iterable[int]] = None,
+        *,
+        seed: int = 0,
+        max_volume: Optional[int] = None,
+        max_queries: Optional[int] = None,
+    ) -> RunResult:
+        node_list = self._resolve_nodes(instance, nodes)
+        chunks = self._chunk(node_list)
+        serial = self.workers == 1 or len(chunks) <= 1
+        payloads: List[bytes] = []
+        if not serial:
+            try:
+                payloads = [
+                    pickle.dumps(
+                        (instance, algorithm, chunk, seed, max_volume,
+                         max_queries)
+                    )
+                    for chunk in chunks
+                ]
+            except Exception:
+                # Unpicklable instance/algorithm (local classes, lambdas):
+                # the parallel path is an optimization, not a requirement.
+                serial = True
+        if serial:
+            triples = _execute_nodes(
+                StaticOracle(instance),
+                algorithm,
+                node_list,
+                seed,
+                max_volume,
+                max_queries,
+            )
+            return self._assemble(instance, algorithm, triples)
+        futures = [self._pool().submit(_run_chunk, p) for p in payloads]
+        triples: List[Tuple[int, object, CostProfile]] = []
+        for future in futures:  # submission order == original node order
+            triples.extend(future.result())
+        return self._assemble(instance, algorithm, triples)
+
+    def success_probability(
+        self,
+        problem,
+        instance_factory,
+        algorithm: ProbeAlgorithm,
+        trials: int,
+        *,
+        base_seed: int = 0,
+        max_volume: Optional[int] = None,
+        max_queries: Optional[int] = None,
+    ) -> float:
+        if trials <= 0:
+            raise ValueError("success_probability needs at least one trial")
+        chunks = self._chunk(list(range(trials)))
+        if self.workers == 1 or len(chunks) <= 1:
+            return super().success_probability(
+                problem,
+                instance_factory,
+                algorithm,
+                trials,
+                base_seed=base_seed,
+                max_volume=max_volume,
+                max_queries=max_queries,
+            )
+        try:
+            payloads = [
+                pickle.dumps(
+                    (
+                        problem,
+                        instance_factory,
+                        algorithm,
+                        chunk,
+                        base_seed,
+                        max_volume,
+                        max_queries,
+                    )
+                )
+                for chunk in chunks
+            ]
+        except Exception:
+            # Unpicklable factory/problem (lambdas, local classes): the
+            # parallel path is an optimization, not a requirement.
+            return super().success_probability(
+                problem,
+                instance_factory,
+                algorithm,
+                trials,
+                base_seed=base_seed,
+                max_volume=max_volume,
+                max_queries=max_queries,
+            )
+        futures = [self._pool().submit(_run_trials, p) for p in payloads]
+        verdicts: List[bool] = []
+        for future in futures:
+            verdicts.extend(future.result())
+        return sum(verdicts) / trials
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def _chunk(self, items: List[int]) -> List[List[int]]:
+        """Contiguous chunks; ~4 per worker to smooth uneven node costs."""
+        if not items:
+            return []
+        if self.chunk_size is not None:
+            size = self.chunk_size
+        else:
+            size = max(1, -(-len(items) // (self.workers * 4)))
+        return [items[i : i + size] for i in range(0, len(items), size)]
+
+
+_DEFAULT_BACKEND = SerialBackend()
+
+
+def get_backend(spec=None) -> ExecutionBackend:
+    """Resolve a backend argument: instance, name string, or ``None``.
+
+    Accepted strings: ``"serial"``, ``"batch"``, ``"process"``, and
+    ``"process:N"`` for an N-worker pool.  ``None`` means the shared
+    default :class:`SerialBackend`.
+    """
+    if spec is None:
+        return _DEFAULT_BACKEND
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    if isinstance(spec, str):
+        name, _, arg = spec.partition(":")
+        if name == "serial":
+            return SerialBackend()
+        if name == "batch":
+            return BatchBackend()
+        if name == "process":
+            try:
+                workers = int(arg) if arg else None
+            except ValueError:
+                raise ValueError(
+                    f"bad worker count in backend spec {spec!r} "
+                    "(expected 'process:N' with integer N)"
+                ) from None
+            return ProcessPoolBackend(workers=workers)
+    raise ValueError(
+        f"unknown execution backend {spec!r} "
+        "(expected an ExecutionBackend, 'serial', 'batch', "
+        "'process', or 'process:N')"
+    )

@@ -1,0 +1,323 @@
+"""Declarative sweep orchestration for whole-instance experiments.
+
+Every benchmark in this repo has the same shape: *for each size in a
+grid, build an instance from a family, run an algorithm from some start
+nodes, record one scalar cost, then fit the growth class*.  This module
+turns that shape into data:
+
+* :class:`InstanceFamily` — a named, parameterized instance generator
+  with per-parameter memoization (several sweeps over the same family
+  share the built instances);
+* :class:`SweepSpec` — one sweep: family × algorithm × metric (+ start
+  nodes, seed, budgets), or an arbitrary ``measure`` callable for
+  experiments that are not a single ``run_algorithm`` call;
+* :func:`run_sweep` / :func:`run_sweeps` — execute specs on any
+  :class:`~repro.exec.backends.ExecutionBackend`, with optional on-disk
+  caching (:class:`SweepCache`, keyed by a stable spec hash) and progress
+  reporting;
+* :class:`SweepResult` — the measured points plus the fitted growth
+  class, formatted with the same claimed-vs-measured row the benchmark
+  tables print.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.complexity_fit import (
+    FitResult,
+    SweepMeasurement,
+    format_sweep_row,
+)
+from repro.exec.backends import ExecutionBackend, get_backend
+
+
+class InstanceFamily:
+    """A named instance generator over a parameter grid, memoized.
+
+    ``factory(param)`` builds the instance for one grid point.  Builds
+    are cached so that the four sweeps of a Table-1 row reuse one set of
+    instances instead of regenerating them per metric.
+    """
+
+    def __init__(self, name: str, factory: Callable, params: Sequence) -> None:
+        self.name = name
+        self.factory = factory
+        self.params = list(params)
+        self._cache: Dict[object, object] = {}
+
+    def instance(self, param):
+        key = self._key(param)
+        if key not in self._cache:
+            self._cache[key] = self.factory(param)
+        return self._cache[key]
+
+    def instances(self) -> List[object]:
+        return [self.instance(p) for p in self.params]
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+    @staticmethod
+    def _key(param) -> object:
+        return tuple(param) if isinstance(param, list) else param
+
+
+@dataclass
+class SweepSpec:
+    """One declarative sweep: what to measure over an instance family.
+
+    Either give ``algorithm_factory`` + ``metric`` (the common case: one
+    :func:`~repro.model.runner.run_algorithm` call per grid point) or a
+    custom ``measure(instance, param)`` callable for composite
+    experiments (CONGEST rounds, two-party bits, ...).
+
+    ``nodes`` optionally selects the start nodes per grid point as
+    ``nodes(instance, param)``; ``None`` means every node.
+    """
+
+    label: str
+    claimed: str
+    family: InstanceFamily
+    metric: str = "volume"
+    algorithm_factory: Optional[Callable] = None
+    nodes: Optional[Callable] = None
+    seed: int = 0
+    max_volume: Optional[int] = None
+    max_queries: Optional[int] = None
+    measure: Optional[Callable] = None
+    candidates: Optional[Sequence[str]] = None
+    cache_extra: str = ""
+
+    _METRICS = ("volume", "distance", "queries")
+
+    def __post_init__(self) -> None:
+        if self.measure is None:
+            if self.algorithm_factory is None:
+                raise ValueError(
+                    f"spec {self.label!r} needs an algorithm_factory or a "
+                    "measure callable"
+                )
+            if self.metric not in self._METRICS:
+                raise ValueError(
+                    f"unknown metric {self.metric!r} "
+                    f"(expected one of {self._METRICS})"
+                )
+
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict[str, object]:
+        """A stable descriptor of everything that affects the results."""
+        algo_name = None
+        if self.algorithm_factory is not None:
+            algo_name = self.algorithm_factory().name
+        return {
+            "label": self.label,
+            "claimed": self.claimed,
+            "family": self.family.name,
+            "family_factory": _callable_id(self.family.factory),
+            "params": [repr(p) for p in self.family.params],
+            "metric": self.metric if self.measure is None else "custom",
+            "algorithm": algo_name,
+            "nodes": _callable_id(self.nodes),
+            "measure": _callable_id(self.measure),
+            "seed": self.seed,
+            "max_volume": self.max_volume,
+            "max_queries": self.max_queries,
+            "cache_extra": self.cache_extra,
+        }
+
+    def cache_key(self) -> str:
+        blob = json.dumps(self.describe(), sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+    # ------------------------------------------------------------------
+    def measure_point(self, instance, param, backend: ExecutionBackend) -> float:
+        if self.measure is not None:
+            return float(self.measure(instance, param))
+        nodes = None if self.nodes is None else self.nodes(instance, param)
+        result = backend.run(
+            instance,
+            self.algorithm_factory(),
+            nodes,
+            seed=self.seed,
+            max_volume=self.max_volume,
+            max_queries=self.max_queries,
+        )
+        return float(getattr(result, f"max_{self.metric}"))
+
+
+def _callable_id(fn: Optional[Callable]) -> Optional[str]:
+    """Fingerprint a callable by name *and* bytecode.
+
+    Editing the body of a ``measure``/``nodes``/factory callable must
+    invalidate cached sweep results; a bare qualname would keep serving
+    stale numbers after a code change.  Plain ``repr`` is unusable (it
+    embeds object addresses), so hash the code object's bytecode and its
+    non-code constants instead.
+    """
+    if fn is None:
+        return None
+    name = getattr(fn, "__qualname__", fn.__class__.__qualname__)
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        call = getattr(type(fn), "__call__", None)
+        code = getattr(call, "__code__", None)
+    if code is None:
+        return name
+    consts = tuple(
+        c for c in code.co_consts if not hasattr(c, "co_code")
+    )
+    digest = hashlib.sha256(
+        code.co_code + repr(consts).encode()
+    ).hexdigest()[:12]
+    return f"{name}#{digest}"
+
+
+@dataclass
+class SweepPoint:
+    """One measured grid point."""
+
+    param: object
+    n: int
+    cost: float
+    elapsed: float = 0.0
+
+
+@dataclass
+class SweepResult:
+    """All points of one sweep plus fit/reporting helpers."""
+
+    spec: SweepSpec
+    points: List[SweepPoint] = field(default_factory=list)
+    from_cache: bool = False
+
+    @property
+    def ns(self) -> List[int]:
+        return [p.n for p in self.points]
+
+    @property
+    def costs(self) -> List[float]:
+        return [p.cost for p in self.points]
+
+    def measurement(self) -> SweepMeasurement:
+        return SweepMeasurement(
+            label=self.spec.label,
+            ns=self.ns,
+            costs=self.costs,
+            claimed=self.spec.claimed,
+        )
+
+    def fitted(self) -> FitResult:
+        return self.measurement().fitted(self.spec.candidates)
+
+    def format_row(self) -> str:
+        return format_sweep_row(self.measurement(), self.fitted())
+
+
+class SweepCache:
+    """On-disk result cache keyed by the spec hash.
+
+    One JSON file per spec under ``root``; a cache hit skips the whole
+    sweep.  Delete the directory (or a file) to invalidate.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    def load(self, spec: SweepSpec) -> Optional[SweepResult]:
+        path = self._path(spec)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if payload.get("describe") != _jsonify(spec.describe()):
+            return None  # hash collision or stale format: re-measure
+        if len(payload["ns"]) != len(spec.family.params):
+            return None
+        # The describe() match guarantees the stored points were measured
+        # over exactly this parameter grid, so the grid points can be
+        # restored from the spec (params may not be JSON-serializable).
+        points = [
+            SweepPoint(param=param, n=n, cost=cost)
+            for param, n, cost in zip(
+                spec.family.params, payload["ns"], payload["costs"]
+            )
+        ]
+        return SweepResult(spec=spec, points=points, from_cache=True)
+
+    def store(self, result: SweepResult) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "describe": _jsonify(result.spec.describe()),
+            "ns": result.ns,
+            "costs": result.costs,
+        }
+        self._path(result.spec).write_text(json.dumps(payload, indent=1))
+
+    def _path(self, spec: SweepSpec) -> Path:
+        return self.root / f"{spec.cache_key()}.json"
+
+
+def _jsonify(obj):
+    return json.loads(json.dumps(obj))
+
+
+def run_sweep(
+    spec: SweepSpec,
+    backend=None,
+    cache: Optional[SweepCache] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SweepResult:
+    """Execute one sweep (or load it from the cache)."""
+    backend = get_backend(backend)
+    if cache is not None:
+        hit = cache.load(spec)
+        if hit is not None:
+            if progress is not None:
+                progress(f"[{spec.label}] loaded {len(hit.points)} cached points")
+            return hit
+    result = SweepResult(spec=spec)
+    total = len(spec.family.params)
+    for index, param in enumerate(spec.family.params, start=1):
+        instance = spec.family.instance(param)
+        started = time.perf_counter()
+        cost = spec.measure_point(instance, param, backend)
+        elapsed = time.perf_counter() - started
+        n = instance.graph.num_nodes
+        result.points.append(
+            SweepPoint(param=param, n=n, cost=cost, elapsed=elapsed)
+        )
+        if progress is not None:
+            progress(
+                f"[{spec.label}] {index}/{total}: n={n} "
+                f"{spec.metric if spec.measure is None else 'cost'}={cost:g} "
+                f"({elapsed:.2f}s)"
+            )
+    if cache is not None:
+        cache.store(result)
+    return result
+
+
+def run_sweeps(
+    specs: Iterable[SweepSpec],
+    backend=None,
+    cache: Optional[SweepCache] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[SweepResult]:
+    """Execute a batch of sweeps on one backend, in order."""
+    backend = get_backend(backend)
+    return [run_sweep(s, backend, cache=cache, progress=progress) for s in specs]
+
+
+def cache_from_env(var: str = "REPRO_SWEEP_CACHE") -> Optional[SweepCache]:
+    """A :class:`SweepCache` rooted at ``$REPRO_SWEEP_CACHE``, if set."""
+    root = os.environ.get(var)
+    return SweepCache(root) if root else None

@@ -104,12 +104,8 @@ def simulate_two_party(
     view = ProbeView(
         oracle,
         root,
-        RandomnessContext(
-            tapes,
-            algorithm.randomness,
-            root,
-            lambda nid: view.is_visited(nid),  # noqa: B023
-        ),
+        # ProbeView binds its visited-set predicate to the context.
+        RandomnessContext(tapes, algorithm.randomness, root),
     )
     output = algorithm.run(view)
     g_value = 1 if isinstance(output, tuple) and output[0] == BALANCED else 0

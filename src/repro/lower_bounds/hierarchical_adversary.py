@@ -294,9 +294,7 @@ def _simulate(oracle, algorithm, node, budget):
     view = ProbeView(
         oracle,
         node,
-        RandomnessContext(
-            None, RandomnessModel.DETERMINISTIC, node, lambda nid: True
-        ),
+        RandomnessContext(None, RandomnessModel.DETERMINISTIC, node),
         max_volume=budget,
     )
     try:

@@ -153,9 +153,7 @@ def duel_leaf_coloring(
     view = ProbeView(
         oracle,
         oracle.ROOT,
-        RandomnessContext(
-            None, RandomnessModel.DETERMINISTIC, oracle.ROOT, lambda nid: True
-        ),
+        RandomnessContext(None, RandomnessModel.DETERMINISTIC, oracle.ROOT),
         max_queries=budget,
     )
     try:

@@ -27,7 +27,7 @@ from repro.graphs.tree_structure import (
     right_child_node,
 )
 from repro.model.probe import ProbeAlgorithm, ProbeView
-from repro.model.runner import solve_and_check
+from repro.model.runner import success_probability
 from repro.model.views import ProbeTopology
 from repro.problems.leaf_coloring import LeafColoring
 
@@ -83,35 +83,48 @@ class HorizonSweepPoint:
     success_probability: float
 
 
+class _HardInstanceDraw:
+    """Picklable per-trial draw from the hard distribution."""
+
+    def __init__(self, depth: int, base_seed: int) -> None:
+        self.depth = depth
+        self.base_seed = base_seed
+
+    def __call__(self, trial: int):
+        rnd = random.Random(self.base_seed * 1_000_003 + trial)
+        return hard_leaf_coloring_instance(self.depth, rng=rnd)
+
+
 def horizon_sweep(
     depth: int,
     horizons: List[int],
     trials: int = 40,
     base_seed: int = 0,
+    backend=None,
 ) -> List[HorizonSweepPoint]:
     """Success probability of the horizon-limited solver vs the horizon.
 
     Each trial draws a fresh instance from the hard distribution (fresh
     coin for χ0).  The paper's prediction: ≈ 1/2 below the depth, 1 at or
-    above it.
+    above it.  ``backend`` dispatches the trials (see ``repro.exec``).
     """
     problem = LeafColoring()
+    draw = _HardInstanceDraw(depth, base_seed)
     results: List[HorizonSweepPoint] = []
     for horizon in horizons:
-        algorithm = HorizonLimitedLeafColoring(horizon)
-        successes = 0
-        for trial in range(trials):
-            rnd = random.Random(base_seed * 1_000_003 + trial)
-            instance = hard_leaf_coloring_instance(depth, rng=rnd)
-            report = solve_and_check(problem, instance, algorithm)
-            if report.valid:
-                successes += 1
+        probability = success_probability(
+            problem,
+            draw,
+            HorizonLimitedLeafColoring(horizon),
+            trials,
+            backend=backend,
+        )
         results.append(
             HorizonSweepPoint(
                 horizon=horizon,
                 depth=depth,
                 trials=trials,
-                success_probability=successes / trials,
+                success_probability=probability,
             )
         )
     return results

@@ -85,6 +85,11 @@ class ProbeView:
         self._visited: Dict[int, NodeInfo] = {}
         self._adjacency: Dict[int, Set[int]] = {start: set()}
         self._queries = 0
+        if not randomness.has_visibility:
+            # The private-randomness discipline needs to know which nodes
+            # this execution has visited; the view *is* that knowledge, so
+            # the predicate can only be bound once the view exists.
+            randomness.bind_visibility(self.is_visited)
         self._record_visit(oracle.node_info(start))
 
     # ------------------------------------------------------------------
@@ -225,15 +230,11 @@ def execute_at(
     Budget overruns are converted into the algorithm's fallback output with
     ``truncated=True`` in the profile, matching Remark 3.11.
     """
+    context = RandomnessContext(tape_store, algorithm.randomness, node)
     view = ProbeView(
         oracle,
         node,
-        RandomnessContext(
-            tape_store,
-            algorithm.randomness,
-            node,
-            readable=lambda nid: nid in view._visited,  # noqa: B023
-        ),
+        context,  # ProbeView binds its visited-set predicate to the context
         max_volume=max_volume,
         max_queries=max_queries,
     )

@@ -96,7 +96,11 @@ class RandomnessContext:
 
     ``owner`` is the node the execution was initiated at; ``readable`` is a
     callback telling whether a node has been visited (for the private
-    model, where querying a node reveals its string).
+    model, where querying a node reveals its string).  It may be left
+    unset at construction time and supplied later via
+    :meth:`bind_visibility` — the probe engine constructs the context
+    first and binds the view's visited-set predicate once the view
+    exists.
     """
 
     def __init__(
@@ -104,13 +108,25 @@ class RandomnessContext:
         store: Optional[TapeStore],
         model: RandomnessModel,
         owner: int,
-        readable,
+        readable=None,
     ) -> None:
         self._store = store
         self._model = model
         self._owner = owner
         self._readable = readable
         self.bits_read = 0
+
+    def bind_visibility(self, readable) -> None:
+        """Supply the visited-set predicate after construction.
+
+        Used by :class:`~repro.model.probe.ProbeView`, which cannot exist
+        before the context it is constructed with.
+        """
+        self._readable = readable
+
+    @property
+    def has_visibility(self) -> bool:
+        return self._readable is not None
 
     @property
     def model(self) -> RandomnessModel:
@@ -132,9 +148,16 @@ class RandomnessContext:
                 f"secret-randomness execution at {self._owner} tried to read "
                 f"the tape of node {node_id}"
             )
-        if self._model is RandomnessModel.PRIVATE and not self._readable(node_id):
-            raise RandomnessError(
-                f"private tape of {node_id} read before the node was visited"
-            )
+        if self._model is RandomnessModel.PRIVATE:
+            if self._readable is None:
+                raise RandomnessError(
+                    "private-randomness context has no visibility predicate; "
+                    "bind one with bind_visibility() before reading tapes"
+                )
+            if not self._readable(node_id):
+                raise RandomnessError(
+                    f"private tape of {node_id} read before the node was "
+                    "visited"
+                )
         self.bits_read += 1
         return self._store.tape_for(node_id).bit(index)

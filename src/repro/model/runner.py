@@ -5,6 +5,12 @@ Definition 2.4: an algorithm solves a problem when the per-node outputs
 the algorithm once from *every* node (they share one tape store, so a
 randomized run is one joint sample of all nodes' strings), aggregates the
 cost profiles, and checks validity against the problem's checker.
+
+*How* the per-node executions are dispatched is delegated to an
+:class:`~repro.exec.backends.ExecutionBackend`: every entry point takes a
+``backend=`` argument (``None`` → serial, the reference semantics; other
+backends are drop-in and produce bitwise-identical results — see
+``repro.exec``).
 """
 
 from __future__ import annotations
@@ -14,14 +20,18 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 from repro.graphs.labelings import Instance
-from repro.model.oracle import StaticOracle
-from repro.model.probe import CostProfile, ProbeAlgorithm, execute_at
-from repro.model.randomness import TapeStore
+from repro.model.probe import CostProfile, ProbeAlgorithm
 
 
 @dataclass
 class RunResult:
-    """Outputs and cost profiles of one whole-instance run."""
+    """Outputs and cost profiles of one whole-instance run.
+
+    The worst-case cost properties read as 0 on an empty run (no started
+    executions — e.g. ``run_algorithm(..., nodes=[])``): the maximum over
+    an empty set of executions is vacuously zero cost here, and returning
+    0 beats surfacing a bare ``max() arg is an empty sequence``.
+    """
 
     algorithm: str
     instance: str
@@ -31,19 +41,21 @@ class RunResult:
     @property
     def max_volume(self) -> int:
         """``VOL_n(A)`` on this instance: the worst per-node volume."""
-        return max(p.volume for p in self.profiles.values())
+        return max((p.volume for p in self.profiles.values()), default=0)
 
     @property
     def max_distance(self) -> int:
         """``DIST_n(A)`` on this instance: the worst per-node distance."""
-        return max(p.distance for p in self.profiles.values())
+        return max((p.distance for p in self.profiles.values()), default=0)
 
     @property
     def max_queries(self) -> int:
-        return max(p.queries for p in self.profiles.values())
+        return max((p.queries for p in self.profiles.values()), default=0)
 
     @property
     def mean_volume(self) -> float:
+        if not self.profiles:
+            return 0.0
         return statistics.fmean(p.volume for p in self.profiles.values())
 
     @property
@@ -62,24 +74,25 @@ def run_algorithm(
     nodes: Optional[Iterable[int]] = None,
     max_volume: Optional[int] = None,
     max_queries: Optional[int] = None,
+    backend=None,
 ) -> RunResult:
-    """Execute ``algorithm`` from every node (or the given subset)."""
-    oracle = StaticOracle(instance)
-    tapes = TapeStore(seed) if algorithm.is_randomized else None
-    result = RunResult(algorithm=algorithm.name, instance=instance.name)
-    node_iter = instance.graph.nodes() if nodes is None else nodes
-    for node in node_iter:
-        output, profile = execute_at(
-            oracle,
-            algorithm,
-            node,
-            tape_store=tapes,
-            max_volume=max_volume,
-            max_queries=max_queries,
-        )
-        result.outputs[node] = output
-        result.profiles[node] = profile
-    return result
+    """Execute ``algorithm`` from every node (or the given subset).
+
+    ``backend`` selects the execution strategy (an
+    :class:`~repro.exec.backends.ExecutionBackend`, a name like
+    ``"process:4"``, or ``None`` for serial); all backends return
+    identical results for identical seeds.
+    """
+    from repro.exec.backends import get_backend
+
+    return get_backend(backend).run(
+        instance,
+        algorithm,
+        nodes,
+        seed=seed,
+        max_volume=max_volume,
+        max_queries=max_queries,
+    )
 
 
 @dataclass
@@ -106,6 +119,7 @@ def solve_and_check(
     seed: int = 0,
     max_volume: Optional[int] = None,
     max_queries: Optional[int] = None,
+    backend=None,
 ) -> SolveReport:
     """Run the algorithm on the full instance and verify its output."""
     run = run_algorithm(
@@ -114,6 +128,7 @@ def solve_and_check(
         seed=seed,
         max_volume=max_volume,
         max_queries=max_queries,
+        backend=backend,
     )
     violations = problem.validate(instance, run.outputs)
     return SolveReport(run=run, valid=not violations, violations=violations)
@@ -127,27 +142,30 @@ def success_probability(
     base_seed: int = 0,
     max_volume: Optional[int] = None,
     max_queries: Optional[int] = None,
+    backend=None,
 ) -> float:
     """Fraction of independent trials in which the algorithm solved Π.
 
     ``instance_factory(trial_index)`` supplies the input for each trial
     (fixed instance, or a fresh draw from a hard distribution as in the
     Proposition 3.12 experiment); trial ``i`` uses seed ``base_seed + i``.
+
+    With a :class:`~repro.exec.backends.BatchBackend` the per-trial
+    oracle construction is amortized across trials on a repeated
+    instance; a :class:`~repro.exec.backends.ProcessPoolBackend` fans the
+    trials out across workers.  The value is backend-independent.
     """
-    successes = 0
-    for trial in range(trials):
-        instance = instance_factory(trial)
-        report = solve_and_check(
-            problem,
-            instance,
-            algorithm,
-            seed=base_seed + trial,
-            max_volume=max_volume,
-            max_queries=max_queries,
-        )
-        if report.valid:
-            successes += 1
-    return successes / trials
+    from repro.exec.backends import get_backend
+
+    return get_backend(backend).success_probability(
+        problem,
+        instance_factory,
+        algorithm,
+        trials,
+        base_seed=base_seed,
+        max_volume=max_volume,
+        max_queries=max_queries,
+    )
 
 
 # Imported late to avoid a cycle: problems import model pieces too.

@@ -1,0 +1,218 @@
+"""Backend equivalence: every backend must match the serial reference.
+
+The load-bearing property (module docstring of ``repro.exec.backends``):
+random tapes are seeded per ``(seed, node_id)``, so executions are
+order- and process-independent and parallel dispatch must be *bitwise*
+identical to serial — same outputs, same profiles, same probabilities.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.balanced_tree_algs import BalancedTreeDistanceSolver
+from repro.algorithms.leaf_coloring_algs import RWtoLeaf, SecretRWtoLeaf
+from repro.exec.backends import (
+    BatchBackend,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    get_backend,
+)
+from repro.graphs.generators import (
+    balanced_tree_instance,
+    leaf_coloring_instance,
+)
+from repro.model.probe import ProbeAlgorithm
+from repro.model.runner import run_algorithm, success_probability
+from repro.problems.leaf_coloring import LeafColoring
+
+
+@pytest.fixture(scope="module")
+def pool():
+    backend = ProcessPoolBackend(workers=2, chunk_size=16)
+    yield backend
+    backend.close()
+
+
+def assert_bitwise_equal(a, b):
+    assert a.outputs == b.outputs
+    assert a.profiles == b.profiles
+    assert a.algorithm == b.algorithm
+    assert a.instance == b.instance
+
+
+class TestRunEquivalence:
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_randomized_walk_serial_vs_process(self, pool, seed):
+        """Property: same seed → identical RunResults on both backends."""
+        instance = leaf_coloring_instance(5, rng=random.Random(3))
+        serial = run_algorithm(
+            instance, RWtoLeaf(), seed=seed, backend=SerialBackend()
+        )
+        parallel = run_algorithm(
+            instance, RWtoLeaf(), seed=seed, backend=pool
+        )
+        assert_bitwise_equal(serial, parallel)
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_secret_randomness_serial_vs_process(self, pool, seed):
+        instance = leaf_coloring_instance(4, rng=random.Random(9))
+        serial = run_algorithm(instance, SecretRWtoLeaf(), seed=seed)
+        parallel = run_algorithm(
+            instance, SecretRWtoLeaf(), seed=seed, backend=pool
+        )
+        assert_bitwise_equal(serial, parallel)
+
+    def test_deterministic_solver_all_backends(self, pool):
+        instance = balanced_tree_instance(4, rng=random.Random(1))
+        reference = run_algorithm(instance, BalancedTreeDistanceSolver())
+        for backend in (BatchBackend(), pool):
+            other = run_algorithm(
+                instance, BalancedTreeDistanceSolver(), backend=backend
+            )
+            assert_bitwise_equal(reference, other)
+
+    def test_node_subset_preserves_order_and_content(self, pool):
+        instance = leaf_coloring_instance(5, rng=random.Random(2))
+        nodes = sorted(instance.graph.nodes())[::3]
+        serial = run_algorithm(instance, RWtoLeaf(), seed=11, nodes=nodes)
+        parallel = run_algorithm(
+            instance, RWtoLeaf(), seed=11, nodes=nodes, backend=pool
+        )
+        assert list(serial.outputs) == nodes
+        assert list(parallel.outputs) == nodes
+        assert_bitwise_equal(serial, parallel)
+
+    def test_truncation_profiles_identical(self, pool):
+        instance = leaf_coloring_instance(5, rng=random.Random(4))
+        serial = run_algorithm(instance, RWtoLeaf(), seed=5, max_volume=6)
+        parallel = run_algorithm(
+            instance, RWtoLeaf(), seed=5, max_volume=6, backend=pool
+        )
+        assert_bitwise_equal(serial, parallel)
+        assert serial.truncated_nodes == parallel.truncated_nodes
+
+
+def _fresh_instance(trial):
+    return leaf_coloring_instance(4, rng=random.Random(trial))
+
+
+class TestSuccessProbabilityEquivalence:
+    @settings(max_examples=5, deadline=None)
+    @given(base_seed=st.integers(min_value=0, max_value=2**20))
+    def test_all_backends_agree(self, pool, base_seed):
+        problem = LeafColoring()
+        values = {
+            backend.name: success_probability(
+                problem,
+                _fresh_instance,
+                RWtoLeaf(),
+                trials=6,
+                base_seed=base_seed,
+                backend=backend,
+            )
+            for backend in (SerialBackend(), BatchBackend(), pool)
+        }
+        assert len(set(values.values())) == 1, values
+
+    def test_unpicklable_factory_falls_back_to_serial(self):
+        problem = LeafColoring()
+        backend = ProcessPoolBackend(workers=2, chunk_size=1)
+        try:
+            p = success_probability(
+                problem,
+                lambda t: leaf_coloring_instance(4, rng=random.Random(t)),
+                RWtoLeaf(),
+                trials=4,
+                backend=backend,
+            )
+        finally:
+            backend.close()
+        serial = success_probability(
+            problem, _fresh_instance, RWtoLeaf(), trials=4
+        )
+        assert p == serial
+
+    def test_zero_trials_rejected(self):
+        with pytest.raises(ValueError):
+            success_probability(
+                LeafColoring(), _fresh_instance, RWtoLeaf(), trials=0
+            )
+
+
+class TestBatchBackend:
+    def test_oracle_reused_for_same_instance(self):
+        backend = BatchBackend()
+        instance = leaf_coloring_instance(3)
+        o1 = backend._oracle_for(instance)
+        o2 = backend._oracle_for(instance)
+        assert o1 is o2
+
+    def test_cache_eviction_bounded(self):
+        backend = BatchBackend(max_cached=2)
+        instances = [leaf_coloring_instance(3) for _ in range(5)]
+        for instance in instances:
+            backend._oracle_for(instance)
+        assert len(backend._oracles) == 2
+
+
+class TestGetBackend:
+    def test_resolution(self):
+        assert isinstance(get_backend(None), SerialBackend)
+        assert isinstance(get_backend("serial"), SerialBackend)
+        assert isinstance(get_backend("batch"), BatchBackend)
+        pool = get_backend("process:3")
+        assert isinstance(pool, ProcessPoolBackend)
+        assert pool.workers == 3
+        passthrough = SerialBackend()
+        assert get_backend(passthrough) is passthrough
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            get_backend("gpu")
+        with pytest.raises(ValueError):
+            get_backend(42)
+
+    def test_custom_backend_is_pluggable(self):
+        calls = []
+
+        class CountingBackend(SerialBackend):
+            name = "counting"
+
+            def run(self, instance, algorithm, nodes=None, **kw):
+                calls.append(algorithm.name)
+                return super().run(instance, algorithm, nodes, **kw)
+
+        instance = leaf_coloring_instance(3)
+
+        class Const(ProbeAlgorithm):
+            name = "const"
+
+            def run(self, view):
+                return "ok"
+
+        result = run_algorithm(instance, Const(), backend=CountingBackend())
+        assert calls == ["const"]
+        assert set(result.outputs.values()) == {"ok"}
+
+    def test_abc_not_instantiable(self):
+        with pytest.raises(TypeError):
+            ExecutionBackend()
+
+
+class TestEmptyRunResult:
+    def test_empty_nodes_run_is_zero_cost(self):
+        instance = leaf_coloring_instance(3)
+        result = run_algorithm(instance, RWtoLeaf(), nodes=[])
+        assert result.outputs == {}
+        assert result.max_volume == 0
+        assert result.max_distance == 0
+        assert result.max_queries == 0
+        assert result.mean_volume == 0.0
+        assert result.total_random_bits == 0
+        assert result.truncated_nodes == []

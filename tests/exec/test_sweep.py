@@ -1,0 +1,196 @@
+"""Sweep orchestrator: declarative specs, caching, reporting."""
+
+import random
+
+import pytest
+
+from repro.algorithms.leaf_coloring_algs import (
+    LeafColoringDistanceSolver,
+    LeafColoringFullGather,
+    RWtoLeaf,
+)
+from repro.exec.backends import ProcessPoolBackend, SerialBackend
+from repro.exec.sweep import (
+    InstanceFamily,
+    SweepCache,
+    SweepSpec,
+    cache_from_env,
+    run_sweep,
+    run_sweeps,
+)
+from repro.graphs.generators import leaf_coloring_instance
+
+
+def leaf_family(params=(3, 4, 5)):
+    return InstanceFamily(
+        "leaf-coloring",
+        lambda d: leaf_coloring_instance(d, rng=random.Random(d)),
+        params,
+    )
+
+
+class TestInstanceFamily:
+    def test_memoizes_builds(self):
+        builds = []
+
+        def factory(d):
+            builds.append(d)
+            return leaf_coloring_instance(d)
+
+        family = InstanceFamily("leaf", factory, [3, 4])
+        a = family.instance(3)
+        b = family.instance(3)
+        assert a is b
+        family.instances()
+        assert builds == [3, 4]
+        family.clear()
+        family.instance(3)
+        assert builds == [3, 4, 3]
+
+    def test_list_params_hashable(self):
+        family = InstanceFamily(
+            "leaf", lambda p: leaf_coloring_instance(p[0]), [[3, 0], [4, 1]]
+        )
+        assert family.instance([3, 0]) is family.instance([3, 0])
+
+
+class TestSweepSpec:
+    def test_requires_algorithm_or_measure(self):
+        with pytest.raises(ValueError):
+            SweepSpec("x", "Θ(n)", leaf_family())
+
+    def test_rejects_unknown_metric(self):
+        with pytest.raises(ValueError):
+            SweepSpec("x", "Θ(n)", leaf_family(), "rounds", RWtoLeaf)
+
+    def test_cache_key_stable_and_sensitive(self):
+        family = leaf_family()
+        a = SweepSpec("x", "Θ(n)", family, "volume", RWtoLeaf, seed=1)
+        b = SweepSpec("x", "Θ(n)", family, "volume", RWtoLeaf, seed=1)
+        c = SweepSpec("x", "Θ(n)", family, "volume", RWtoLeaf, seed=2)
+        assert a.cache_key() == b.cache_key()
+        assert a.cache_key() != c.cache_key()
+
+
+class TestRunSweep:
+    def test_measures_all_points(self):
+        spec = SweepSpec(
+            "walk volume", "Θ(log n)", leaf_family(), "volume", RWtoLeaf,
+            seed=7, candidates=["log n", "n"],
+        )
+        result = run_sweep(spec)
+        assert len(result.points) == 3
+        assert result.ns == [15, 31, 63]
+        assert all(c >= 1 for c in result.costs)
+        assert result.fitted().best == "log n"
+        assert "claimed" in result.format_row()
+
+    def test_nodes_selector(self):
+        spec = SweepSpec(
+            "root gather", "Θ(n)", leaf_family(), "volume",
+            LeafColoringFullGather,
+            nodes=lambda inst, d: [inst.meta["root"]],
+        )
+        result = run_sweep(spec)
+        assert result.costs == [15.0, 31.0, 63.0]
+
+    def test_custom_measure(self):
+        spec = SweepSpec(
+            "graph size", "Θ(n)", leaf_family(),
+            measure=lambda inst, d: inst.graph.num_nodes,
+        )
+        result = run_sweep(spec)
+        assert result.costs == result.ns
+
+    def test_backend_equivalence(self):
+        spec = SweepSpec(
+            "walk volume", "Θ(log n)", leaf_family(), "volume", RWtoLeaf,
+            seed=3,
+        )
+        serial = run_sweep(spec, SerialBackend())
+        with ProcessPoolBackend(workers=2, chunk_size=8) as pool:
+            parallel = run_sweep(spec, pool)
+        assert serial.costs == parallel.costs
+
+    def test_progress_reporting(self):
+        lines = []
+        spec = SweepSpec(
+            "walk", "Θ(log n)", leaf_family((3, 4)), "volume", RWtoLeaf
+        )
+        run_sweep(spec, progress=lines.append)
+        assert len(lines) == 2
+        assert "[walk] 1/2" in lines[0]
+
+    def test_run_sweeps_batch(self):
+        family = leaf_family()
+        results = run_sweeps([
+            SweepSpec("dist", "Θ(log n)", family, "distance",
+                      LeafColoringDistanceSolver),
+            SweepSpec("vol", "Θ(log n)", family, "volume", RWtoLeaf),
+        ])
+        assert [r.spec.label for r in results] == ["dist", "vol"]
+
+
+class TestSweepCache:
+    def test_round_trip(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        spec = SweepSpec(
+            "walk", "Θ(log n)", leaf_family(), "volume", RWtoLeaf, seed=7
+        )
+        measured = run_sweep(spec, cache=cache)
+        assert not measured.from_cache
+        hits = []
+        cached = run_sweep(spec, cache=cache, progress=hits.append)
+        assert cached.from_cache
+        assert cached.ns == measured.ns
+        assert cached.costs == measured.costs
+        assert [p.param for p in cached.points] == [3, 4, 5]
+        assert any("cached" in line for line in hits)
+
+    def test_spec_change_invalidates(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        family = leaf_family()
+        run_sweep(
+            SweepSpec("walk", "Θ(log n)", family, "volume", RWtoLeaf, seed=7),
+            cache=cache,
+        )
+        other = run_sweep(
+            SweepSpec("walk", "Θ(log n)", family, "volume", RWtoLeaf, seed=8),
+            cache=cache,
+        )
+        assert not other.from_cache
+
+    def test_measure_body_edit_invalidates(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        family = leaf_family()
+        first = run_sweep(
+            SweepSpec("m", "Θ(n)", family,
+                      measure=lambda inst, d: inst.graph.num_nodes),
+            cache=cache,
+        )
+        # Same label/family/qualname, different body: must re-measure.
+        second = run_sweep(
+            SweepSpec("m", "Θ(n)", family,
+                      measure=lambda inst, d: 2 * inst.graph.num_nodes),
+            cache=cache,
+        )
+        assert not second.from_cache
+        assert second.costs == [2 * c for c in first.costs]
+
+    def test_corrupt_file_remeasures(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        spec = SweepSpec(
+            "walk", "Θ(log n)", leaf_family(), "volume", RWtoLeaf
+        )
+        run_sweep(spec, cache=cache)
+        cache._path(spec).write_text("{not json")
+        result = run_sweep(spec, cache=cache)
+        assert not result.from_cache
+
+    def test_cache_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_CACHE", raising=False)
+        assert cache_from_env() is None
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path))
+        cache = cache_from_env()
+        assert cache is not None
+        assert cache.root == tmp_path
