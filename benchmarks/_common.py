@@ -20,6 +20,7 @@ from __future__ import annotations
 import os
 from typing import List, Sequence
 
+import repro.suites as suites
 from repro.exec.backends import get_backend
 from repro.exec.sweep import (
     InstanceFamily,
@@ -28,17 +29,7 @@ from repro.exec.sweep import (
     cache_from_env,
     run_sweeps,
 )
-
-# Candidate growth classes shared by the Table-1 style benches.
-DIST_CANDIDATES = ["log log n", "log n", "n^{1/3}", "n^{1/2}", "n"]
-VOL_CANDIDATES = [
-    "log n",
-    "log^2 n",
-    "n^{1/3}",
-    "n^{1/2}",
-    "n^{1/2} log n",
-    "n",
-]
+from repro.suites import DIST_CANDIDATES, VOL_CANDIDATES
 
 BACKEND = get_backend(os.environ.get("REPRO_BENCH_BACKEND"))
 CACHE = cache_from_env()
@@ -61,6 +52,21 @@ def report_sweeps(specs: Sequence[SweepSpec]) -> List[SweepResult]:
     return results
 
 
+def run_suite(name: str) -> List[SweepResult]:
+    """Run a named :mod:`repro.suites` suite on the configured backend.
+
+    The same suite (same specs, families, seeds) is what
+    ``repro sweep <name>`` executes, so the table scripts and the CLI
+    share one code path.
+    """
+    return suites.run_suite(
+        name,
+        backend=BACKEND,
+        cache=CACHE,
+        progress=print if VERBOSE else None,
+    )
+
+
 def once(benchmark, fn):
     """Run a measurement exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
@@ -76,4 +82,5 @@ __all__ = [
     "banner",
     "once",
     "report_sweeps",
+    "run_suite",
 ]

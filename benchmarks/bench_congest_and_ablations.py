@@ -176,7 +176,11 @@ def test_ablation_waypoint_probability(benchmark):
             print(
                 f"factor {factor:<5} max volume {max(volumes):<6} "
                 f"failures {failures}/5"
-                + ("   (paper wants c ≥ 3: small factors may fail)" if factor < 1 else "")
+                + (
+                    "   (paper wants c ≥ 3: small factors may fail)"
+                    if factor < 1
+                    else ""
+                )
             )
 
     once(benchmark, run)

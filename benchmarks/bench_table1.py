@@ -1,226 +1,36 @@
 """E1 — Table 1: the four complexities of all five constructions.
 
-For each problem we declare one :class:`InstanceFamily` over the hard
-sizes its proofs use plus a :class:`SweepSpec` per Table-1 row, and hand
-the batch to the sweep orchestrator (which fits the growth class and
-prints claimed vs measured).  Set ``REPRO_BENCH_BACKEND=process:4`` to
-fan each sweep's start nodes out over a worker pool.
+Each construction's four sweeps (family, algorithms, seeds, start nodes,
+candidate growth classes) live as a *named suite* in
+:mod:`repro.suites`, built from the component registry; this script is a
+thin wrapper that executes the suites under pytest-benchmark timing.
+``repro sweep table1/<name>`` runs the identical specs from the command
+line.  Set ``REPRO_BENCH_BACKEND=process:4`` to fan each sweep's start
+nodes out over a worker pool.
 
 D-VOL rows: the Θ̃(n) lower bounds are adversarial (Props 3.13 / 4.9 /
-5.20 — see bench_prop313/49/520); here we report the matching O(n)
+5.20 — see bench_prop313/49/520); the suites report the matching O(n)
 upper bound (full gather) so the fitted class is the claimed one.
 """
 
-import random
-
-from _common import (
-    DIST_CANDIDATES,
-    VOL_CANDIDATES,
-    InstanceFamily,
-    SweepSpec,
-    banner,
-    once,
-    report_sweeps,
-)
-
-from repro.algorithms.balanced_tree_algs import (
-    BalancedTreeDistanceSolver,
-    BalancedTreeFullGather,
-)
-from repro.algorithms.hh_algs import HHDistanceSolver, HHFullGather, HHWaypointSolver
-from repro.algorithms.hierarchical_algs import (
-    HierarchicalFullGather,
-    RecursiveHTHC,
-    WaypointHTHC,
-)
-from repro.algorithms.hybrid_algs import (
-    HybridDistanceSolver,
-    HybridFullGather,
-    HybridWaypointSolver,
-)
-from repro.algorithms.leaf_coloring_algs import (
-    LeafColoringDistanceSolver,
-    LeafColoringFullGather,
-    RWtoLeaf,
-)
-from repro.graphs.generators import (
-    balanced_tree_instance,
-    hh_thc_instance,
-    hierarchical_thc_instance,
-    hybrid_thc_instance,
-    leaf_coloring_instance,
-)
-
-
-def root_only(instance, param):
-    return [instance.meta["root"]]
+from _common import once, run_suite
 
 
 def test_table1_leaf_coloring(benchmark):
-    family = InstanceFamily(
-        "leaf-coloring",
-        lambda d: leaf_coloring_instance(d, rng=random.Random(d)),
-        [4, 5, 6, 7, 8],
-    )
-
-    def run():
-        banner("Table 1 — LeafColoring (§3): claims log n, log n, log n, n")
-        report_sweeps([
-            SweepSpec("LeafColoring R-DIST", "Θ(log n)", family, "distance",
-                      LeafColoringDistanceSolver, candidates=DIST_CANDIDATES),
-            SweepSpec("LeafColoring D-DIST", "Θ(log n)", family, "distance",
-                      LeafColoringDistanceSolver, candidates=DIST_CANDIDATES),
-            SweepSpec("LeafColoring R-VOL", "Θ(log n)", family, "volume",
-                      RWtoLeaf, seed=7, candidates=VOL_CANDIDATES),
-            SweepSpec("LeafColoring D-VOL", "Θ(n)", family, "volume",
-                      LeafColoringFullGather, nodes=root_only,
-                      candidates=VOL_CANDIDATES),
-        ])
-
-    once(benchmark, run)
+    once(benchmark, lambda: run_suite("table1/leaf-coloring"))
 
 
 def test_table1_balanced_tree(benchmark):
-    family = InstanceFamily(
-        "balanced-tree",
-        lambda d: balanced_tree_instance(d, rng=random.Random(d)),
-        [3, 4, 5, 6, 7, 8],
-    )
-
-    def run():
-        banner("Table 1 — BalancedTree (§4): claims log n, log n, n, n")
-        report_sweeps([
-            SweepSpec("BalancedTree R-DIST", "Θ(log n)", family, "distance",
-                      BalancedTreeDistanceSolver, candidates=DIST_CANDIDATES),
-            SweepSpec("BalancedTree D-DIST", "Θ(log n)", family, "distance",
-                      BalancedTreeDistanceSolver, candidates=DIST_CANDIDATES),
-            SweepSpec("BalancedTree R-VOL", "Θ(n)", family, "volume",
-                      BalancedTreeFullGather, nodes=root_only,
-                      candidates=VOL_CANDIDATES),
-            SweepSpec("BalancedTree D-VOL", "Θ(n)", family, "volume",
-                      BalancedTreeFullGather, nodes=root_only,
-                      candidates=VOL_CANDIDATES),
-        ])
-
-    once(benchmark, run)
+    once(benchmark, lambda: run_suite("table1/balanced-tree"))
 
 
 def test_table1_hierarchical_thc(benchmark):
-    family = InstanceFamily(
-        "hierarchical-thc-2",
-        lambda m: hierarchical_thc_instance(2, m, rng=random.Random(m)),
-        [4, 8, 12, 16, 24],
-    )
-
-    def backbone_probes(instance, m):
-        # Top backbone ends + the last node of the instance.
-        return [1, m // 2 + 1, m, instance.graph.num_nodes]
-
-    def run():
-        banner(
-            "Table 1 — Hierarchical-THC(2) (§5): claims n^1/2, n^1/2, "
-            "Θ̃(n^1/2), Θ̃(n)"
-        )
-        report_sweeps([
-            SweepSpec("Hierarchical-THC(2) R-DIST", "Θ(n^{1/2})", family,
-                      "distance", lambda: RecursiveHTHC(2),
-                      nodes=backbone_probes, candidates=DIST_CANDIDATES),
-            SweepSpec("Hierarchical-THC(2) D-DIST", "Θ(n^{1/2})", family,
-                      "distance", lambda: RecursiveHTHC(2),
-                      nodes=backbone_probes, candidates=DIST_CANDIDATES),
-            SweepSpec("Hierarchical-THC(2) R-VOL", "Θ̃(n^{1/2})", family,
-                      "volume", lambda: WaypointHTHC(2), seed=3,
-                      nodes=backbone_probes, candidates=VOL_CANDIDATES),
-            SweepSpec("Hierarchical-THC(2) D-VOL", "Θ̃(n)", family,
-                      "volume", lambda: HierarchicalFullGather(2),
-                      nodes=lambda inst, m: [1], candidates=VOL_CANDIDATES),
-        ])
-        print(
-            "  (D-VOL lower bound is adversarial: see bench_prop520; the "
-            "row above is the matching O(n) upper bound)"
-        )
-
-    once(benchmark, run)
+    once(benchmark, lambda: run_suite("table1/hierarchical-thc"))
 
 
 def test_table1_hybrid_thc(benchmark):
-    family = InstanceFamily(
-        "hybrid-thc-2",
-        lambda shape: hybrid_thc_instance(
-            2, shape[0], shape[1], rng=random.Random(shape[0])
-        ),
-        [(2, 2), (3, 3), (4, 4), (5, 5), (6, 6), (7, 7)],
-    )
-
-    def waypoint_probes(instance, shape):
-        return [instance.meta["root"]] + instance.meta["bt_roots"][:2]
-
-    def run():
-        banner(
-            "Table 1 — Hybrid-THC(2) (§6): claims log n, log n, "
-            "Θ̃(n^1/2), Θ̃(n)"
-        )
-        report_sweeps([
-            SweepSpec("Hybrid-THC(2) R-DIST", "Θ(log n)", family, "distance",
-                      lambda: HybridDistanceSolver(2),
-                      candidates=DIST_CANDIDATES),
-            SweepSpec("Hybrid-THC(2) D-DIST", "Θ(log n)", family, "distance",
-                      lambda: HybridDistanceSolver(2),
-                      candidates=DIST_CANDIDATES),
-            SweepSpec("Hybrid-THC(2) R-VOL", "Θ̃(n^{1/2})", family, "volume",
-                      lambda: HybridWaypointSolver(2), seed=5,
-                      nodes=waypoint_probes, candidates=VOL_CANDIDATES),
-            SweepSpec("Hybrid-THC(2) D-VOL", "Θ̃(n)", family, "volume",
-                      lambda: HybridFullGather(2), nodes=root_only,
-                      candidates=VOL_CANDIDATES),
-        ])
-
-    once(benchmark, run)
+    once(benchmark, lambda: run_suite("table1/hybrid-thc"))
 
 
 def test_table1_hh_thc(benchmark):
-    # Both populations scaled to comparable sizes so the combined-n
-    # exponents are meaningful: hierarchical part m0 ≈ n^{1/3},
-    # hybrid BalancedTree components ≈ n^{1/2}.
-    family = InstanceFamily(
-        "hh-thc-2-3",
-        lambda shape: hh_thc_instance(
-            2, 3, shape[0], shape[1], shape[2], rng=random.Random(shape[0])
-        ),
-        [(5, 4, 3), (6, 8, 3), (8, 8, 4), (10, 16, 4), (12, 16, 5)],
-    )
-
-    def hh_probes(instance, shape):
-        from repro.graphs.tree_structure import (
-            InstanceTopology,
-            right_child_node,
-        )
-
-        topo = InstanceTopology(instance)
-        hybrid_root = instance.meta["hybrid_root"]
-        # A BalancedTree component root: its own answer requires the
-        # Θ(√n)-sized component gather, the R-VOL-dominant cost.
-        bt_probe = right_child_node(topo, hybrid_root)
-        return [instance.meta["hierarchical_root"], hybrid_root, bt_probe]
-
-    def run():
-        banner(
-            "Table 1 — HH-THC(2,3) (§6.1): claims n^1/3, n^1/3, "
-            "Θ̃(n^1/2), Θ̃(n)"
-        )
-        report_sweeps([
-            SweepSpec("HH-THC(2,3) R-DIST", "Θ(n^{1/3})", family, "distance",
-                      lambda: HHDistanceSolver(2, 3), nodes=hh_probes,
-                      candidates=DIST_CANDIDATES),
-            SweepSpec("HH-THC(2,3) D-DIST", "Θ(n^{1/3})", family, "distance",
-                      lambda: HHDistanceSolver(2, 3), nodes=hh_probes,
-                      candidates=DIST_CANDIDATES),
-            SweepSpec("HH-THC(2,3) R-VOL", "Θ̃(n^{1/2})", family, "volume",
-                      lambda: HHWaypointSolver(2, 3), seed=2, nodes=hh_probes,
-                      candidates=VOL_CANDIDATES),
-            SweepSpec("HH-THC(2,3) D-VOL", "Θ̃(n)", family, "volume",
-                      lambda: HHFullGather(2, 3), nodes=hh_probes,
-                      candidates=VOL_CANDIDATES),
-        ])
-
-    once(benchmark, run)
+    once(benchmark, lambda: run_suite("table1/hh-thc"))

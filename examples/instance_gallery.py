@@ -10,13 +10,12 @@ Run:  python examples/instance_gallery.py
 import random
 
 from repro.graphs.generators import (
-    balanced_tree_instance,
     disjointness_embedding,
     hierarchical_thc_instance,
     leaf_coloring_instance,
 )
-from repro.graphs.labelings import BALANCED, EXEMPT, UNBALANCED
-from repro.graphs.tree_structure import InstanceTopology, all_backbones, level_of
+from repro.graphs.labelings import EXEMPT
+from repro.graphs.tree_structure import InstanceTopology, all_backbones
 from repro.problems.balanced_tree import BalancedTree
 from repro.problems.balanced_tree import reference_solution as bt_reference
 from repro.problems.hierarchical_thc import HierarchicalTHC

@@ -38,12 +38,25 @@ from repro.problems import (
     HybridTHC,
     LeafColoring,
 )
+from repro.registry import (
+    ALGORITHMS,
+    FAMILIES,
+    PROBLEMS,
+    iter_compatible,
+    load_components,
+    register_algorithm,
+    register_family,
+    register_problem,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "ALGORITHMS",
     "BalancedTree",
     "BatchBackend",
+    "FAMILIES",
+    "PROBLEMS",
     "CostProfile",
     "ExecutionBackend",
     "HHTHC",
@@ -66,6 +79,11 @@ __all__ = [
     "SweepResult",
     "SweepSpec",
     "get_backend",
+    "iter_compatible",
+    "load_components",
+    "register_algorithm",
+    "register_family",
+    "register_problem",
     "run_algorithm",
     "run_sweep",
     "run_sweeps",

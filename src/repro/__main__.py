@@ -1,0 +1,6 @@
+"""``python -m repro`` — entry point for the repro CLI."""
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,12 +16,11 @@
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List, Optional, Tuple
 
 from repro.graphs.labelings import BALANCED, UNBALANCED
 from repro.graphs.tree_structure import (
     is_consistent,
-    is_internal,
     is_leaf,
     left_child_node,
     right_child_node,
@@ -32,12 +31,14 @@ from repro.model.probe import ProbeAlgorithm, ProbeView
 from repro.model.views import ProbeTopology
 from repro.algorithms.generic import FullGatherAlgorithm
 from repro.problems.balanced_tree import is_compatible, reference_solution
+from repro.registry import register_algorithm
 
 
 def _log2_ceil(n: int) -> int:
     return max(1, math.ceil(math.log2(max(2, n))))
 
 
+@register_algorithm("balanced-tree/distance", problem="balanced-tree")
 class BalancedTreeDistanceSolver(ProbeAlgorithm):
     """Proposition 4.8: deterministic distance O(log n).
 
@@ -119,6 +120,7 @@ class BalancedTreeDistanceSolver(ProbeAlgorithm):
         return (BALANCED, label.parent)
 
 
+@register_algorithm("balanced-tree/full-gather", problem="balanced-tree")
 class BalancedTreeFullGather(FullGatherAlgorithm):
     """Volume O(n) (optimal up to constants by Proposition 4.9)."""
 
@@ -299,15 +301,23 @@ class BalancedTreeCongestFlood(CongestAlgorithm):
             lc_id = self._resolved(state, lc)
             rc_id = self._resolved(state, rc)
             # siblings
-            if lcl.right_neighbor is None or their_ids(lc).get(lcl.right_neighbor) != rc_id:
+            if (
+                lcl.right_neighbor is None
+                or their_ids(lc).get(lcl.right_neighbor) != rc_id
+            ):
                 return False
-            if rcl.left_neighbor is None or their_ids(rc).get(rcl.left_neighbor) != lc_id:
+            if (
+                rcl.left_neighbor is None
+                or their_ids(rc).get(rcl.left_neighbor) != lc_id
+            ):
                 return False
             # persistence: RN(RC(v)) = LC(RN(v)) and mirror
             rn, ln = label.right_neighbor, label.left_neighbor
             if rn is not None:
                 rnl = their_label(rn)
-                lc_of_rn = their_ids(rn).get(rnl.left_child) if rnl.left_child else None
+                lc_of_rn = (
+                    their_ids(rn).get(rnl.left_child) if rnl.left_child else None
+                )
                 rn_of_rc = (
                     their_ids(rc).get(rcl.right_neighbor)
                     if rcl.right_neighbor
@@ -317,7 +327,9 @@ class BalancedTreeCongestFlood(CongestAlgorithm):
                     return False
             if ln is not None:
                 lnl = their_label(ln)
-                rc_of_ln = their_ids(ln).get(lnl.right_child) if lnl.right_child else None
+                rc_of_ln = (
+                    their_ids(ln).get(lnl.right_child) if lnl.right_child else None
+                )
                 ln_of_lc = (
                     their_ids(lc).get(lcl.left_neighbor)
                     if lcl.left_neighbor

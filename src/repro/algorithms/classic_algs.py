@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.model.congest import CongestAlgorithm, Message
 from repro.model.oracle import NodeInfo
 from repro.model.probe import ProbeAlgorithm, ProbeView
+from repro.registry import register_algorithm
 
 # Cycle port convention (builders.cycle_graph): 1 = predecessor, 2 = successor.
 _PREV, _NEXT = 1, 2
@@ -48,6 +49,7 @@ def _cv_step(own: int, successor: int) -> int:
     return 2 * i + ((own >> i) & 1)
 
 
+@register_algorithm("cycle/cole-vishkin", problem="cycle-3-coloring")
 class ColeVishkinColoring(ProbeAlgorithm):
     """Θ(log* n) 3-coloring of a cycle (Cole–Vishkin + shift-down).
 
@@ -122,6 +124,7 @@ class ColeVishkinColoring(ProbeAlgorithm):
         return final_color(0, 3)
 
 
+@register_algorithm("cycle/mis", problem="mis")
 class MISFromColoring(ProbeAlgorithm):
     """MIS on a cycle from the 3-coloring: color classes join greedily.
 
@@ -214,6 +217,7 @@ class _ShiftedView:
         return self._view.random_bit(node_id, index)
 
 
+@register_algorithm("cycle/2-coloring", problem="cycle-2-coloring")
 class TwoColoringGather(ProbeAlgorithm):
     """Proper 2-coloring of an even cycle: walk the whole cycle (Θ(n)).
 
@@ -241,6 +245,7 @@ class TwoColoringGather(ProbeAlgorithm):
         return (len(ids) - anchor) % 2
 
 
+@register_algorithm("relay/probe", problem="relay")
 class RelayProbeSolver(ProbeAlgorithm):
     """Example 7.6 with O(log n) probes: up, across the bridge, down.
 

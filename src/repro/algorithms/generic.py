@@ -9,11 +9,10 @@ Table 1 is realized this way.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Set
+from typing import Callable, Dict, Set
 
 from repro.graphs.labelings import Instance, Labeling
 from repro.graphs.port_graph import PortGraph
-from repro.model.oracle import NodeInfo
 from repro.model.probe import ProbeAlgorithm, ProbeView
 from repro.model.views import Ball, gather_ball
 

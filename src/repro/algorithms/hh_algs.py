@@ -24,6 +24,7 @@ from repro.algorithms.hybrid_algs import (
     HybridWaypointSolver,
 )
 from repro.problems.hh_thc import reference_solution as hh_reference
+from repro.registry import register_algorithm
 
 
 class _HHDispatch(ProbeAlgorithm):
@@ -45,6 +46,11 @@ class _HHDispatch(ProbeAlgorithm):
         return solver.fallback(view)
 
 
+@register_algorithm(
+    "hh-thc(2,3)/distance",
+    problem="hh-thc(2,3)",
+    defaults={"k": 2, "ell": 3},
+)
 class HHDistanceSolver(_HHDispatch):
     """Distance Θ(n^{1/ℓ}) (dominated by the hierarchical population)."""
 
@@ -56,6 +62,12 @@ class HHDistanceSolver(_HHDispatch):
         )
 
 
+@register_algorithm(
+    "hh-thc(2,3)/waypoint",
+    problem="hh-thc(2,3)",
+    defaults={"k": 2, "ell": 3},
+    seed=2,
+)
 class HHWaypointSolver(_HHDispatch):
     """Randomized volume Θ̃(n^{1/k}) (dominated by the hybrid population)."""
 
@@ -69,6 +81,11 @@ class HHWaypointSolver(_HHDispatch):
         )
 
 
+@register_algorithm(
+    "hh-thc(2,3)/full-gather",
+    problem="hh-thc(2,3)",
+    defaults={"k": 2, "ell": 3},
+)
 class HHFullGather(FullGatherAlgorithm):
     """Volume O(n)."""
 

@@ -39,7 +39,6 @@ from repro.graphs.tree_structure import (
     backbone_prev,
     is_level_leaf,
     is_level_root,
-    left_child_node,
     level_of,
     right_child_node,
 )
@@ -48,6 +47,7 @@ from repro.model.randomness import RandomnessModel
 from repro.model.views import ProbeTopology
 from repro.algorithms.generic import FullGatherAlgorithm
 from repro.problems.hierarchical_thc import reference_solution
+from repro.registry import register_algorithm
 
 _COLORED_OR_EXEMPT = (RED, BLUE, EXEMPT)
 _WAYPOINT_BITS = 24
@@ -229,6 +229,11 @@ def _walk_backbone(topo, v, cap, limit):
     return list(reversed(backward)) + forward, False
 
 
+@register_algorithm(
+    "hierarchical-thc(2)/recursive",
+    problem="hierarchical-thc(2)",
+    defaults={"k": 2},
+)
 class RecursiveHTHC(THCSolverBase):
     """Algorithm 2: deterministic, distance O(k·n^{1/k})."""
 
@@ -243,6 +248,12 @@ class RecursiveHTHC(THCSolverBase):
         return DECLINE  # line 5-6: deep level-1 components decline
 
 
+@register_algorithm(
+    "hierarchical-thc(2)/waypoint",
+    problem="hierarchical-thc(2)",
+    defaults={"k": 2},
+    seed=3,
+)
 class WaypointHTHC(RecursiveHTHC):
     """Proposition 5.14: recursion gated on randomly sampled way-points.
 
@@ -273,6 +284,11 @@ class WaypointHTHC(RecursiveHTHC):
         return x < p * (1 << _WAYPOINT_BITS)
 
 
+@register_algorithm(
+    "hierarchical-thc(2)/full-gather",
+    problem="hierarchical-thc(2)",
+    defaults={"k": 2},
+)
 class HierarchicalFullGather(FullGatherAlgorithm):
     """Volume O(n): gather everything and run the global reference."""
 

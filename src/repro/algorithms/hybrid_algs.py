@@ -18,10 +18,9 @@ from __future__ import annotations
 
 import functools
 import math
-from typing import Dict, List, Optional, Set
+from typing import List, Optional
 
 from repro.graphs.labelings import DECLINE, EXEMPT
-from repro.graphs.tree_structure import level_of
 from repro.model.probe import ProbeAlgorithm, ProbeView
 from repro.model.randomness import RandomnessModel
 from repro.model.views import ProbeTopology
@@ -40,8 +39,12 @@ from repro.problems.balanced_tree import (
 )
 from repro.problems.hybrid_thc import reference_solution as hybrid_reference
 from repro.model.views import Ball
+from repro.registry import register_algorithm
 
 
+@register_algorithm(
+    "hybrid-thc(2)/distance", problem="hybrid-thc(2)", defaults={"k": 2}
+)
 class HybridDistanceSolver(ProbeAlgorithm):
     """Distance O(log n): level-1 answers BalancedTree, the rest go X."""
 
@@ -120,6 +123,9 @@ class _HybridTHCMixin:
         return super()._rc_supports_exemption(rc_value, lvl)
 
 
+@register_algorithm(
+    "hybrid-thc(2)/recursive", problem="hybrid-thc(2)", defaults={"k": 2}
+)
 class HybridRecursiveSolver(_HybridTHCMixin, RecursiveHTHC):
     """Deterministic Algorithm-2 analogue for Hybrid-THC(k)."""
 
@@ -143,6 +149,12 @@ class HybridRecursiveSolver(_HybridTHCMixin, RecursiveHTHC):
         return DECLINE if lvl == 1 else EXEMPT
 
 
+@register_algorithm(
+    "hybrid-thc(2)/waypoint",
+    problem="hybrid-thc(2)",
+    defaults={"k": 2},
+    seed=5,
+)
 class HybridWaypointSolver(_HybridTHCMixin, WaypointHTHC):
     """Prop 5.14's waypoint gating applied to Hybrid-THC(k)."""
 
@@ -165,6 +177,9 @@ class HybridWaypointSolver(_HybridTHCMixin, WaypointHTHC):
         return DECLINE if lvl == 1 else EXEMPT
 
 
+@register_algorithm(
+    "hybrid-thc(2)/full-gather", problem="hybrid-thc(2)", defaults={"k": 2}
+)
 class HybridFullGather(FullGatherAlgorithm):
     """Volume O(n): gather everything and run the global reference."""
 

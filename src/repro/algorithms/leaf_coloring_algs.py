@@ -32,12 +32,14 @@ from repro.model.randomness import RandomnessModel
 from repro.model.views import ProbeTopology
 from repro.algorithms.generic import FullGatherAlgorithm
 from repro.problems.leaf_coloring import reference_solution
+from repro.registry import register_algorithm
 
 
 def _log2_ceil(n: int) -> int:
     return max(1, math.ceil(math.log2(max(2, n))))
 
 
+@register_algorithm("leaf-coloring/distance", problem="leaf-coloring")
 class LeafColoringDistanceSolver(ProbeAlgorithm):
     """Proposition 3.9: deterministic distance O(log n).
 
@@ -82,6 +84,7 @@ class LeafColoringDistanceSolver(ProbeAlgorithm):
         return view.start_info.label.color
 
 
+@register_algorithm("leaf-coloring/rw-to-leaf", problem="leaf-coloring", seed=7)
 class RWtoLeaf(ProbeAlgorithm):
     """Algorithm 1: randomized volume O(log n) with high probability.
 
@@ -137,6 +140,12 @@ class RWtoLeaf(ProbeAlgorithm):
         return view.start_info.label.color
 
 
+@register_algorithm(
+    "leaf-coloring/secret-rw",
+    problem="leaf-coloring",
+    seed=7,
+    families=("leaf-coloring-hard",),
+)
 class SecretRWtoLeaf(RWtoLeaf):
     """RWtoLeaf steered by the initiator's own tape only (Section 7.4).
 
@@ -160,6 +169,7 @@ class SecretRWtoLeaf(RWtoLeaf):
         return bit
 
 
+@register_algorithm("leaf-coloring/full-gather", problem="leaf-coloring")
 class LeafColoringFullGather(FullGatherAlgorithm):
     """Deterministic volume O(n): gather everything, solve globally."""
 

@@ -1,0 +1,32 @@
+"""Θ(1) solvers for the class-A specimen problems (Section 1.2).
+
+The LCLs with distance complexity Θ(1) are exactly those with volume
+complexity Θ(1); these two algorithms realize that collapse on the
+:mod:`repro.problems.classic.trivial` problems — each answers from the
+initiating node's free self-inspection, volume exactly 1.
+"""
+
+from __future__ import annotations
+
+from repro.model.probe import ProbeAlgorithm, ProbeView
+from repro.registry import register_algorithm
+
+
+@register_algorithm("constant/echo-ok", problem="constant")
+class ConstantOutput(ProbeAlgorithm):
+    """Output the fixed label "ok" with zero queries."""
+
+    name = "constant/echo-ok"
+
+    def run(self, view: ProbeView):
+        return "ok"
+
+
+@register_algorithm("degree-parity/local", problem="degree-parity")
+class DegreeParityLocal(ProbeAlgorithm):
+    """Output deg(v) mod 2 from the free self-inspection."""
+
+    name = "degree-parity/local"
+
+    def run(self, view: ProbeView):
+        return view.start_info.degree % 2

@@ -10,7 +10,7 @@ not the pixels.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 # The axis of Figures 1-3, coarse to fine.
 AXIS: List[str] = [

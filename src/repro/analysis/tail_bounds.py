@@ -15,7 +15,6 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
 
 
 def chernoff_upper(mu: float, delta: float) -> float:

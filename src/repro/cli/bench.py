@@ -1,0 +1,240 @@
+"""``repro bench`` — the registry-enumerated smoke matrix and artifact.
+
+Runs every compatible problem x algorithm x family cell of the component
+registry (nothing is hand-listed: the matrix comes from
+:func:`repro.registry.iter_compatible`) through the sweep orchestrator,
+validating each grid point with the same
+:func:`~repro.model.runner.solve_and_check` call the API exposes, and
+writes a schema-versioned machine-readable artifact::
+
+    {
+      "schema": "repro-bench",
+      "schema_version": 1,
+      "mode": "quick" | "full",
+      "backend": "serial" | "process:N" | "batch",
+      "git_sha": "...", "python": "3.x.y", "generated": "...Z",
+      "cells": [
+        {
+          "problem": ..., "algorithm": ..., "family": ..., "seed": ...,
+          "randomized": ..., "ok": ...,
+          "points": [{"param", "n", "valid", "max_volume", "mean_volume",
+                      "max_distance", "max_queries", "truncated_nodes",
+                      "violations", "elapsed"}, ...],
+          "max_volume": ..., "mean_volume": ..., "max_distance": ...,
+          "volume_fit": ..., "distance_fit": ..., "elapsed": ...
+        }, ...
+      ],
+      "summary": {"cells", "points", "failed", "elapsed"}
+    }
+
+CI's ``bench-smoke`` job runs ``repro bench --quick`` on the serial and
+``process:2`` backends, uploads the artifact, and fails on any invalid
+cell (non-zero exit).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import subprocess
+import time
+from typing import Dict, List, Optional
+
+from repro.registry import MatrixCell, iter_compatible, load_components
+
+SCHEMA_NAME = "repro-bench"
+SCHEMA_VERSION = 1
+
+
+def git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        )
+        return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def _fit(ns: List[int], costs: List[float]) -> Optional[str]:
+    from repro.analysis.complexity_fit import fit_growth
+
+    if len(ns) < 2:
+        return None
+    return fit_growth(ns, costs).best
+
+
+def run_cell(
+    cell: MatrixCell,
+    grid: str,
+    backend,
+    seed: Optional[int] = None,
+    progress=None,
+) -> Dict[str, object]:
+    """Solve-and-check one matrix cell over its parameter grid."""
+    from repro.exec.sweep import SweepSpec, run_sweep
+    from repro.model.runner import solve_and_check
+
+    problem = cell.problem.make()
+    cell_seed = cell.algorithm.seed if seed is None else seed
+    points: List[Dict[str, object]] = []
+
+    def measure(instance, param) -> float:
+        report = solve_and_check(
+            problem,
+            instance,
+            cell.algorithm.make(),
+            seed=cell_seed,
+            backend=backend,
+        )
+        points.append({
+            "param": repr(param),
+            "n": instance.graph.num_nodes,
+            "valid": report.valid,
+            "max_volume": report.run.max_volume,
+            "mean_volume": report.run.mean_volume,
+            "max_distance": report.run.max_distance,
+            "max_queries": report.run.max_queries,
+            "truncated_nodes": len(report.run.truncated_nodes),
+            "violations": [str(v) for v in report.violations[:3]],
+        })
+        return float(report.run.max_volume)
+
+    spec = SweepSpec(
+        label=f"{cell.algorithm.name} @ {cell.family.name}",
+        claimed="-",
+        family=cell.family.instance_family(grid),
+        measure=measure,
+    )
+    result = run_sweep(spec, backend, progress=progress)
+    for point, sweep_point in zip(points, result.points):
+        point["elapsed"] = sweep_point.elapsed
+    ns = [p["n"] for p in points]
+    return {
+        "problem": cell.problem.name,
+        "algorithm": cell.algorithm.name,
+        "family": cell.family.name,
+        "seed": cell_seed,
+        "randomized": cell.algorithm.randomized,
+        "ok": all(p["valid"] for p in points),
+        "points": points,
+        "max_volume": max(p["max_volume"] for p in points),
+        "mean_volume": statistics.fmean(p["mean_volume"] for p in points),
+        "max_distance": max(p["max_distance"] for p in points),
+        "volume_fit": _fit(ns, [p["max_volume"] for p in points]),
+        "distance_fit": _fit(ns, [p["max_distance"] for p in points]),
+        "elapsed": sum(p["elapsed"] for p in points),
+    }
+
+
+def _select_cells(only: Optional[str]) -> List[MatrixCell]:
+    cells = list(iter_compatible())
+    if only:
+        cells = [c for c in cells if any(only in part for part in c.key)]
+    return cells
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.cli import _fail, format_table
+    from repro.exec.backends import get_backend
+
+    load_components()
+    grid = "full" if args.full else "quick"
+    cells = _select_cells(args.only)
+    if not cells:
+        return _fail(f"no matrix cells match {args.only!r}")
+    if args.list_cells:
+        print(json.dumps([list(c.key) for c in cells], indent=2))
+        return 0
+    backend = get_backend(args.backend)
+    progress = print if args.progress else None
+    started = time.perf_counter()
+    records = [
+        run_cell(cell, grid, backend, seed=args.seed, progress=progress)
+        for cell in cells
+    ]
+    elapsed = time.perf_counter() - started
+    failed = [r for r in records if not r["ok"]]
+    artifact = {
+        "schema": SCHEMA_NAME,
+        "schema_version": SCHEMA_VERSION,
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "mode": grid,
+        "backend": args.backend or "serial",
+        "git_sha": git_sha(),
+        "python": platform.python_version(),
+        "cells": records,
+        "summary": {
+            "cells": len(records),
+            "points": sum(len(r["points"]) for r in records),
+            "failed": len(failed),
+            "elapsed": elapsed,
+        },
+    }
+    with open(args.out, "w") as handle:
+        json.dump(artifact, handle, indent=1)
+        handle.write("\n")
+    print(format_table(
+        ["cell", "n", "max vol", "vol fit", "dist fit", "ok", "s"],
+        [[
+            f"{r['algorithm']} @ {r['family']}",
+            "{}..{}".format(r["points"][0]["n"], r["points"][-1]["n"]),
+            r["max_volume"],
+            r["volume_fit"] or "-",
+            r["distance_fit"] or "-",
+            "ok" if r["ok"] else "FAIL",
+            f"{r['elapsed']:.2f}",
+        ] for r in records],
+    ))
+    print()
+    print(
+        f"{len(records)} cells, {artifact['summary']['points']} points, "
+        f"{len(failed)} failed, {elapsed:.1f}s "
+        f"(mode={grid}, backend={artifact['backend']}) -> {args.out}"
+    )
+    for record in failed:
+        first_bad = next(p for p in record["points"] if not p["valid"])
+        print(
+            f"FAILED: {record['algorithm']} @ {record['family']} "
+            f"param={first_bad['param']}: {first_bad['violations'][:1]}"
+        )
+    return 1 if failed else 0
+
+
+def add_bench_arguments(sub) -> None:
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the registry smoke matrix, write BENCH_repro.json",
+    )
+    mode = p_bench.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--quick", action="store_true",
+        help="quick grids (default; what CI gates on)",
+    )
+    mode.add_argument(
+        "--full", action="store_true",
+        help="full paper-table grids (minutes, not seconds)",
+    )
+    p_bench.add_argument(
+        "--backend", help="serial | batch | process[:N] (default serial)"
+    )
+    p_bench.add_argument(
+        "--only", help="filter cells by substring of problem/algorithm/family"
+    )
+    p_bench.add_argument(
+        "--seed", type=int, default=None,
+        help="override every cell's registered default seed",
+    )
+    p_bench.add_argument("--out", default="BENCH_repro.json")
+    p_bench.add_argument(
+        "--list-cells", action="store_true",
+        help="print the enumerated matrix as JSON and exit",
+    )
+    p_bench.add_argument("--progress", action="store_true")
+    p_bench.set_defaults(func=cmd_bench)

@@ -1,0 +1,158 @@
+"""Registered instance families: the named parameter grids of the matrix.
+
+Each family wraps one generator from :mod:`repro.graphs.generators` in a
+deterministic module-level factory (the RNG is seeded from the grid
+parameter, so the same name + parameter always yields the same instance,
+in every process) and declares:
+
+* which registered problems the instances are valid inputs for,
+* a ``quick`` grid — small sizes for CI smoke runs and `repro bench
+  --quick`, and
+* a ``full`` grid — the sizes the paper-table benches sweep.
+
+The full grids reproduce exactly the instances the Table-1 and Figure-1/2
+benches have always used (same generator, same per-parameter seeds).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graphs.generators import (
+    balanced_tree_instance,
+    cycle_instance,
+    hard_leaf_coloring_instance,
+    hh_thc_instance,
+    hierarchical_thc_instance,
+    hybrid_thc_instance,
+    leaf_coloring_instance,
+    relay_instance,
+)
+from repro.registry import register_family
+
+
+@register_family(
+    "leaf-coloring",
+    problems=("leaf-coloring",),
+    quick=(3, 4, 5),
+    full=(4, 5, 6, 7, 8),
+    n_range=(15, 511),
+    description="Complete binary trees with random leaf colors (§3).",
+)
+def leaf_coloring_family(depth: int):
+    return leaf_coloring_instance(depth, rng=random.Random(depth))
+
+
+@register_family(
+    "leaf-coloring-hard",
+    problems=("leaf-coloring",),
+    quick=(3, 4, 5),
+    full=(4, 5, 6, 7, 8),
+    n_range=(15, 511),
+    description="Proposition 3.12 promise instances: unanimous leaves.",
+)
+def leaf_coloring_hard_family(depth: int):
+    return hard_leaf_coloring_instance(depth, rng=random.Random(depth))
+
+
+@register_family(
+    "balanced-tree",
+    problems=("balanced-tree",),
+    quick=(3, 4, 5),
+    full=(3, 4, 5, 6, 7, 8),
+    n_range=(15, 511),
+    description="Globally compatible BalancedTree instances (Def 4.2).",
+)
+def balanced_tree_family(depth: int):
+    return balanced_tree_instance(depth, rng=random.Random(depth))
+
+
+@register_family(
+    "hierarchical-thc(2)",
+    problems=("hierarchical-thc(2)",),
+    quick=(3, 4, 6),
+    full=(4, 8, 12, 16, 24),
+    n_range=(12, 600),
+    description="Balanced H-THC(2): Θ(√n) backbones (§5).",
+)
+def hierarchical_thc_2_family(backbone_length: int):
+    return hierarchical_thc_instance(
+        2, backbone_length, rng=random.Random(backbone_length)
+    )
+
+
+@register_family(
+    "hybrid-thc(2)",
+    problems=("hybrid-thc(2)",),
+    quick=((2, 2), (3, 2), (3, 3)),
+    full=((2, 2), (3, 3), (4, 4), (5, 5), (6, 6), (7, 7)),
+    n_range=(16, 1800),
+    description="Hybrid-THC(2): BalancedTrees hanging off a backbone (§6).",
+)
+def hybrid_thc_2_family(shape):
+    backbone_length, bt_depth = shape
+    return hybrid_thc_instance(
+        2, backbone_length, bt_depth, rng=random.Random(backbone_length)
+    )
+
+
+@register_family(
+    "hh-thc(2,3)",
+    problems=("hh-thc(2,3)",),
+    quick=((3, 2, 2), (4, 2, 2), (4, 4, 2)),
+    full=((5, 4, 3), (6, 8, 3), (8, 8, 4), (10, 16, 4), (12, 16, 5)),
+    n_range=(56, 3000),
+    description="HH-THC(2,3): two disjoint populations (§6.1).",
+)
+def hh_thc_2_3_family(shape):
+    hierarchical_backbone, hybrid_backbone, bt_depth = shape
+    return hh_thc_instance(
+        2,
+        3,
+        hierarchical_backbone,
+        hybrid_backbone,
+        bt_depth,
+        rng=random.Random(hierarchical_backbone),
+    )
+
+
+@register_family(
+    "cycle",
+    problems=(
+        "cycle-3-coloring",
+        "cycle-2-coloring",
+        "mis",
+        "constant",
+        "degree-parity",
+    ),
+    quick=(8, 16, 32),
+    full=(16, 64, 256, 1024),
+    n_range=(8, 1024),
+    description="Even cycles with shuffled polynomial-range IDs (Figs 1-2).",
+)
+def cycle_family(n: int):
+    return cycle_instance(n, rng=random.Random(n))
+
+
+@register_family(
+    "cycle-small",
+    problems=("mis",),
+    quick=(8, 16),
+    full=(16, 64, 256),
+    n_range=(8, 256),
+    description="Shorter cycle grid for the per-node-heavier MIS sweeps.",
+)
+def cycle_small_family(n: int):
+    return cycle_instance(n, rng=random.Random(n))
+
+
+@register_family(
+    "relay",
+    problems=("relay", "constant", "degree-parity"),
+    quick=(2, 3),
+    full=(3, 4, 5, 6),
+    n_range=(14, 254),
+    description="Example 7.6: two binary trees joined by one bridge edge.",
+)
+def relay_family(depth: int):
+    return relay_instance(depth, rng=random.Random(depth))

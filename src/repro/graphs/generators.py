@@ -23,7 +23,7 @@ The families implemented here are exactly the ones the paper's proofs use:
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.graphs.builders import (
     PORT_LEFT_CHILD,
@@ -38,7 +38,6 @@ from repro.graphs.builders import (
     two_trees_with_bridge,
 )
 from repro.graphs.labelings import (
-    BLUE,
     COLORS,
     RED,
     Instance,

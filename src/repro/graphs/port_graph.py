@@ -15,8 +15,8 @@ labelings (as the lower-bound constructions require).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
 
 
 class PortGraphError(ValueError):

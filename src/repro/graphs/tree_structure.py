@@ -28,7 +28,7 @@ checkers check.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Protocol, Set, Tuple
+from typing import Dict, List, Optional, Protocol, Set
 
 from repro.graphs.labelings import Instance, NodeLabel
 

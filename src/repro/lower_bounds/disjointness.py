@@ -18,16 +18,15 @@ bookkeeping).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Set
 
 from repro.graphs.generators import disjointness_embedding
 from repro.graphs.labelings import BALANCED, Instance
 from repro.model.oracle import NodeInfo, StaticOracle
-from repro.model.probe import BudgetExceeded, ProbeAlgorithm, ProbeView
+from repro.model.probe import ProbeAlgorithm, ProbeView
 from repro.model.randomness import (
     RandomnessContext,
-    RandomnessModel,
     TapeStore,
 )
 

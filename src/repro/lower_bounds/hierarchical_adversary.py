@@ -39,7 +39,6 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.graphs.labelings import (
     BLUE,
-    DECLINE,
     EXEMPT,
     Instance,
     Labeling,
@@ -157,7 +156,8 @@ class AdversarialTHCOracle:
             parent = self.graph.neighbor_at(current, label.parent)
             if parent is None:
                 return current
-            if self.graph.neighbor_at(parent, self.labeling.get(parent).left_child or -1) != current:
+            parent_lc = self.labeling.get(parent).left_child or -1
+            if self.graph.neighbor_at(parent, parent_lc) != current:
                 return current  # we hang off a RC port: different level
             current = parent
 
@@ -371,7 +371,9 @@ def duel_hierarchical(
         lower_top = oracle.highest_ancestor(v_prime)
         upper_end = oracle.leftmost_descendant(v)
         oracle.splice_below(upper_end, lower_top)
-        path = oracle.backbone_path(oracle.highest_ancestor(v), oracle.leftmost_descendant(v_prime))
+        path = oracle.backbone_path(
+            oracle.highest_ancestor(v), oracle.leftmost_descendant(v_prime)
+        )
         # restrict to the v..v' stretch
         i_v, i_vp = path.index(v), path.index(v_prime)
         path = path[i_v : i_vp + 1]

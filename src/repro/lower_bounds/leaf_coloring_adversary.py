@@ -24,7 +24,7 @@ Faithfulness notes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.graphs.labelings import (
     Instance,

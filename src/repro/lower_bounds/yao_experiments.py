@@ -18,7 +18,6 @@ import random
 from dataclasses import dataclass
 from typing import List
 
-from repro.algorithms.leaf_coloring_algs import LeafColoringDistanceSolver
 from repro.graphs.generators import hard_leaf_coloring_instance
 from repro.graphs.tree_structure import (
     is_internal,

@@ -16,8 +16,8 @@ benches can report total communication.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 from repro.graphs.labelings import Instance
 from repro.model.oracle import NodeInfo, StaticOracle

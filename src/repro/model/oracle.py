@@ -12,7 +12,7 @@ the graph lazily in response to the algorithm's queries.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Protocol
+from typing import Optional, Protocol
 
 from repro.graphs.labelings import Instance, NodeLabel
 

@@ -22,7 +22,7 @@ may be queried, and random tapes are readable only as the active
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set
 
 from repro.model.oracle import GraphOracle, NodeInfo
 from repro.model.randomness import (
@@ -85,6 +85,7 @@ class ProbeView:
         self._visited: Dict[int, NodeInfo] = {}
         self._adjacency: Dict[int, Set[int]] = {start: set()}
         self._queries = 0
+        self._distance_cache: Optional[int] = None
         if not randomness.has_visibility:
             # The private-randomness discipline needs to know which nodes
             # this execution has visited; the view *is* that knowledge, so
@@ -125,6 +126,11 @@ class ProbeView:
         endpoint = self._oracle.resolve(node_id, port)
         if endpoint is None:
             return None
+        if endpoint not in self._adjacency.get(node_id, ()):
+            # A new explored edge can shorten distances even between two
+            # already-visited nodes (e.g. closing a cycle), so any
+            # adjacency growth invalidates the cached BFS result.
+            self._distance_cache = None
         self._adjacency.setdefault(node_id, set()).add(endpoint)
         self._adjacency.setdefault(endpoint, set()).add(node_id)
         if endpoint in self._visited:
@@ -164,7 +170,14 @@ class ProbeView:
         return self._queries
 
     def distance_cost(self) -> int:
-        """``max dist(start, w)`` over visited ``w`` in the explored graph."""
+        """``max dist(start, w)`` over visited ``w`` in the explored graph.
+
+        The BFS result is cached and invalidated whenever the explored
+        graph grows (a new visit or a new adjacency edge), so repeated
+        ``cost_profile()`` calls after a large exploration are O(1).
+        """
+        if self._distance_cache is not None:
+            return self._distance_cache
         dist = {self._start: 0}
         frontier = [self._start]
         best = 0
@@ -177,6 +190,7 @@ class ProbeView:
                         best = max(best, dist[w])
                         nxt.append(w)
             frontier = nxt
+        self._distance_cache = best
         return best
 
     def cost_profile(self, truncated: bool = False) -> CostProfile:
@@ -190,6 +204,7 @@ class ProbeView:
 
     def _record_visit(self, info: NodeInfo) -> None:
         self._visited[info.node_id] = info
+        self._distance_cache = None
 
 
 class ProbeAlgorithm:

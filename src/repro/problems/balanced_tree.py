@@ -29,10 +29,10 @@ from repro.graphs.tree_structure import (
     is_internal,
     is_leaf,
     left_child_node,
-    parent_node,
     right_child_node,
 )
 from repro.lcl.base import LCLProblem, Violation
+from repro.registry import register_problem
 
 Output = Tuple[str, Optional[int]]
 
@@ -125,6 +125,7 @@ def _is_output_pair(value: object) -> bool:
     )
 
 
+@register_problem("balanced-tree")
 class BalancedTree(LCLProblem):
     """The BalancedTree LCL (Definition 4.3); checking radius 3."""
 

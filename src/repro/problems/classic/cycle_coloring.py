@@ -15,12 +15,14 @@ handles only the alphabet.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
 from repro.graphs.labelings import Instance
 from repro.lcl.base import LCLProblem, Violation
+from repro.registry import register_problem
 
 
+@register_problem("cycle-3-coloring")
 class CycleColoring(LCLProblem):
     """Proper vertex coloring of a cycle with ``num_colors`` colors."""
 
@@ -54,6 +56,7 @@ class CycleColoring(LCLProblem):
         return violations
 
 
+@register_problem("mis")
 class MaximalIndependentSet(LCLProblem):
     """MIS: selected nodes (output 1) are independent and dominating."""
 
@@ -88,6 +91,7 @@ class MaximalIndependentSet(LCLProblem):
         return violations
 
 
+@register_problem("cycle-2-coloring")
 class TwoColoring(LCLProblem):
     """Proper 2-coloring — a *global* (class D) problem on even cycles.
 

@@ -18,8 +18,10 @@ from typing import Dict, List
 
 from repro.graphs.labelings import Instance
 from repro.lcl.base import LCLProblem, Violation
+from repro.registry import register_problem
 
 
+@register_problem("relay", tags=("non-lcl",))
 class RelayProblem(LCLProblem):
     """Left-tree leaves must output their partner right-tree leaf's bit."""
 

@@ -7,12 +7,13 @@ members: a constant-output problem and local degree parity.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
-from repro.graphs.tree_structure import Topology
 from repro.lcl.base import LCLProblem, Violation
+from repro.registry import register_problem
 
 
+@register_problem("constant")
 class ConstantProblem(LCLProblem):
     """Output the fixed label "ok" everywhere — the simplest LCL."""
 
@@ -26,6 +27,7 @@ class ConstantProblem(LCLProblem):
         return []
 
 
+@register_problem("degree-parity")
 class DegreeParity(LCLProblem):
     """Each node outputs deg(v) mod 2 — checkable and solvable at radius 1.
 

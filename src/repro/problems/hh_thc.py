@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.graphs.labelings import Instance
-from repro.graphs.tree_structure import InstanceTopology, Topology
+from repro.graphs.tree_structure import Topology
 from repro.lcl.base import LCLProblem, Violation
 from repro.problems.hierarchical_thc import HierarchicalTHC
 from repro.problems.hierarchical_thc import (
@@ -26,8 +26,10 @@ from repro.problems.hierarchical_thc import (
 )
 from repro.problems.hybrid_thc import HybridTHC
 from repro.problems.hybrid_thc import reference_solution as hybrid_reference
+from repro.registry import register_problem
 
 
+@register_problem("hh-thc(2,3)", defaults={"k": 2, "ell": 3})
 class HHTHC(LCLProblem):
     """HH-THC(k, ℓ) (Definition 6.4): dispatch on the input bit."""
 

@@ -32,7 +32,7 @@ which swaps out condition 4(b)'s exemption predicate at level 2.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from repro.graphs.labelings import (
     BLUE,
@@ -43,7 +43,6 @@ from repro.graphs.labelings import (
     THC_OUTPUTS,
 )
 from repro.graphs.tree_structure import (
-    InstanceTopology,
     Topology,
     all_backbones,
     is_level_leaf,
@@ -52,6 +51,7 @@ from repro.graphs.tree_structure import (
     right_child_node,
 )
 from repro.lcl.base import LCLProblem, Violation
+from repro.registry import register_problem
 
 _COLOR_OR_EXEMPT = (RED, BLUE, EXEMPT)
 _COLOR_OR_DECLINE = (RED, BLUE, DECLINE)
@@ -171,6 +171,7 @@ def check_cond5_top(
             )
 
 
+@register_problem("hierarchical-thc(2)", defaults={"k": 2})
 class HierarchicalTHC(LCLProblem):
     """Hierarchical-THC(k) (Definition 5.5); checking radius 2(k+2)."""
 

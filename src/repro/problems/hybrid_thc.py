@@ -27,15 +27,13 @@ symbol in {R, B, D, X}.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.graphs.labelings import (
-    BALANCED,
     DECLINE,
     EXEMPT,
     Instance,
     THC_OUTPUTS,
-    UNBALANCED,
 )
 from repro.graphs.tree_structure import (
     InstanceTopology,
@@ -48,6 +46,7 @@ from repro.graphs.tree_structure import (
 )
 from repro.lcl.base import LCLProblem, Violation
 from repro.problems.balanced_tree import BalancedTree, _is_output_pair
+from repro.registry import register_problem
 from repro.problems.balanced_tree import (
     reference_solution as balanced_reference,
 )
@@ -64,6 +63,7 @@ def _is_solved_bt_output(value: object) -> bool:
     return _is_output_pair(value)
 
 
+@register_problem("hybrid-thc(2)", defaults={"k": 2})
 class HybridTHC(LCLProblem):
     """Hybrid-THC(k) (Definition 6.1); checking radius 2(k+2)."""
 

@@ -34,8 +34,10 @@ from repro.graphs.tree_structure import (
     INTERNAL,
 )
 from repro.lcl.base import LCLProblem, Violation
+from repro.registry import register_problem
 
 
+@register_problem("leaf-coloring")
 class LeafColoring(LCLProblem):
     """The LeafColoring LCL (Definition 3.4); checking radius 2."""
 

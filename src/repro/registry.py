@@ -1,0 +1,356 @@
+"""Component registry: every problem, algorithm, and instance family by name.
+
+The paper's volume-model components — LCL problems, probe algorithms, and
+the instance families their proofs use — are registered under stable
+string names with capability metadata, so sweeps, smoke matrices, and CI
+gates can be *enumerated* instead of hand-written:
+
+* ``@register_problem`` / ``@register_algorithm`` decorate the defining
+  classes in :mod:`repro.problems` and :mod:`repro.algorithms`
+  (parameterized constructions register one canonical parameterization
+  via ``defaults``, e.g. ``hierarchical-thc(2)``);
+* ``@register_family`` decorates ``factory(param) -> Instance`` functions
+  in :mod:`repro.families`, each carrying a quick grid (CI smoke) and a
+  full grid (the paper-table sizes);
+* :func:`iter_compatible` enumerates the problem x algorithm x family
+  matrix from the declared capabilities (which problem an algorithm
+  solves, which families realize a problem, per-algorithm family
+  restrictions such as promise-only solvers).
+
+This module is deliberately import-light: the component modules import
+*it*, and :func:`load_components` imports *them* on first use, so lookup
+by name works without hand-maintaining an import list at every call site.
+"""
+
+from __future__ import annotations
+
+import difflib
+import functools
+import importlib
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+
+class RegistryError(LookupError):
+    """Unknown component name or conflicting registration.
+
+    Derives from ``LookupError`` (not ``KeyError``, whose ``__str__``
+    repr-quotes the message) so ``str(exc)`` is printable as-is.
+    """
+
+
+def _first_docline(obj: object) -> str:
+    doc = getattr(obj, "__doc__", None) or ""
+    return doc.strip().splitlines()[0].strip() if doc.strip() else ""
+
+
+@dataclass(frozen=True)
+class ProblemEntry:
+    """One registered LCL problem (or global problem, e.g. relay)."""
+
+    name: str
+    factory: Callable[[], object]
+    cls: type
+    tags: Tuple[str, ...] = ()
+    description: str = ""
+
+    def make(self) -> object:
+        return self.factory()
+
+
+@dataclass(frozen=True)
+class AlgorithmEntry:
+    """One registered probe algorithm and its capabilities.
+
+    ``problem`` names the registered problem the algorithm solves;
+    ``families`` (when set) restricts validity to specific instance
+    families (e.g. promise-only solvers like ``leaf-coloring/secret-rw``);
+    ``seed`` is a default seed under which the quick grids validate —
+    randomized solvers succeed w.h.p., not surely, so smoke matrices pin
+    a known-good seed instead of rolling the dice per CI run.
+    """
+
+    name: str
+    factory: Callable[[], object]
+    cls: type
+    problem: str
+    randomized: bool = False
+    seed: int = 0
+    families: Optional[Tuple[str, ...]] = None
+    description: str = ""
+
+    def make(self) -> object:
+        return self.factory()
+
+
+@dataclass(frozen=True)
+class FamilyEntry:
+    """One registered instance family: ``factory(param) -> Instance``.
+
+    ``problems`` lists every registered problem the generated instances
+    are valid inputs for; ``quick``/``full`` are the parameter grids used
+    by CI smoke runs and the paper-table benches; ``n_range`` documents
+    the approximate instance sizes the full grid spans.
+    """
+
+    name: str
+    factory: Callable[[object], object]
+    problems: Tuple[str, ...]
+    quick: Tuple[object, ...]
+    full: Tuple[object, ...]
+    n_range: Tuple[int, int] = (0, 0)
+    description: str = ""
+
+    def params(self, grid: str = "quick") -> Tuple[object, ...]:
+        if grid not in ("quick", "full"):
+            raise ValueError(f"unknown grid {grid!r} (expected quick/full)")
+        return self.quick if grid == "quick" else self.full
+
+    def instance(self, param: object) -> object:
+        return self.factory(param)
+
+    def instance_family(self, grid: str = "quick"):
+        """A sweep-orchestrator :class:`InstanceFamily` over one grid."""
+        from repro.exec.sweep import InstanceFamily
+
+        return InstanceFamily(self.name, self.factory, self.params(grid))
+
+
+class Registry:
+    """An ordered name -> entry mapping with helpful lookup errors."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: Dict[str, object] = {}
+
+    def add(self, entry) -> None:
+        if entry.name in self._entries:
+            raise RegistryError(
+                f"duplicate {self.kind} registration: {entry.name!r}"
+            )
+        self._entries[entry.name] = entry
+
+    def get(self, name: str):
+        try:
+            return self._entries[name]
+        except KeyError:
+            close = difflib.get_close_matches(name, self._entries, n=3)
+            hint = f" (did you mean: {', '.join(close)}?)" if close else ""
+            raise RegistryError(
+                f"unknown {self.kind} {name!r}{hint}; "
+                f"see `repro list` for all registered names"
+            ) from None
+
+    def names(self) -> List[str]:
+        return list(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+
+PROBLEMS = Registry("problem")
+ALGORITHMS = Registry("algorithm")
+FAMILIES = Registry("instance family")
+
+
+def _partial_factory(cls: type, defaults: Optional[Dict[str, object]]):
+    if not defaults:
+        return cls
+    return functools.partial(cls, **defaults)
+
+
+def register_problem(
+    name: str,
+    *,
+    defaults: Optional[Dict[str, object]] = None,
+    tags: Sequence[str] = (),
+    description: str = "",
+) -> Callable[[type], type]:
+    """Class decorator: register a problem under ``name``.
+
+    ``defaults`` partially applies constructor keywords, registering one
+    canonical parameterization of a parameterized construction.
+    """
+
+    def decorate(cls: type) -> type:
+        PROBLEMS.add(
+            ProblemEntry(
+                name=name,
+                factory=_partial_factory(cls, defaults),
+                cls=cls,
+                tags=tuple(tags),
+                description=description or _first_docline(cls),
+            )
+        )
+        return cls
+
+    return decorate
+
+
+def register_algorithm(
+    name: str,
+    *,
+    problem: str,
+    defaults: Optional[Dict[str, object]] = None,
+    seed: int = 0,
+    families: Optional[Sequence[str]] = None,
+    description: str = "",
+) -> Callable[[type], type]:
+    """Class decorator: register a probe algorithm under ``name``.
+
+    Whether the algorithm is randomized is derived from the instance the
+    factory builds (its ``is_randomized`` property), so the metadata can
+    never drift from the implementation.
+    """
+
+    def decorate(cls: type) -> type:
+        factory = _partial_factory(cls, defaults)
+        ALGORITHMS.add(
+            AlgorithmEntry(
+                name=name,
+                factory=factory,
+                cls=cls,
+                problem=problem,
+                randomized=bool(getattr(factory(), "is_randomized", False)),
+                seed=seed,
+                families=None if families is None else tuple(families),
+                description=description or _first_docline(cls),
+            )
+        )
+        return cls
+
+    return decorate
+
+
+def register_family(
+    name: str,
+    *,
+    problems: Sequence[str],
+    quick: Sequence[object],
+    full: Sequence[object],
+    n_range: Tuple[int, int] = (0, 0),
+    description: str = "",
+) -> Callable[[Callable], Callable]:
+    """Function decorator: register ``factory(param) -> Instance``."""
+
+    def decorate(factory: Callable) -> Callable:
+        FAMILIES.add(
+            FamilyEntry(
+                name=name,
+                factory=factory,
+                problems=tuple(problems),
+                quick=tuple(quick),
+                full=tuple(full),
+                n_range=n_range,
+                description=description or _first_docline(factory),
+            )
+        )
+        return factory
+
+    return decorate
+
+
+# ----------------------------------------------------------------------
+# population and enumeration
+# ----------------------------------------------------------------------
+_COMPONENT_MODULES: Tuple[str, ...] = (
+    "repro.problems",
+    "repro.algorithms.classic_algs",
+    "repro.algorithms.trivial_algs",
+    "repro.algorithms.leaf_coloring_algs",
+    "repro.algorithms.balanced_tree_algs",
+    "repro.algorithms.hierarchical_algs",
+    "repro.algorithms.hybrid_algs",
+    "repro.algorithms.hh_algs",
+    "repro.families",
+)
+
+_loaded = False
+
+
+def load_components() -> None:
+    """Import every component module so all registrations have run."""
+    global _loaded
+    if _loaded:
+        return
+    for module in _COMPONENT_MODULES:
+        importlib.import_module(module)
+    _loaded = True
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """One compatible (problem, algorithm, family) triple."""
+
+    problem: ProblemEntry
+    algorithm: AlgorithmEntry
+    family: FamilyEntry
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.problem.name, self.algorithm.name, self.family.name)
+
+
+def iter_compatible(
+    problems: Optional[Sequence[str]] = None,
+    algorithms: Optional[Sequence[str]] = None,
+    families: Optional[Sequence[str]] = None,
+) -> Iterator[MatrixCell]:
+    """Enumerate the compatible problem x algorithm x family matrix.
+
+    A cell exists when the algorithm declares the problem, the family
+    lists the problem among its valid inputs, and the algorithm's family
+    restriction (if any) admits the family.  Optional name lists filter
+    each axis.  Iteration order follows registration order, so the matrix
+    is deterministic across runs.
+    """
+    load_components()
+    for algorithm in ALGORITHMS:
+        if algorithms is not None and algorithm.name not in algorithms:
+            continue
+        problem = PROBLEMS.get(algorithm.problem)
+        if problems is not None and problem.name not in problems:
+            continue
+        for family in FAMILIES:
+            if families is not None and family.name not in families:
+                continue
+            if problem.name not in family.problems:
+                continue
+            if (
+                algorithm.families is not None
+                and family.name not in algorithm.families
+            ):
+                continue
+            yield MatrixCell(problem=problem, algorithm=algorithm, family=family)
+
+
+__all__ = [
+    "ALGORITHMS",
+    "AlgorithmEntry",
+    "FAMILIES",
+    "FamilyEntry",
+    "MatrixCell",
+    "PROBLEMS",
+    "ProblemEntry",
+    "Registry",
+    "RegistryError",
+    "iter_compatible",
+    "load_components",
+    "register_algorithm",
+    "register_family",
+    "register_problem",
+]

@@ -3,7 +3,6 @@
 import math
 import random
 
-import pytest
 
 from repro.algorithms.balanced_tree_algs import (
     BalancedTreeCongestFlood,

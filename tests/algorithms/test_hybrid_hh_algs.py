@@ -12,7 +12,6 @@ from repro.algorithms.hh_algs import (
 )
 from repro.algorithms.hybrid_algs import (
     HybridDistanceSolver,
-    HybridFullGather,
     HybridRecursiveSolver,
     HybridWaypointSolver,
 )

@@ -3,7 +3,6 @@
 import math
 import random
 
-import pytest
 
 from repro.algorithms.leaf_coloring_algs import (
     LeafColoringDistanceSolver,

@@ -1,0 +1,148 @@
+"""Tests for `repro bench`: artifact schema, matrix coverage, gating."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.cli.bench import SCHEMA_NAME, SCHEMA_VERSION, run_cell
+from repro.exec.backends import SerialBackend
+from repro.registry import (
+    ALGORITHMS,
+    FAMILIES,
+    PROBLEMS,
+    MatrixCell,
+    iter_compatible,
+    load_components,
+)
+
+CELL_KEYS = {
+    "problem",
+    "algorithm",
+    "family",
+    "seed",
+    "randomized",
+    "ok",
+    "points",
+    "max_volume",
+    "mean_volume",
+    "max_distance",
+    "volume_fit",
+    "distance_fit",
+    "elapsed",
+}
+POINT_KEYS = {
+    "param",
+    "n",
+    "valid",
+    "max_volume",
+    "mean_volume",
+    "max_distance",
+    "max_queries",
+    "truncated_nodes",
+    "violations",
+    "elapsed",
+}
+
+
+@pytest.fixture(autouse=True)
+def _loaded():
+    load_components()
+
+
+class TestListCells:
+    def test_full_matrix_is_registry_enumerated(self, capsys):
+        assert main(["bench", "--quick", "--list-cells"]) == 0
+        listed = [tuple(c) for c in json.loads(capsys.readouterr().out)]
+        assert listed == [cell.key for cell in iter_compatible()]
+
+    def test_only_filter(self, capsys):
+        assert main(["bench", "--list-cells", "--only", "relay"]) == 0
+        listed = [tuple(c) for c in json.loads(capsys.readouterr().out)]
+        assert listed
+        assert all(any("relay" in part for part in key) for key in listed)
+
+    def test_no_matching_cells_exits_two(self, capsys):
+        assert main(["bench", "--only", "no-such-component"]) == 2
+
+
+class TestArtifact:
+    def test_quick_bench_writes_schema_versioned_artifact(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "BENCH_repro.json"
+        code = main([
+            "bench",
+            "--quick",
+            "--only",
+            "leaf-coloring",
+            "--out",
+            str(out),
+        ])
+        assert code == 0
+        artifact = json.loads(out.read_text())
+        assert artifact["schema"] == SCHEMA_NAME
+        assert artifact["schema_version"] == SCHEMA_VERSION
+        assert artifact["mode"] == "quick"
+        assert artifact["backend"] == "serial"
+        assert artifact["python"]
+        assert artifact["git_sha"]
+        expected = [
+            cell.key
+            for cell in iter_compatible()
+            if any("leaf-coloring" in part for part in cell.key)
+        ]
+        got = [
+            (c["problem"], c["algorithm"], c["family"])
+            for c in artifact["cells"]
+        ]
+        assert got == expected
+        for cell in artifact["cells"]:
+            assert set(cell) == CELL_KEYS
+            assert cell["ok"] is True
+            assert isinstance(cell["volume_fit"], str)
+            assert isinstance(cell["distance_fit"], str)
+            assert len(cell["points"]) >= 2
+            for point in cell["points"]:
+                assert set(point) == POINT_KEYS
+                assert point["valid"] is True
+        summary = artifact["summary"]
+        assert summary["cells"] == len(artifact["cells"])
+        assert summary["failed"] == 0
+
+    def test_stdout_summary_mentions_artifact(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        main(["bench", "--only", "constant", "--out", str(out)])
+        stdout = capsys.readouterr().out
+        assert "0 failed" in stdout
+        assert str(out) in stdout
+
+
+class TestValidationGate:
+    def test_run_cell_flags_invalid_outputs(self):
+        # An artificial cell pairing a solver with the wrong problem:
+        # "ok" is not a proper 2-coloring, so validation must fail.
+        cell = MatrixCell(
+            problem=PROBLEMS.get("cycle-2-coloring"),
+            algorithm=ALGORITHMS.get("constant/echo-ok"),
+            family=FAMILIES.get("cycle"),
+        )
+        record = run_cell(cell, "quick", SerialBackend())
+        assert record["ok"] is False
+        assert all(not point["valid"] for point in record["points"])
+        assert record["points"][0]["violations"]
+
+    def test_randomized_cells_pin_registered_seed(self, tmp_path):
+        out = tmp_path / "bench.json"
+        assert main([
+            "bench",
+            "--only",
+            "waypoint",
+            "--out",
+            str(out),
+        ]) == 0
+        artifact = json.loads(out.read_text())
+        by_algorithm = {c["algorithm"]: c for c in artifact["cells"]}
+        for name, cell in by_algorithm.items():
+            assert cell["randomized"] is True
+            assert cell["seed"] == ALGORITHMS.get(name).seed

@@ -1,0 +1,139 @@
+"""Tests for the component registry: lookup, metadata, completeness."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+from repro.model.probe import ProbeAlgorithm
+from repro.registry import (
+    ALGORITHMS,
+    FAMILIES,
+    PROBLEMS,
+    Registry,
+    RegistryError,
+    iter_compatible,
+    load_components,
+)
+
+
+@pytest.fixture(autouse=True)
+def _loaded():
+    load_components()
+
+
+class TestPopulation:
+    def test_minimum_counts(self):
+        assert len(PROBLEMS) >= 8
+        assert len(ALGORITHMS) >= 10
+        assert len(FAMILIES) >= 5
+
+    def test_problem_names_match_instances(self):
+        for entry in PROBLEMS:
+            assert entry.make().name == entry.name
+
+    def test_algorithm_names_match_instances(self):
+        for entry in ALGORITHMS:
+            assert entry.make().name == entry.name
+
+    def test_algorithm_randomized_flag_matches_instances(self):
+        for entry in ALGORITHMS:
+            assert entry.randomized == entry.make().is_randomized
+
+    def test_algorithms_reference_registered_problems(self):
+        for entry in ALGORITHMS:
+            assert entry.problem in PROBLEMS
+
+    def test_families_reference_registered_problems(self):
+        for entry in FAMILIES:
+            assert entry.problems
+            for problem in entry.problems:
+                assert problem in PROBLEMS
+
+    def test_family_quick_grids_build(self):
+        for entry in FAMILIES:
+            assert len(entry.quick) >= 2  # growth fits need >= 2 points
+            for param in entry.quick:
+                instance = entry.instance(param)
+                assert instance.graph.num_nodes >= 1
+
+
+class TestCompleteness:
+    # Base classes algorithms derive from; everything else defined at
+    # module level in repro.algorithms must be registered.
+    BASES = {"ProbeAlgorithm", "FullGatherAlgorithm", "THCSolverBase"}
+
+    def _module_level_algorithm_classes(self):
+        import repro.algorithms
+
+        found = set()
+        for info in pkgutil.iter_modules(repro.algorithms.__path__):
+            module = importlib.import_module(f"repro.algorithms.{info.name}")
+            for name, obj in vars(module).items():
+                if name.startswith("_") or not inspect.isclass(obj):
+                    continue
+                if obj.__module__ != module.__name__:
+                    continue
+                if not issubclass(obj, ProbeAlgorithm):
+                    continue
+                if obj.__name__ in self.BASES:
+                    continue
+                found.add(obj)
+        return found
+
+    def test_every_algorithm_class_is_registered(self):
+        registered = {entry.cls for entry in ALGORITHMS}
+        missing = {
+            cls.__name__
+            for cls in self._module_level_algorithm_classes()
+            if cls not in registered
+        }
+        assert not missing, f"unregistered algorithm classes: {missing}"
+
+
+class TestLookup:
+    def test_unknown_name_raises_with_hint(self):
+        with pytest.raises(RegistryError, match="leaf-coloring"):
+            ALGORITHMS.get("leaf-coloring/distanse")
+
+    def test_duplicate_registration_rejected(self):
+        registry = Registry("thing")
+        entry = PROBLEMS.get("leaf-coloring")
+        registry.add(entry)
+        with pytest.raises(RegistryError, match="duplicate"):
+            registry.add(entry)
+
+
+class TestMatrix:
+    def test_matrix_is_nonempty_and_consistent(self):
+        cells = list(iter_compatible())
+        assert len(cells) >= len(ALGORITHMS)  # every algorithm has a family
+        for cell in cells:
+            assert cell.algorithm.problem == cell.problem.name
+            assert cell.problem.name in cell.family.problems
+            if cell.algorithm.families is not None:
+                assert cell.family.name in cell.algorithm.families
+
+    def test_every_algorithm_appears(self):
+        covered = {cell.algorithm.name for cell in iter_compatible()}
+        assert covered == set(ALGORITHMS.names())
+
+    def test_family_restriction_is_honored(self):
+        families = {
+            cell.family.name
+            for cell in iter_compatible(
+                algorithms=["leaf-coloring/secret-rw"],
+            )
+        }
+        assert families == {"leaf-coloring-hard"}
+
+    def test_axis_filters(self):
+        cells = list(iter_compatible(problems=["relay"]))
+        assert cells
+        assert all(cell.problem.name == "relay" for cell in cells)
+
+    def test_matrix_order_is_deterministic(self):
+        first = [cell.key for cell in iter_compatible()]
+        second = [cell.key for cell in iter_compatible()]
+        assert first == second

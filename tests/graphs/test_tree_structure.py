@@ -3,19 +3,16 @@
 import math
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.graphs import tree_structure as ts
-from repro.graphs.builders import complete_binary_tree
 from repro.graphs.generators import (
     corrupt_instance,
     hierarchical_thc_instance,
     hybrid_thc_instance,
     leaf_coloring_instance,
     random_tree_instance,
-    tree_labeling_for,
 )
 from repro.graphs.labelings import Instance
 

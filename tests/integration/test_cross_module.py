@@ -20,10 +20,7 @@ from repro import (
     run_algorithm,
     solve_and_check,
 )
-from repro.algorithms.balanced_tree_algs import (
-    BalancedTreeDistanceSolver,
-    BalancedTreeFullGather,
-)
+from repro.algorithms.balanced_tree_algs import BalancedTreeDistanceSolver
 from repro.algorithms.hierarchical_algs import RecursiveHTHC, WaypointHTHC
 from repro.algorithms.hybrid_algs import HybridDistanceSolver
 from repro.algorithms.leaf_coloring_algs import (

@@ -2,17 +2,12 @@
 
 import random
 
-import pytest
-
 from repro.algorithms.balanced_tree_algs import BalancedTreeFullGather
 from repro.lower_bounds.disjointness import (
     communication_cost_of_query_plan,
     simulate_two_party,
 )
-from repro.lower_bounds.yao_experiments import (
-    HorizonLimitedLeafColoring,
-    horizon_sweep,
-)
+from repro.lower_bounds.yao_experiments import horizon_sweep
 
 
 class TestTwoPartySimulation:

@@ -88,6 +88,34 @@ class TestCosts:
         view.query(grandchild, 1)  # back toward child: no growth
         assert view.distance_cost() == 2
 
+    def test_distance_cache_repeated_calls(self, tree):
+        """cost_profile() after exploring is O(1) on repeat calls."""
+        root = tree.meta["root"]
+        view = make_view(tree, root)
+        node = root
+        for _ in range(3):
+            node = view.query(node, 1 if node == root else 2).node_id
+        first = view.distance_cost()
+        assert view.distance_cost() == first
+        assert view.cost_profile().distance == first
+
+    def test_distance_cache_invalidated_by_shortcut_edge(self):
+        """A new edge between two *visited* nodes must refresh the BFS.
+
+        Walking a 5-cycle one way puts the far node at explored distance
+        4; closing the cycle afterwards (no new visit!) shortens it to 1.
+        """
+        from repro.graphs.generators import cycle_instance
+
+        inst = cycle_instance(5, shuffle_ids=False)
+        view = make_view(inst, 1)
+        node = 1
+        for _ in range(4):  # 1 -> 2 -> 3 -> 4 -> 5 via successor ports
+            node = view.query(node, 2).node_id
+        assert view.distance_cost() == 4
+        view.query(1, 1)  # predecessor of 1 is node 5: closes the cycle
+        assert view.distance_cost() == 2
+
     def test_volume_bounds_distance(self, tree):
         """First inequality of Lemma 2.5 at the execution level."""
         root = tree.meta["root"]

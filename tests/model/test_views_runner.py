@@ -1,6 +1,5 @@
 """Tests for ball gathering, the probe topology adapter, and the runner."""
 
-import pytest
 
 from repro.graphs import tree_structure as ts
 from repro.graphs.generators import (

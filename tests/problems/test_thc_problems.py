@@ -11,7 +11,7 @@ from repro.graphs.generators import (
     hierarchical_thc_instance,
     hybrid_thc_instance,
 )
-from repro.graphs.labelings import BLUE, DECLINE, EXEMPT, RED
+from repro.graphs.labelings import BLUE, DECLINE, RED
 from repro.graphs.tree_structure import InstanceTopology, all_backbones, level_of
 from repro.lcl.verifier import validate_locally
 from repro.problems.hh_thc import HHTHC
