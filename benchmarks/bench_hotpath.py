@@ -1,0 +1,294 @@
+"""Hot-path microbenchmarks: the compiled instance fast path vs reference.
+
+The probe engine's inner loop is multiplied by ``n x queries`` on every
+sweep (the runner starts the algorithm from *all* n nodes), so this bench
+times exactly the three layers PR 3 compiled:
+
+* ``oracle_queries`` — raw oracle throughput: ``resolve`` + ``node_info``
+  over every (node, port) of an instance, :class:`StaticOracle` (dict-of-
+  dict walk, per-call ``NodeInfo`` rebuild) vs :class:`CompiledOracle`
+  (precomputed tables over a frozen CSR graph);
+* ``full_gather`` — a full-gather ``run_algorithm`` from every node of a
+  line and a complete-tree instance (n >= 512), compiled path vs the
+  uncompiled reference path — the acceptance gate expects >= 3x here;
+* ``dist_maintenance`` — an exploration that polls ``distance_cost()``
+  after every query, incremental labels vs BFS-per-invalidation.
+
+``--quick`` (the CI perf-smoke mode) runs reduced repeats and writes the
+timing artifact; the process exits non-zero if the compiled path ever
+falls behind the reference path on the ``oracle_queries`` throughput
+microbench, which is the regression CI gates on.
+
+Outputs are cross-checked compiled-vs-reference inside the bench, on top
+of the property suite in ``tests/perf/test_compiled_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Callable, Dict, List
+
+from _common import banner
+
+from repro.cli.bench import git_sha
+from repro.exec.backends import SerialBackend
+from repro.graphs.builders import complete_binary_tree, path_graph
+from repro.graphs.labelings import Instance, Labeling
+from repro.model.oracle import CompiledOracle, StaticOracle
+from repro.model.probe import ProbeAlgorithm, ProbeView
+from repro.model.randomness import RandomnessContext, RandomnessModel
+from repro.model.runner import run_algorithm
+from repro.model.views import gather_ball
+
+SCHEMA_NAME = "repro-bench-hotpath"
+SCHEMA_VERSION = 1
+
+
+def line_instance(n: int) -> Instance:
+    """An unlabeled path on ``n`` nodes (ids 1..n, ports 1/2)."""
+    return Instance(
+        graph=path_graph(n), labeling=Labeling(), name=f"line-{n}"
+    )
+
+
+def tree_instance(depth: int) -> Instance:
+    """An unlabeled complete binary tree of the given depth."""
+    topo = complete_binary_tree(depth)
+    return Instance(
+        graph=topo.graph,
+        labeling=Labeling(),
+        name=f"tree-{topo.graph.num_nodes}",
+    )
+
+
+class PureGatherAlgorithm(ProbeAlgorithm):
+    """Gather the whole component and summarize it: the pure hot path.
+
+    Unlike :class:`~repro.algorithms.generic.FullGatherAlgorithm` there
+    is no instance reconstruction or reference solve afterwards, so the
+    measured time is the engine + oracle loop and nothing else.
+    """
+
+    name = "pure-gather"
+
+    def run(self, view: ProbeView):
+        ball = gather_ball(view, max(1, view.n))
+        return (len(ball.distance), max(ball.distance.values()))
+
+
+def best_of(repeats: int, fn: Callable[[], float]) -> float:
+    """The minimum wall time over ``repeats`` runs (noise-robust)."""
+    return min(fn() for _ in range(repeats))
+
+
+def timed(fn: Callable[[], object]) -> float:
+    started = time.perf_counter()
+    fn()
+    return time.perf_counter() - started
+
+
+# ----------------------------------------------------------------------
+# 1. oracle query throughput
+# ----------------------------------------------------------------------
+def bench_oracle_queries(repeats: int, rounds: int) -> Dict[str, object]:
+    instance = tree_instance(9)  # n = 1023
+    graph = instance.graph
+    pairs = [
+        (node, port)
+        for node in graph.nodes()
+        for port in range(1, graph.num_ports(node) + 1)
+    ]
+
+    def sweep(oracle) -> None:
+        resolve = oracle.resolve
+        node_info = oracle.node_info
+        for _ in range(rounds):
+            for node, port in pairs:
+                endpoint = resolve(node, port)
+                if endpoint is not None:
+                    node_info(endpoint)
+
+    static = StaticOracle(instance)
+    compiled = CompiledOracle(instance)
+    # Cross-check before timing: same answers on every (node, port).
+    for node, port in pairs:
+        assert static.resolve(node, port) == compiled.resolve(node, port)
+        assert static.node_info(node) == compiled.node_info(node)
+    reference_s = best_of(repeats, lambda: timed(lambda: sweep(static)))
+    compiled_s = best_of(repeats, lambda: timed(lambda: sweep(compiled)))
+    queries = len(pairs) * rounds
+    return {
+        "name": "oracle_queries",
+        "params": {"n": graph.num_nodes, "queries": queries},
+        "reference_s": reference_s,
+        "compiled_s": compiled_s,
+        "reference_qps": queries / reference_s,
+        "compiled_qps": queries / compiled_s,
+        "speedup": reference_s / compiled_s,
+    }
+
+
+# ----------------------------------------------------------------------
+# 2. full-gather whole-instance run
+# ----------------------------------------------------------------------
+def bench_full_gather(instance: Instance, repeats: int) -> Dict[str, object]:
+    algorithm = PureGatherAlgorithm()
+    reference_backend = SerialBackend(compiled=False)
+    compiled_backend = SerialBackend(compiled=True)
+    ref_run = run_algorithm(instance, algorithm, backend=reference_backend)
+    fast_run = run_algorithm(instance, algorithm, backend=compiled_backend)
+    assert fast_run.outputs == ref_run.outputs
+    assert fast_run.profiles == ref_run.profiles
+    n = instance.graph.num_nodes
+    reference_s = best_of(
+        repeats,
+        lambda: timed(
+            lambda: run_algorithm(
+                instance, algorithm, backend=reference_backend
+            )
+        ),
+    )
+    compiled_s = best_of(
+        repeats,
+        lambda: timed(
+            lambda: run_algorithm(
+                instance, algorithm, backend=compiled_backend
+            )
+        ),
+    )
+    return {
+        "name": f"full_gather[{instance.name}]",
+        "params": {"n": n, "executions": n},
+        "reference_s": reference_s,
+        "compiled_s": compiled_s,
+        "reference_eps": n / reference_s,
+        "compiled_eps": n / compiled_s,
+        "speedup": reference_s / compiled_s,
+    }
+
+
+# ----------------------------------------------------------------------
+# 3. DIST maintenance under interleaved cost reads
+# ----------------------------------------------------------------------
+def _null_context() -> RandomnessContext:
+    return RandomnessContext(None, RandomnessModel.DETERMINISTIC, 0)
+
+
+def bench_dist_maintenance(n: int, repeats: int) -> Dict[str, object]:
+    instance = line_instance(n)
+    compiled = CompiledOracle(instance)
+    start = next(iter(instance.graph.nodes()))
+
+    def explore(distance_mode: str) -> int:
+        view = ProbeView(
+            compiled, start, _null_context(), distance_mode=distance_mode
+        )
+        total = 0
+        frontier = [start]
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for port in view.info(u).ports:
+                    endpoint = view.query(u, port)
+                    # The poll after every query is the workload: it
+                    # forces the reference path to re-BFS per probe.
+                    total += view.distance_cost()
+                    if endpoint is not None and endpoint.node_id not in seen:
+                        seen.add(endpoint.node_id)
+                        nxt.append(endpoint.node_id)
+            frontier = nxt
+        return total
+
+    def run(distance_mode: str) -> int:
+        seen.clear()
+        seen.add(start)
+        return explore(distance_mode)
+
+    seen: set = {start}
+    assert run("incremental") == run("reference")
+    reference_s = best_of(repeats, lambda: timed(lambda: run("reference")))
+    compiled_s = best_of(repeats, lambda: timed(lambda: run("incremental")))
+    return {
+        "name": "dist_maintenance",
+        "params": {"n": n, "polls_per_query": 1},
+        "reference_s": reference_s,
+        "compiled_s": compiled_s,
+        "speedup": reference_s / compiled_s,
+    }
+
+
+# ----------------------------------------------------------------------
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--quick", action="store_true",
+        help="reduced repeats/sizes (what CI's perf-smoke job runs)",
+    )
+    mode.add_argument(
+        "--full", action="store_true", help="larger sizes, more repeats"
+    )
+    parser.add_argument("--out", default="bench_hotpath.json")
+    args = parser.parse_args(argv)
+    full = args.full
+    repeats = 5 if full else 3
+
+    banner("Hot-path microbenchmarks: compiled fast path vs reference")
+    benches: List[Dict[str, object]] = []
+
+    benches.append(bench_oracle_queries(repeats, rounds=20 if full else 5))
+    gather_instances = [line_instance(512), tree_instance(9)]
+    if full:
+        gather_instances.append(line_instance(2048))
+    for instance in gather_instances:
+        benches.append(bench_full_gather(instance, repeats))
+    benches.append(bench_dist_maintenance(1024 if full else 384, repeats))
+
+    for bench in benches:
+        print(
+            f"{bench['name']:<28} reference {bench['reference_s']:.4f}s  "
+            f"compiled {bench['compiled_s']:.4f}s  "
+            f"speedup {bench['speedup']:.2f}x"
+        )
+
+    oracle_bench = benches[0]
+    gather_speedups = {
+        b["name"]: b["speedup"]
+        for b in benches
+        if b["name"].startswith("full_gather")
+    }
+    gate_ok = oracle_bench["speedup"] >= 1.0
+    artifact = {
+        "schema": SCHEMA_NAME,
+        "schema_version": SCHEMA_VERSION,
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "mode": "full" if full else "quick",
+        "git_sha": git_sha(),
+        "python": platform.python_version(),
+        "repeats": repeats,
+        "benches": benches,
+        "gate": {
+            "query_throughput_speedup": oracle_bench["speedup"],
+            "query_throughput_ok": gate_ok,
+            "full_gather_speedups": gather_speedups,
+        },
+    }
+    with open(args.out, "w") as handle:
+        json.dump(artifact, handle, indent=1)
+        handle.write("\n")
+    print(f"\nartifact -> {args.out}")
+    if not gate_ok:
+        print(
+            "FAIL: compiled oracle fell behind the reference oracle on "
+            f"query throughput ({oracle_bench['speedup']:.2f}x)"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,9 +9,10 @@ writes a schema-versioned machine-readable artifact::
 
     {
       "schema": "repro-bench",
-      "schema_version": 1,
+      "schema_version": 2,
       "mode": "quick" | "full",
-      "backend": "serial" | "process:N" | "batch",
+      "backend": "serial" | "process:N" | "batch" | "reference",
+      "oracle": "compiled" | "reference",
       "git_sha": "...", "python": "3.x.y", "generated": "...Z",
       "cells": [
         {
@@ -19,13 +20,22 @@ writes a schema-versioned machine-readable artifact::
           "randomized": ..., "ok": ...,
           "points": [{"param", "n", "valid", "max_volume", "mean_volume",
                       "max_distance", "max_queries", "truncated_nodes",
-                      "violations", "elapsed"}, ...],
+                      "violations", "executions", "elapsed",
+                      "execs_per_sec"}, ...],
           "max_volume": ..., "mean_volume": ..., "max_distance": ...,
-          "volume_fit": ..., "distance_fit": ..., "elapsed": ...
+          "volume_fit": ..., "distance_fit": ...,
+          "executions": ..., "wall_time": ..., "execs_per_sec": ...,
+          "elapsed": ...   (schema-v1 alias, always == wall_time)
         }, ...
       ],
-      "summary": {"cells", "points", "failed", "elapsed"}
+      "summary": {"cells", "points", "failed", "executions",
+                  "wall_time", "execs_per_sec", "elapsed"}
     }
+
+Schema v2 (PR 3) added the timing trajectory: per-point and per-cell
+wall-clock plus executions/sec (one "execution" = one per-node run of
+the algorithm), and the oracle mode the numbers were measured under —
+so later perf PRs have a committed baseline to be judged against.
 
 CI's ``bench-smoke`` job runs ``repro bench --quick`` on the serial and
 ``process:2`` backends, uploads the artifact, and fails on any invalid
@@ -45,7 +55,7 @@ from typing import Dict, List, Optional
 from repro.registry import MatrixCell, iter_compatible, load_components
 
 SCHEMA_NAME = "repro-bench"
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def git_sha() -> str:
@@ -103,6 +113,7 @@ def run_cell(
             "max_queries": report.run.max_queries,
             "truncated_nodes": len(report.run.truncated_nodes),
             "violations": [str(v) for v in report.violations[:3]],
+            "executions": len(report.run.profiles),
         })
         return float(report.run.max_volume)
 
@@ -115,7 +126,14 @@ def run_cell(
     result = run_sweep(spec, backend, progress=progress)
     for point, sweep_point in zip(points, result.points):
         point["elapsed"] = sweep_point.elapsed
+        point["execs_per_sec"] = (
+            point["executions"] / sweep_point.elapsed
+            if sweep_point.elapsed > 0
+            else None
+        )
     ns = [p["n"] for p in points]
+    executions = sum(p["executions"] for p in points)
+    wall_time = sum(p["elapsed"] for p in points)
     return {
         "problem": cell.problem.name,
         "algorithm": cell.algorithm.name,
@@ -129,7 +147,10 @@ def run_cell(
         "max_distance": max(p["max_distance"] for p in points),
         "volume_fit": _fit(ns, [p["max_volume"] for p in points]),
         "distance_fit": _fit(ns, [p["max_distance"] for p in points]),
-        "elapsed": sum(p["elapsed"] for p in points),
+        "executions": executions,
+        "wall_time": wall_time,
+        "execs_per_sec": executions / wall_time if wall_time > 0 else None,
+        "elapsed": wall_time,
     }
 
 
@@ -155,18 +176,26 @@ def cmd_bench(args: argparse.Namespace) -> int:
     backend = get_backend(args.backend)
     progress = print if args.progress else None
     started = time.perf_counter()
-    records = [
-        run_cell(cell, grid, backend, seed=args.seed, progress=progress)
-        for cell in cells
-    ]
+    try:
+        records = [
+            run_cell(cell, grid, backend, seed=args.seed, progress=progress)
+            for cell in cells
+        ]
+    finally:
+        # Release pool resources promptly (a leaked ProcessPoolExecutor
+        # races interpreter teardown and spews atexit tracebacks).
+        backend.close()
     elapsed = time.perf_counter() - started
     failed = [r for r in records if not r["ok"]]
+    executions = sum(r["executions"] for r in records)
+    wall_time = sum(r["wall_time"] for r in records)
     artifact = {
         "schema": SCHEMA_NAME,
         "schema_version": SCHEMA_VERSION,
         "generated": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "mode": grid,
         "backend": args.backend or "serial",
+        "oracle": getattr(backend, "oracle_mode", "compiled"),
         "git_sha": git_sha(),
         "python": platform.python_version(),
         "cells": records,
@@ -174,6 +203,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
             "cells": len(records),
             "points": sum(len(r["points"]) for r in records),
             "failed": len(failed),
+            "executions": executions,
+            "wall_time": wall_time,
+            "execs_per_sec": executions / wall_time if wall_time > 0 else None,
             "elapsed": elapsed,
         },
     }
@@ -195,8 +227,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
     print()
     print(
         f"{len(records)} cells, {artifact['summary']['points']} points, "
-        f"{len(failed)} failed, {elapsed:.1f}s "
-        f"(mode={grid}, backend={artifact['backend']}) -> {args.out}"
+        f"{len(failed)} failed, {elapsed:.1f}s, "
+        f"{executions} executions "
+        f"(mode={grid}, backend={artifact['backend']}, "
+        f"oracle={artifact['oracle']}) -> {args.out}"
     )
     for record in failed:
         first_bad = next(p for p in record["points"] if not p["valid"])
@@ -222,7 +256,9 @@ def add_bench_arguments(sub) -> None:
         help="full paper-table grids (minutes, not seconds)",
     )
     p_bench.add_argument(
-        "--backend", help="serial | batch | process[:N] (default serial)"
+        "--backend",
+        help="serial | reference | batch | process[:N] (default serial; "
+        "'reference' disables the compiled instance fast path)",
     )
     p_bench.add_argument(
         "--only", help="filter cells by substring of problem/algorithm/family"

@@ -4,9 +4,10 @@ The model layer defines *what* one per-node execution is
 (:func:`~repro.model.probe.execute_at`); this module defines *how* the
 executions of a whole-instance run are dispatched.  Three strategies:
 
-* :class:`SerialBackend` — the reference semantics: one process, nodes in
-  iteration order.  This is the default everywhere and is what the
-  paper's definitions describe.
+* :class:`SerialBackend` — one process, nodes in iteration order.  This
+  is the default everywhere and is what the paper's definitions
+  describe (``SerialBackend(compiled=False)`` is the uncompiled
+  *reference path*, see below).
 * :class:`ProcessPoolBackend` — chunked fan-out of start nodes over a
   ``concurrent.futures`` process pool.  Results are merged back in the
   original node order, so the returned :class:`~repro.model.runner.RunResult`
@@ -23,6 +24,17 @@ reads depend only on ``(seed, node_id, index)`` — never on which process
 generates them or in what order executions run.  Each worker rebuilds its
 own :class:`TapeStore` from the same seed and observes exactly the bits
 the shared serial store would have produced.
+
+Every backend **auto-compiles** static instances by default: the instance
+is compiled once per whole-instance run (and once per
+:meth:`~ExecutionBackend.success_probability` trial batch when the
+factory keeps returning the same instance) into a
+:class:`~repro.model.oracle.CompiledOracle`, and the per-node executions
+use the O(1) incremental-DIST engine.  Pass ``compiled=False`` (or the
+backend spec ``"reference"``) to run the uncompiled reference engine —
+``StaticOracle`` plus BFS-on-demand ``DIST`` — which produces bitwise
+identical results, just slower; the property suite under ``tests/perf``
+enforces the equivalence.
 """
 
 from __future__ import annotations
@@ -33,10 +45,15 @@ import pickle
 from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-from repro.model.oracle import StaticOracle
+from repro.model.oracle import StaticOracle, compile_oracle
 from repro.model.probe import CostProfile, ProbeAlgorithm, execute_at
 from repro.model.randomness import TapeStore
 from repro.model.runner import RunResult
+
+
+def _make_oracle(instance, compiled: bool):
+    """One instance's oracle: compiled fast path or reference semantics."""
+    return compile_oracle(instance) if compiled else StaticOracle(instance)
 
 
 def _execute_nodes(
@@ -46,6 +63,7 @@ def _execute_nodes(
     seed: int,
     max_volume: Optional[int],
     max_queries: Optional[int],
+    distance_mode: str = "incremental",
 ) -> List[Tuple[int, object, CostProfile]]:
     """The shared inner loop: run ``algorithm`` from each node in order."""
     tapes = TapeStore(seed) if algorithm.is_randomized else None
@@ -58,6 +76,7 @@ def _execute_nodes(
             tape_store=tapes,
             max_volume=max_volume,
             max_queries=max_queries,
+            distance_mode=distance_mode,
         )
         out.append((node, output, profile))
     return out
@@ -65,11 +84,25 @@ def _execute_nodes(
 
 def _run_chunk(payload: bytes) -> List[Tuple[int, object, CostProfile]]:
     """Worker entry point: one contiguous chunk of start nodes."""
-    instance, algorithm, nodes, seed, max_volume, max_queries = pickle.loads(
-        payload
+    (
+        instance,
+        algorithm,
+        nodes,
+        seed,
+        max_volume,
+        max_queries,
+        compiled,
+    ) = pickle.loads(payload)
+    oracle = _make_oracle(instance, compiled)
+    return _execute_nodes(
+        oracle,
+        algorithm,
+        nodes,
+        seed,
+        max_volume,
+        max_queries,
+        distance_mode="incremental" if compiled else "reference",
     )
-    oracle = StaticOracle(instance)
-    return _execute_nodes(oracle, algorithm, nodes, seed, max_volume, max_queries)
 
 
 def _run_trials(payload: bytes) -> List[bool]:
@@ -84,8 +117,10 @@ def _run_trials(payload: bytes) -> List[bool]:
         base_seed,
         max_volume,
         max_queries,
+        compiled,
     ) = pickle.loads(payload)
-    backend = BatchBackend()  # amortize oracles if the factory repeats
+    # Amortize oracle compilation if the factory repeats an instance.
+    backend = BatchBackend(compiled=compiled)
     verdicts: List[bool] = []
     for trial in trial_indices:
         instance = instance_factory(trial)
@@ -111,6 +146,11 @@ class ExecutionBackend(abc.ABC):
     """
 
     name: str = "backend"
+
+    @property
+    def oracle_mode(self) -> str:
+        """``"compiled"`` or ``"reference"`` (recorded in bench artifacts)."""
+        return "compiled" if getattr(self, "compiled", True) else "reference"
 
     @abc.abstractmethod
     def run(
@@ -141,25 +181,18 @@ class ExecutionBackend(abc.ABC):
         The default dispatches trials serially through :meth:`run` (so an
         oracle-caching backend amortizes repeated instances for free).
         """
-        from repro.model.runner import solve_and_check
-
         if trials <= 0:
             raise ValueError("success_probability needs at least one trial")
-        successes = 0
-        for trial in range(trials):
-            instance = instance_factory(trial)
-            report = solve_and_check(
-                problem,
-                instance,
-                algorithm,
-                seed=base_seed + trial,
-                max_volume=max_volume,
-                max_queries=max_queries,
-                backend=self,
-            )
-            if report.valid:
-                successes += 1
-        return successes / trials
+        return _serial_trials(
+            self,
+            problem,
+            instance_factory,
+            algorithm,
+            trials,
+            base_seed,
+            max_volume,
+            max_queries,
+        )
 
     # Backends that hold external resources (pools) override these.
     def close(self) -> None:
@@ -187,10 +220,55 @@ class ExecutionBackend(abc.ABC):
         return result
 
 
+def _serial_trials(
+    backend: "ExecutionBackend",
+    problem,
+    instance_factory,
+    algorithm: ProbeAlgorithm,
+    trials: int,
+    base_seed: int,
+    max_volume: Optional[int],
+    max_queries: Optional[int],
+) -> float:
+    """The shared trial loop: solve-and-check each trial on ``backend``."""
+    from repro.model.runner import solve_and_check
+
+    successes = 0
+    for trial in range(trials):
+        instance = instance_factory(trial)
+        report = solve_and_check(
+            problem,
+            instance,
+            algorithm,
+            seed=base_seed + trial,
+            max_volume=max_volume,
+            max_queries=max_queries,
+            backend=backend,
+        )
+        if report.valid:
+            successes += 1
+    return successes / trials
+
+
 class SerialBackend(ExecutionBackend):
-    """The reference implementation: one process, nodes in order."""
+    """One process, nodes in order: the paper's execution semantics.
+
+    ``compiled=True`` (the default) compiles the instance's oracle once
+    per whole-instance run and uses the incremental-DIST engine;
+    ``compiled=False`` is the *reference path* — ``StaticOracle`` plus
+    BFS-on-demand ``DIST`` — with bitwise-identical results.
+    """
 
     name = "serial"
+
+    def __init__(self, compiled: bool = True) -> None:
+        self.compiled = compiled
+        if not compiled:
+            self.name = "reference"
+
+    @property
+    def _distance_mode(self) -> str:
+        return "incremental" if self.compiled else "reference"
 
     def run(
         self,
@@ -205,12 +283,49 @@ class SerialBackend(ExecutionBackend):
         node_list = self._resolve_nodes(instance, nodes)
         oracle = self._oracle_for(instance)
         triples = _execute_nodes(
-            oracle, algorithm, node_list, seed, max_volume, max_queries
+            oracle,
+            algorithm,
+            node_list,
+            seed,
+            max_volume,
+            max_queries,
+            distance_mode=self._distance_mode,
         )
         return self._assemble(instance, algorithm, triples)
 
-    def _oracle_for(self, instance) -> StaticOracle:
-        return StaticOracle(instance)
+    def success_probability(
+        self,
+        problem,
+        instance_factory,
+        algorithm: ProbeAlgorithm,
+        trials: int,
+        *,
+        base_seed: int = 0,
+        max_volume: Optional[int] = None,
+        max_queries: Optional[int] = None,
+    ) -> float:
+        """Trial loop with the oracle compiled once per trial batch.
+
+        A fixed-instance factory (the Proposition 3.12 shape) would
+        otherwise recompile the same instance every trial; routing the
+        batch through a transient :class:`BatchBackend` compiles it once.
+        """
+        if trials <= 0:
+            raise ValueError("success_probability needs at least one trial")
+        with BatchBackend(compiled=self.compiled) as batch:
+            return _serial_trials(
+                batch,
+                problem,
+                instance_factory,
+                algorithm,
+                trials,
+                base_seed,
+                max_volume,
+                max_queries,
+            )
+
+    def _oracle_for(self, instance):
+        return _make_oracle(instance, self.compiled)
 
 
 class BatchBackend(SerialBackend):
@@ -224,20 +339,27 @@ class BatchBackend(SerialBackend):
 
     name = "batch"
 
-    def __init__(self, max_cached: int = 64) -> None:
+    def __init__(self, max_cached: int = 64, compiled: bool = True) -> None:
+        super().__init__(compiled=compiled)
+        self.name = "batch"
         if max_cached < 1:
             raise ValueError("max_cached must be positive")
         self._max_cached = max_cached
         # id() keys are only stable while the object lives; the oracle
         # holds a strong reference to its instance, keeping the id valid
         # for as long as the entry is cached.
-        self._oracles: "dict[int, StaticOracle]" = {}
+        self._oracles: "dict[int, object]" = {}
 
-    def _oracle_for(self, instance) -> StaticOracle:
+    def success_probability(self, *args, **kwargs) -> float:
+        # This backend already amortizes repeated instances itself; the
+        # SerialBackend override would wrap it in yet another batch.
+        return ExecutionBackend.success_probability(self, *args, **kwargs)
+
+    def _oracle_for(self, instance):
         key = id(instance)
         oracle = self._oracles.get(key)
         if oracle is None or oracle.instance is not instance:
-            oracle = StaticOracle(instance)
+            oracle = _make_oracle(instance, self.compiled)
             if len(self._oracles) >= self._max_cached:
                 self._oracles.pop(next(iter(self._oracles)))
             self._oracles[key] = oracle
@@ -268,6 +390,7 @@ class ProcessPoolBackend(ExecutionBackend):
         self,
         workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
+        compiled: bool = True,
     ) -> None:
         if workers is not None and workers < 1:
             raise ValueError("workers must be positive")
@@ -275,6 +398,7 @@ class ProcessPoolBackend(ExecutionBackend):
             raise ValueError("chunk_size must be positive")
         self.workers = workers or os.cpu_count() or 1
         self.chunk_size = chunk_size
+        self.compiled = compiled
         self._executor: Optional[ProcessPoolExecutor] = None
 
     # ------------------------------------------------------------------
@@ -297,7 +421,7 @@ class ProcessPoolBackend(ExecutionBackend):
                 payloads = [
                     pickle.dumps(
                         (instance, algorithm, chunk, seed, max_volume,
-                         max_queries)
+                         max_queries, self.compiled)
                     )
                     for chunk in chunks
                 ]
@@ -307,12 +431,13 @@ class ProcessPoolBackend(ExecutionBackend):
                 serial = True
         if serial:
             triples = _execute_nodes(
-                StaticOracle(instance),
+                _make_oracle(instance, self.compiled),
                 algorithm,
                 node_list,
                 seed,
                 max_volume,
                 max_queries,
+                distance_mode="incremental" if self.compiled else "reference",
             )
             return self._assemble(instance, algorithm, triples)
         futures = [self._pool().submit(_run_chunk, p) for p in payloads]
@@ -356,6 +481,7 @@ class ProcessPoolBackend(ExecutionBackend):
                         base_seed,
                         max_volume,
                         max_queries,
+                        self.compiled,
                     )
                 )
                 for chunk in chunks
@@ -407,8 +533,10 @@ def get_backend(spec=None) -> ExecutionBackend:
     """Resolve a backend argument: instance, name string, or ``None``.
 
     Accepted strings: ``"serial"``, ``"batch"``, ``"process"``, and
-    ``"process:N"`` for an N-worker pool.  ``None`` means the shared
-    default :class:`SerialBackend`.
+    ``"process:N"`` for an N-worker pool — all of which use the compiled
+    instance fast path — plus ``"reference"``, the uncompiled reference
+    engine (``StaticOracle`` + BFS ``DIST``; bitwise-identical results).
+    ``None`` means the shared default :class:`SerialBackend`.
     """
     if spec is None:
         return _DEFAULT_BACKEND
@@ -418,6 +546,8 @@ def get_backend(spec=None) -> ExecutionBackend:
         name, _, arg = spec.partition(":")
         if name == "serial":
             return SerialBackend()
+        if name == "reference":
+            return SerialBackend(compiled=False)
         if name == "batch":
             return BatchBackend()
         if name == "process":
@@ -431,6 +561,6 @@ def get_backend(spec=None) -> ExecutionBackend:
             return ProcessPoolBackend(workers=workers)
     raise ValueError(
         f"unknown execution backend {spec!r} "
-        "(expected an ExecutionBackend, 'serial', 'batch', "
+        "(expected an ExecutionBackend, 'serial', 'reference', 'batch', "
         "'process', or 'process:N')"
     )

@@ -16,7 +16,10 @@ labelings (as the lower-bound constructions require).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.graphs.frozen import FrozenPortGraph
 
 
 class PortGraphError(ValueError):
@@ -40,7 +43,65 @@ class PortEdge:
         return PortEdge(self.v, self.u, self.v_port, self.u_port)
 
 
-class PortGraph:
+class GraphTraversalMixin:
+    """Traversals shared by :class:`PortGraph` and ``FrozenPortGraph``.
+
+    Everything here is defined purely in terms of the common query
+    surface (``nodes`` / ``neighbors`` / ``has_node``), so both the
+    mutable and the CSR-frozen representation get identical semantics
+    from one implementation.
+    """
+
+    __slots__ = ()  # keep FrozenPortGraph dict-free
+
+    def bfs_distances(
+        self, source: int, max_distance: Optional[int] = None
+    ) -> Dict[int, int]:
+        """BFS distances from ``source``, optionally truncated at a radius."""
+        if not self.has_node(source):
+            raise PortGraphError(f"unknown node {source}")
+        dist = {source: 0}
+        frontier = [source]
+        d = 0
+        while frontier:
+            if max_distance is not None and d >= max_distance:
+                break
+            nxt: List[int] = []
+            for u in frontier:
+                for w in self.neighbors(u):
+                    if w not in dist:
+                        dist[w] = d + 1
+                        nxt.append(w)
+            frontier = nxt
+            d += 1
+        return dist
+
+    def ball(self, source: int, radius: int) -> List[int]:
+        """All nodes within distance ``radius`` of ``source``."""
+        return sorted(self.bfs_distances(source, max_distance=radius))
+
+    def connected_components(self) -> List[List[int]]:
+        seen: set = set()
+        components: List[List[int]] = []
+        for start in self.nodes():
+            if start in seen:
+                continue
+            comp = sorted(self.bfs_distances(start))
+            seen.update(comp)
+            components.append(comp)
+        return components
+
+    def to_networkx(self):
+        """Export to a :mod:`networkx` graph (used for cross-checks in tests)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(self.nodes())
+        g.add_edges_from((e.u, e.v) for e in self.edges())
+        return g
+
+
+class PortGraph(GraphTraversalMixin):
     """An undirected graph with unique node IDs and per-node port numbering.
 
     Ports are 1-based, matching the paper's ``[deg(v)]`` convention.  A node
@@ -62,6 +123,12 @@ class PortGraph:
         self._max_degree = max_degree
         # node id -> port number -> (neighbor id, neighbor's port) or None
         self._ports: Dict[int, Dict[int, Optional[Tuple[int, int]]]] = {}
+        # Incrementally maintained mirrors of the port table, so degree(),
+        # num_edges() and the parallel-edge check are O(1) instead of
+        # scanning ports (edges are never removed, only added).
+        self._degrees: Dict[int, int] = {}
+        self._neighbor_sets: Dict[int, Set[int]] = {}
+        self._num_edges = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -75,6 +142,8 @@ class PortGraph:
                 f"num_ports {num_ports} out of range [0, {self._max_degree}]"
             )
         self._ports[node_id] = {p: None for p in range(1, num_ports + 1)}
+        self._degrees[node_id] = 0
+        self._neighbor_sets[node_id] = set()
         return node_id
 
     def reserve_port(self, node_id: int, port: int) -> None:
@@ -101,10 +170,15 @@ class PortGraph:
             raise PortGraphError(f"port {u_port} of node {u} already connected")
         if self._ports[v][v_port] is not None:
             raise PortGraphError(f"port {v_port} of node {v} already connected")
-        if any(nbr == v for nbr, _ in self._connected(u)):
+        if v in self._neighbor_sets[u]:
             raise PortGraphError(f"parallel edge between {u} and {v}")
         self._ports[u][u_port] = (v, v_port)
         self._ports[v][v_port] = (u, u_port)
+        self._neighbor_sets[u].add(v)
+        self._neighbor_sets[v].add(u)
+        self._degrees[u] += 1
+        self._degrees[v] += 1
+        self._num_edges += 1
 
     # ------------------------------------------------------------------
     # queries
@@ -135,7 +209,10 @@ class PortGraph:
 
     def degree(self, node_id: int) -> int:
         """Number of *connected* ports, i.e. the graph-theoretic degree."""
-        return sum(1 for t in self._require_node(node_id).values() if t is not None)
+        try:
+            return self._degrees[node_id]
+        except KeyError:
+            raise PortGraphError(f"unknown node {node_id}") from None
 
     def neighbor_at(self, node_id: int, port: int) -> Optional[int]:
         """The neighbor reached through ``port``, or ``None`` if dangling."""
@@ -181,47 +258,22 @@ class PortGraph:
                     yield PortEdge(u, v, u_port, v_port)
 
     def num_edges(self) -> int:
-        return sum(1 for _ in self.edges())
+        return self._num_edges
+
+    def freeze(self) -> "FrozenPortGraph":
+        """Compile this graph into a read-only CSR :class:`FrozenPortGraph`.
+
+        The frozen snapshot is independent: later mutations of this graph
+        do not show through.  See :mod:`repro.graphs.frozen`.
+        """
+        from repro.graphs.frozen import FrozenPortGraph
+
+        return FrozenPortGraph(self._max_degree, self._ports)
 
     # ------------------------------------------------------------------
-    # algorithms
+    # algorithms (bfs_distances / ball / connected_components inherited
+    # from GraphTraversalMixin)
     # ------------------------------------------------------------------
-    def bfs_distances(
-        self, source: int, max_distance: Optional[int] = None
-    ) -> Dict[int, int]:
-        """BFS distances from ``source``, optionally truncated at a radius."""
-        self._require_node(source)
-        dist = {source: 0}
-        frontier = [source]
-        d = 0
-        while frontier:
-            if max_distance is not None and d >= max_distance:
-                break
-            nxt: List[int] = []
-            for u in frontier:
-                for w in self.neighbors(u):
-                    if w not in dist:
-                        dist[w] = d + 1
-                        nxt.append(w)
-            frontier = nxt
-            d += 1
-        return dist
-
-    def ball(self, source: int, radius: int) -> List[int]:
-        """All nodes within distance ``radius`` of ``source``."""
-        return sorted(self.bfs_distances(source, max_distance=radius))
-
-    def connected_components(self) -> List[List[int]]:
-        seen: set = set()
-        components: List[List[int]] = []
-        for start in self._ports:
-            if start in seen:
-                continue
-            comp = sorted(self.bfs_distances(start))
-            seen.update(comp)
-            components.append(comp)
-        return components
-
     def validate(self) -> None:
         """Check all structural invariants; raise :class:`PortGraphError`."""
         for node, slots in self._ports.items():
@@ -246,18 +298,12 @@ class PortGraph:
                         f"asymmetric edge: {node}:{port} -> {nbr}:{nbr_port}"
                     )
 
-    def to_networkx(self):
-        """Export to a :mod:`networkx` graph (used for cross-checks in tests)."""
-        import networkx as nx
-
-        g = nx.Graph()
-        g.add_nodes_from(self._ports)
-        g.add_edges_from((e.u, e.v) for e in self.edges())
-        return g
-
     def copy(self) -> "PortGraph":
         clone = PortGraph(self._max_degree)
         clone._ports = {n: dict(slots) for n, slots in self._ports.items()}
+        clone._degrees = dict(self._degrees)
+        clone._neighbor_sets = {n: set(s) for n, s in self._neighbor_sets.items()}
+        clone._num_edges = self._num_edges
         return clone
 
     # ------------------------------------------------------------------

@@ -6,15 +6,27 @@ lower-bound processes of Propositions 3.13 and 5.20 be implemented exactly
 as the paper specifies them: the adversary *is* an oracle that constructs
 the graph lazily in response to the algorithm's queries.
 
-:class:`StaticOracle` is the ordinary case: a fixed labeled graph.
+:class:`StaticOracle` is the ordinary case: a fixed labeled graph.  It is
+the *reference semantics*: every query walks the live
+:class:`~repro.graphs.port_graph.PortGraph` and rebuilds a
+:class:`NodeInfo` from scratch.  :class:`CompiledOracle` is the fast path
+over the same semantics: it freezes the graph
+(:meth:`~repro.graphs.port_graph.PortGraph.freeze`) and precomputes the
+full ``NodeInfo`` table and per-port resolution rows once per instance,
+so the ``n x queries`` inner loop of a whole-instance run is pure dict /
+tuple indexing with zero per-query allocation.  The execution backends
+auto-compile static instances (see :mod:`repro.exec.backends`); results
+are bitwise-identical by construction and enforced by the property suite
+in ``tests/perf/test_compiled_equivalence.py``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Protocol
+from typing import Dict, Optional, Protocol, Tuple
 
 from repro.graphs.labelings import Instance, NodeLabel
+from repro.graphs.port_graph import PortGraphError
 
 
 @dataclass(frozen=True)
@@ -84,3 +96,84 @@ class StaticOracle:
         if port < 1 or port > graph.num_ports(node_id):
             return None
         return graph.neighbor_at(node_id, port)
+
+
+class CompiledOracle:
+    """A :class:`GraphOracle` with the whole answer table precomputed.
+
+    Construction is one O(n * Delta) pass: the instance's graph is frozen
+    into a CSR :class:`~repro.graphs.frozen.FrozenPortGraph`, every
+    node's :class:`NodeInfo` is built exactly as :class:`StaticOracle`
+    would build it, and every ``resolve`` row is flattened into a tuple.
+    After that, :meth:`node_info` is one dict lookup returning a shared
+    (frozen) record, and :meth:`resolve` is one dict lookup plus a tuple
+    index — no port-dict hashing, no ``_require_node`` try/except, no
+    per-query ``NodeInfo`` allocation.
+
+    Answers agree with ``StaticOracle(instance)`` on every query,
+    including out-of-range ports (``None``) and unknown nodes
+    (:class:`~repro.graphs.port_graph.PortGraphError`).
+    """
+
+    def __init__(self, instance: Instance) -> None:
+        self._instance = instance
+        frozen = instance.graph.freeze()
+        self._frozen = frozen
+        info: Dict[int, NodeInfo] = {}
+        resolved: Dict[int, Tuple[Optional[int], ...]] = {}
+        for node_id in frozen.nodes():
+            row = tuple(
+                frozen.neighbor_at(node_id, port)
+                for port in range(1, frozen.num_ports(node_id) + 1)
+            )
+            resolved[node_id] = row
+            info[node_id] = NodeInfo(
+                node_id=node_id,
+                degree=frozen.degree(node_id),
+                label=instance.label(node_id),
+                ports=tuple(
+                    port for port, nbr in enumerate(row, start=1)
+                    if nbr is not None
+                ),
+            )
+        self._info = info
+        self._resolved = resolved
+
+    @property
+    def n(self) -> int:
+        return self._instance.n
+
+    @property
+    def instance(self) -> Instance:
+        return self._instance
+
+    @property
+    def frozen_graph(self):
+        """The CSR snapshot backing this oracle."""
+        return self._frozen
+
+    def node_info(self, node_id: int) -> NodeInfo:
+        try:
+            return self._info[node_id]
+        except KeyError:
+            raise PortGraphError(f"unknown node {node_id}") from None
+
+    def resolve(self, node_id: int, port: int) -> Optional[int]:
+        try:
+            row = self._resolved[node_id]
+        except KeyError:
+            raise PortGraphError(f"unknown node {node_id}") from None
+        if 1 <= port <= len(row):
+            return row[port - 1]
+        return None
+
+
+def compile_oracle(instance: Instance) -> CompiledOracle:
+    """Compile ``instance`` into a :class:`CompiledOracle`.
+
+    The compiled table is a pure function of the instance, so callers
+    that run many whole-instance passes over one instance (trial loops,
+    ablations) should build it once and reuse it —
+    :class:`~repro.exec.backends.BatchBackend` does exactly that.
+    """
+    return CompiledOracle(instance)

@@ -17,6 +17,15 @@ Bits are produced lazily and cached, so re-reading past indices is allowed
 while new bits are only ever generated at the end of the tape — this is the
 paper's technical "sequential access" assumption (Section 2.2 footnote),
 under which the Chang et al. derandomization carries over to volume.
+
+Bit generation is word-batched: one ``getrandbits(32 * W)`` call replaces
+``32 * W`` per-bit RNG round-trips, while producing *exactly* the bit
+sequence the per-bit path produced.  CPython's Mersenne Twister serves
+``getrandbits(1)`` as the top bit of a fresh 32-bit word and
+``getrandbits(32 * W)`` as ``W`` consecutive words packed little-endian,
+so bit ``j`` of the old sequence is bit ``32 * j + 31`` of the batch.
+The equality is locked down by a regression test against both the
+per-bit construction and a hardcoded golden sequence.
 """
 
 from __future__ import annotations
@@ -24,6 +33,17 @@ from __future__ import annotations
 import enum
 import random
 from typing import Dict, List, Optional
+
+# Batched generation draws geometrically growing chunks (each bit costs
+# one 32-bit Mersenne Twister word, matching the per-bit sequence
+# exactly): tiny first chunks keep one-coin tapes cheap, the doubling
+# amortizes long tapes, and the cap bounds decode-ahead waste.
+_FIRST_CHUNK_BITS = 8
+_MAX_CHUNK_BITS = 1024
+
+# byte -> its most-significant bit, for decoding a whole chunk with one
+# C-level bytes.translate instead of a per-bit Python loop.
+_MSB_TO_BIT = bytes(byte >> 7 for byte in range(256))
 
 
 class RandomnessModel(enum.Enum):
@@ -45,19 +65,42 @@ class Tape:
     def __init__(self, seed_material: str) -> None:
         self._rng = random.Random(seed_material)
         self._bits: List[int] = []
+        self._chunk_bits = _FIRST_CHUNK_BITS
+        # The paper's bound b: the highest index ever read + 1.  Tracked
+        # separately from ``_bits`` because word batching decodes a full
+        # chunk ahead of what has actually been consumed.
+        self._generated = 0
 
     def bit(self, index: int) -> int:
         """The ``index``-th bit; generates sequentially up to that index."""
         if index < 0:
             raise IndexError("random bit index must be non-negative")
-        while len(self._bits) <= index:
-            self._bits.append(self._rng.getrandbits(1))
-        return self._bits[index]
+        bits = self._bits
+        while index >= len(bits):
+            count = self._chunk_bits
+            self._chunk_bits = min(count * 2, _MAX_CHUNK_BITS)
+            chunk = self._rng.getrandbits(32 * count)
+            # Word j of the batch is bits [32j, 32j+32); the per-bit
+            # sequence is each word's top bit, i.e. bit 7 of the word's
+            # most-significant byte.  Decode entirely at C level
+            # (to_bytes -> stride slice -> translate -> list extend);
+            # big-int shifts or a per-bit Python loop here would cost
+            # more than the per-bit RNG calls they replace.
+            buf = chunk.to_bytes(4 * count, "little")
+            bits.extend(buf[3::4].translate(_MSB_TO_BIT))
+        if index >= self._generated:
+            self._generated = index + 1
+        return bits[index]
 
     @property
     def bits_generated(self) -> int:
-        """How many distinct bits have been materialized (the bound b)."""
-        return len(self._bits)
+        """How many distinct bits have been read (the bound b).
+
+        Batched decoding keeps bits in reserve beyond this point; the
+        bound reports only what an execution actually consumed, exactly
+        as the per-bit implementation did.
+        """
+        return self._generated
 
 
 class TapeStore:

@@ -79,21 +79,32 @@ def gather_ball(view: ProbeView, radius: int, center: Optional[int] = None) -> B
     """
     start = view.start if center is None else center
     ball = Ball(center=start, radius=radius)
-    ball.info[start] = view.info(start)
-    ball.distance[start] = 0
+    # Local bindings: this loop issues the bulk of all probe queries in
+    # the repo (every full-gather run from every start node), so the
+    # attribute lookups are hoisted out of it.
+    info_map = ball.info
+    distance = ball.distance
+    adjacency = ball.adjacency
+    query = view.query
+    info_map[start] = view.info(start)
+    distance[start] = 0
     frontier = [start]
     for depth in range(1, radius + 1):
         nxt: List[int] = []
         for u in frontier:
-            for port in view.info(u).ports:
-                endpoint = view.query(u, port)
+            row = None
+            for port in info_map[u].ports:
+                endpoint = query(u, port)
                 if endpoint is None:
                     continue
-                ball.adjacency.setdefault(u, {})[port] = endpoint.node_id
-                if endpoint.node_id not in ball.distance:
-                    ball.distance[endpoint.node_id] = depth
-                    ball.info[endpoint.node_id] = endpoint
-                    nxt.append(endpoint.node_id)
+                if row is None:
+                    row = adjacency.setdefault(u, {})
+                node = endpoint.node_id
+                row[port] = node
+                if node not in distance:
+                    distance[node] = depth
+                    info_map[node] = endpoint
+                    nxt.append(node)
         frontier = nxt
         if not frontier:
             break

@@ -29,6 +29,9 @@ CELL_KEYS = {
     "max_distance",
     "volume_fit",
     "distance_fit",
+    "executions",
+    "wall_time",
+    "execs_per_sec",
     "elapsed",
 }
 POINT_KEYS = {
@@ -41,7 +44,9 @@ POINT_KEYS = {
     "max_queries",
     "truncated_nodes",
     "violations",
+    "executions",
     "elapsed",
+    "execs_per_sec",
 }
 
 
@@ -83,8 +88,10 @@ class TestArtifact:
         artifact = json.loads(out.read_text())
         assert artifact["schema"] == SCHEMA_NAME
         assert artifact["schema_version"] == SCHEMA_VERSION
+        assert artifact["schema_version"] == 2
         assert artifact["mode"] == "quick"
         assert artifact["backend"] == "serial"
+        assert artifact["oracle"] == "compiled"
         assert artifact["python"]
         assert artifact["git_sha"]
         expected = [
@@ -103,12 +110,40 @@ class TestArtifact:
             assert isinstance(cell["volume_fit"], str)
             assert isinstance(cell["distance_fit"], str)
             assert len(cell["points"]) >= 2
+            assert cell["executions"] == sum(
+                p["executions"] for p in cell["points"]
+            )
+            assert cell["wall_time"] >= 0
             for point in cell["points"]:
                 assert set(point) == POINT_KEYS
                 assert point["valid"] is True
+                assert point["executions"] == point["n"]
         summary = artifact["summary"]
         assert summary["cells"] == len(artifact["cells"])
         assert summary["failed"] == 0
+        assert summary["executions"] == sum(
+            c["executions"] for c in artifact["cells"]
+        )
+        assert summary["wall_time"] == pytest.approx(
+            sum(c["wall_time"] for c in artifact["cells"])
+        )
+        assert summary["execs_per_sec"] is None or summary["execs_per_sec"] > 0
+
+    def test_reference_backend_recorded_in_artifact(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main([
+            "bench",
+            "--quick",
+            "--only",
+            "constant",
+            "--backend",
+            "reference",
+            "--out",
+            str(out),
+        ]) == 0
+        artifact = json.loads(out.read_text())
+        assert artifact["backend"] == "reference"
+        assert artifact["oracle"] == "reference"
 
     def test_stdout_summary_mentions_artifact(self, tmp_path, capsys):
         out = tmp_path / "bench.json"

@@ -1,0 +1,182 @@
+"""FrozenPortGraph: CSR packing must preserve every PortGraph answer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.builders import complete_binary_tree, cycle_graph, path_graph
+from repro.graphs.frozen import FrozenPortGraph
+from repro.graphs.port_graph import PortGraph, PortGraphError
+
+
+@st.composite
+def random_port_graphs(draw):
+    """Random bounded-degree graphs built through the public API."""
+    n = draw(st.integers(min_value=1, max_value=24))
+    max_degree = draw(st.integers(min_value=2, max_value=5))
+    g = PortGraph(max_degree=max_degree)
+    for v in range(1, n + 1):
+        g.add_node(v)
+    attempts = draw(st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=n),
+            st.integers(min_value=1, max_value=n),
+        ),
+        max_size=40,
+    ))
+    for u, v in attempts:
+        if u == v or g.port_to(u, v) is not None:
+            continue
+        if g.num_ports(u) >= max_degree or g.num_ports(v) >= max_degree:
+            continue
+        u_port = (g.dangling_ports(u) or [g.num_ports(u) + 1])[0]
+        v_port = (g.dangling_ports(v) or [g.num_ports(v) + 1])[0]
+        g.add_edge(u, u_port, v, v_port)
+    # Some reserved-but-dangling ports, as the adversarial builders use.
+    if draw(st.booleans()) and g.num_ports(1) < max_degree:
+        g.reserve_port(1, g.num_ports(1) + 1)
+    return g
+
+
+def assert_same_answers(g: PortGraph, f: FrozenPortGraph) -> None:
+    assert f.max_degree == g.max_degree
+    assert f.num_nodes == g.num_nodes
+    assert len(f) == len(g)
+    assert list(f.nodes()) == list(g.nodes())
+    assert f.num_edges() == g.num_edges()
+    for node in g.nodes():
+        assert node in f
+        assert f.has_node(node)
+        assert f.num_ports(node) == g.num_ports(node)
+        assert f.degree(node) == g.degree(node)
+        assert f.neighbors(node) == g.neighbors(node)
+        assert f.dangling_ports(node) == g.dangling_ports(node)
+        for port in range(1, g.num_ports(node) + 1):
+            assert f.neighbor_at(node, port) == g.neighbor_at(node, port)
+            assert f.endpoint_port(node, port) == g.endpoint_port(node, port)
+        for other in g.nodes():
+            assert f.port_to(node, other) == g.port_to(node, other)
+    assert list(f.edges()) == list(g.edges())
+
+
+class TestFrozenEquivalence:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            path_graph(9),
+            cycle_graph(8),
+            complete_binary_tree(3).graph,
+            PortGraph(max_degree=2),
+        ],
+        ids=["path", "cycle", "tree", "empty"],
+    )
+    def test_fixed_topologies(self, graph):
+        frozen = graph.freeze()
+        assert_same_answers(graph, frozen)
+        frozen.validate()
+
+    @given(random_port_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_random_graphs(self, g):
+        f = g.freeze()
+        assert_same_answers(g, f)
+        f.validate()
+        for source in list(g.nodes())[:3]:
+            assert f.bfs_distances(source) == g.bfs_distances(source)
+            assert f.ball(source, 2) == g.ball(source, 2)
+        assert f.connected_components() == g.connected_components()
+
+    def test_edges_identical_including_ports(self):
+        g = complete_binary_tree(3).graph
+        frozen_edges = list(g.freeze().edges())
+        for ours, theirs in zip(frozen_edges, g.edges()):
+            assert (ours.u, ours.v, ours.u_port, ours.v_port) == (
+                theirs.u, theirs.v, theirs.u_port, theirs.v_port
+            )
+
+
+class TestFrozenSemantics:
+    def test_freeze_is_a_snapshot(self):
+        g = path_graph(3)
+        f = g.freeze()
+        g.add_node(99, num_ports=1)
+        g.add_edge(3, 2, 99, 1)
+        assert 99 not in f
+        assert f.num_edges() == 2
+        assert g.num_edges() == 3
+
+    def test_freeze_of_frozen_is_identity(self):
+        f = path_graph(3).freeze()
+        assert f.freeze() is f
+        assert f.copy() is f
+
+    def test_mutation_raises(self):
+        f = path_graph(3).freeze()
+        with pytest.raises(PortGraphError):
+            f.add_node(10)
+        with pytest.raises(PortGraphError):
+            f.reserve_port(1, 2)
+        with pytest.raises(PortGraphError):
+            f.add_edge(1, 2, 3, 2)
+
+    def test_unknown_node_and_port_errors_match(self):
+        g = path_graph(3)
+        f = g.freeze()
+        for fn in ("num_ports", "degree", "neighbors", "dangling_ports"):
+            with pytest.raises(PortGraphError):
+                getattr(f, fn)(42)
+        with pytest.raises(PortGraphError):
+            f.neighbor_at(1, 5)
+        with pytest.raises(PortGraphError):
+            f.endpoint_port(1, 0)
+
+    def test_thaw_roundtrip(self):
+        g = complete_binary_tree(3).graph
+        thawed = g.freeze().thaw()
+        assert_same_answers(thawed, g.freeze())
+        thawed.validate()
+        thawed.add_node(999)  # mutable again
+        assert 999 in thawed
+
+    def test_csr_arrays_are_consistent(self):
+        g = cycle_graph(6)
+        f = g.freeze()
+        assert len(f.port_offsets) == f.num_nodes + 1
+        assert f.port_offsets[-1] == len(f.port_endpoints)
+        assert len(f.port_back_ports) == len(f.port_endpoints)
+        assert sum(f.degrees) == 2 * f.num_edges()
+        for node in g.nodes():
+            assert f.node_ids()[f.dense_index(node)] == node
+
+
+class TestPortGraphIncrementalCounts:
+    """num_edges/degree are maintained incrementally; recounts must agree."""
+
+    @given(random_port_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_counts_match_recount(self, g):
+        assert g.num_edges() == sum(1 for _ in g.edges())
+        for node in g.nodes():
+            slots = sum(
+                1
+                for p in range(1, g.num_ports(node) + 1)
+                if g.neighbor_at(node, p) is not None
+            )
+            assert g.degree(node) == slots
+
+    def test_copy_preserves_counts(self):
+        g = cycle_graph(8)
+        clone = g.copy()
+        assert clone.num_edges() == g.num_edges()
+        clone.add_node(100, num_ports=1)
+        clone.add_edge(100, 1, 1, 3)
+        assert clone.num_edges() == g.num_edges() + 1
+        assert g.degree(1) == 2 and clone.degree(1) == 3
+
+    def test_parallel_edge_still_rejected(self):
+        g = PortGraph(max_degree=3)
+        g.add_node(1)
+        g.add_node(2)
+        g.add_edge(1, 1, 2, 1)
+        with pytest.raises(PortGraphError, match="parallel"):
+            g.add_edge(1, 2, 2, 2)

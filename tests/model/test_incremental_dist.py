@@ -1,0 +1,143 @@
+"""Incremental DIST labels must equal the reference BFS at every step.
+
+The engine maintains per-node distance labels updated on each visit and
+edge insertion (DESIGN.md §6.3); these tests interleave arbitrary query
+sequences with ``distance_cost()`` reads and compare against
+``distance_cost_reference()`` — the BFS-from-scratch specification —
+after *every* mutation, so any transient divergence (not just a wrong
+final answer) fails.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.builders import cycle_graph, path_graph
+from repro.graphs.labelings import Instance, Labeling
+from repro.model.oracle import CompiledOracle, StaticOracle
+from repro.model.probe import BudgetExceeded, ProbeView
+from repro.model.randomness import RandomnessContext, RandomnessModel
+from repro.registry import iter_compatible, load_components
+
+load_components()
+CELLS = list(iter_compatible())
+
+
+def make_view(instance, start, distance_mode="incremental", **kwargs):
+    context = RandomnessContext(None, RandomnessModel.DETERMINISTIC, start)
+    return ProbeView(
+        CompiledOracle(instance), start, context,
+        distance_mode=distance_mode, **kwargs,
+    )
+
+
+def unlabeled(graph, name):
+    return Instance(graph=graph, labeling=Labeling(), name=name)
+
+
+class TestShortcutRelaxation:
+    def test_cycle_shortcut_lowers_far_label(self):
+        """Walking a 5-cycle one way, then closing it the other way.
+
+        The far node sits at explored distance 4 until the closing edge
+        reveals the 2-step path; the relaxation wave must propagate the
+        improvement (this mirrors the reference-mode cache test in
+        test_probe.py).
+        """
+        instance = unlabeled(cycle_graph(5), "cycle-5")
+        view = make_view(instance, 1)
+        node = 1
+        for _ in range(4):  # walk the successor direction all the way
+            node = view.query(node, 2).node_id
+        assert view.distance_cost() == 4
+        assert view.distance_cost_reference() == 4
+        view.query(1, 1)  # close the cycle: 5 is now 1 step from 1
+        assert view.distance_cost() == 2
+        assert view.distance_cost_reference() == 2
+
+    def test_even_cycle_both_arms(self):
+        instance = unlabeled(cycle_graph(8), "cycle-8")
+        view = make_view(instance, 1)
+        forward = backward = 1
+        for _ in range(3):
+            forward = view.query(forward, 2).node_id
+            backward = view.query(backward, 1).node_id
+            assert view.distance_cost() == view.distance_cost_reference()
+        # Meet in the middle: the remaining two edges close the cycle.
+        view.query(forward, 2)
+        assert view.distance_cost() == view.distance_cost_reference() == 4
+        view.query(backward, 1)
+        assert view.distance_cost() == view.distance_cost_reference() == 4
+
+    def test_start_only_is_zero(self):
+        view = make_view(unlabeled(path_graph(4), "p4"), 2)
+        assert view.distance_cost() == 0
+        assert view.distance_cost_reference() == 0
+
+
+class TestTruncatedRuns:
+    def test_budget_exceeded_leaves_labels_consistent(self):
+        instance = unlabeled(path_graph(6), "p6")
+        view = make_view(instance, 1, max_volume=3)
+        assert view.query(1, 1).node_id == 2
+        assert view.query(2, 2).node_id == 3
+        with pytest.raises(BudgetExceeded):
+            view.query(3, 2)
+        # The refused endpoint is adjacency-known but unvisited: DIST
+        # ignores it on both paths.
+        assert view.volume == 3
+        assert view.distance_cost() == view.distance_cost_reference() == 2
+        assert view.cost_profile(truncated=True).distance == 2
+
+
+class TestRandomExplorations:
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_labels_match_reference_after_every_query(self, data):
+        cell = data.draw(st.sampled_from(CELLS), label="cell")
+        instance = cell.family.instance(cell.family.quick[0])
+        graph = instance.graph
+        nodes = list(graph.nodes())
+        start = data.draw(st.sampled_from(nodes), label="start")
+        view = make_view(instance, start)
+        steps = data.draw(st.integers(min_value=1, max_value=40))
+        for _ in range(steps):
+            visited = sorted(view._visited)
+            source = data.draw(st.sampled_from(visited))
+            ports = view.info(source).ports
+            if not ports:
+                continue
+            port = data.draw(st.sampled_from(list(ports)))
+            view.query(source, port)
+            assert view.distance_cost() == view.distance_cost_reference()
+        profile = view.cost_profile()
+        assert profile.distance == view.distance_cost_reference()
+
+    @given(data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_incremental_and_reference_views_agree_end_to_end(self, data):
+        """Replay one query sequence through both engine modes."""
+        cell = data.draw(st.sampled_from(CELLS), label="cell")
+        instance = cell.family.instance(cell.family.quick[0])
+        start = data.draw(
+            st.sampled_from(list(instance.graph.nodes())), label="start"
+        )
+        fast = make_view(instance, start)
+        slow = ProbeView(
+            StaticOracle(instance),
+            start,
+            RandomnessContext(None, RandomnessModel.DETERMINISTIC, start),
+            distance_mode="reference",
+        )
+        for _ in range(data.draw(st.integers(min_value=1, max_value=30))):
+            visited = sorted(fast._visited)
+            source = data.draw(st.sampled_from(visited))
+            ports = fast.info(source).ports
+            if not ports:
+                continue
+            port = data.draw(st.sampled_from(list(ports)))
+            fast_info = fast.query(source, port)
+            slow_info = slow.query(source, port)
+            assert fast_info == slow_info
+        assert fast.cost_profile() == slow.cost_profile()
+        assert fast.volume == slow.volume
