@@ -38,9 +38,9 @@ from repro.graphs.generators import (
     disjointness_embedding,
     leaf_coloring_instance,
 )
-from repro.lower_bounds.disjointness import simulate_two_party
-from repro.lower_bounds.hierarchical_adversary import duel_hierarchical
-from repro.lower_bounds.leaf_coloring_adversary import duel_leaf_coloring
+from repro.adversary.disjointness import simulate_two_party
+from repro.adversary.hierarchical import duel_hierarchical
+from repro.adversary.leaf_coloring import duel_leaf_coloring
 from repro.lower_bounds.yao_experiments import (
     HorizonLimitedLeafColoring,
     horizon_sweep,

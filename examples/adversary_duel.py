@@ -1,6 +1,9 @@
 """Watch the lower-bound adversaries defeat deterministic algorithms.
 
-Two duels from the paper:
+Two duels from the paper, now running on the unified interactive-adversary
+engine (`repro.adversary`): every oracle answer is recorded into a
+transcript that replays bitwise-identically against the finished
+instance — the proof that the adversary never contradicted itself.
 
 * Proposition 3.13 — the lazy-tree process vs a budgeted LeafColoring
   solver: the adversary colors the leaves *after* seeing the output.
@@ -8,12 +11,14 @@ Two duels from the paper:
   phase log showing the exemption-chasing binary searches.
 
 Run:  python examples/adversary_duel.py
+(Or from the CLI:  repro adversary run prop313/leaf-coloring)
 """
 
+from repro.adversary.hierarchical import duel_hierarchical
+from repro.adversary.leaf_coloring import duel_leaf_coloring
 from repro.algorithms.hierarchical_algs import RecursiveHTHC
-from repro.lower_bounds.hierarchical_adversary import duel_hierarchical
-from repro.lower_bounds.leaf_coloring_adversary import duel_leaf_coloring
 from repro.lower_bounds.yao_experiments import HorizonLimitedLeafColoring
+from repro.model.oracle import CompiledOracle
 
 
 def main() -> None:
@@ -26,6 +31,9 @@ def main() -> None:
           f"leaves {outcome.instance.meta['chi1']!r}")
     print(f"defeated: {outcome.defeated}")
     print(f"final instance size: {outcome.instance.graph.num_nodes}")
+    divergences = outcome.transcript.replay(CompiledOracle(outcome.instance))
+    print(f"transcript: {len(outcome.transcript)} events, "
+          f"{len(divergences)} divergences on compiled replay")
 
     print()
     print("=== Proposition 5.20: Hierarchical-THC(2), D-VOL = Ω̃(n) ===")
@@ -33,7 +41,8 @@ def main() -> None:
     for line in outcome2.phase_log:
         print(f"  {line}")
     print(f"defeated: {outcome2.defeated} "
-          f"(n = {outcome2.instance.graph.num_nodes})")
+          f"(n = {outcome2.instance.graph.num_nodes}, "
+          f"{len(outcome2.transcript)} transcript events)")
 
 
 if __name__ == "__main__":

@@ -5,6 +5,11 @@ Public API surface: the problem definitions, the model runner, and the
 instance generators; see README.md for a tour.
 """
 
+from repro.adversary.engine import (
+    InteractiveOracle,
+    RecordingOracle,
+    Transcript,
+)
 from repro.exec.backends import (
     BatchBackend,
     ExecutionBackend,
@@ -39,19 +44,22 @@ from repro.problems import (
     LeafColoring,
 )
 from repro.registry import (
+    ADVERSARIES,
     ALGORITHMS,
     FAMILIES,
     PROBLEMS,
     iter_compatible,
     load_components,
+    register_adversary,
     register_algorithm,
     register_family,
     register_problem,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
+    "ADVERSARIES",
     "ALGORITHMS",
     "BalancedTree",
     "BatchBackend",
@@ -64,6 +72,7 @@ __all__ = [
     "HybridTHC",
     "Instance",
     "InstanceFamily",
+    "InteractiveOracle",
     "Labeling",
     "LeafColoring",
     "NodeLabel",
@@ -72,8 +81,10 @@ __all__ = [
     "ProbeView",
     "ProcessPoolBackend",
     "RandomnessModel",
+    "RecordingOracle",
     "RunResult",
     "SerialBackend",
+    "Transcript",
     "SolveReport",
     "SweepCache",
     "SweepResult",
@@ -81,6 +92,7 @@ __all__ = [
     "get_backend",
     "iter_compatible",
     "load_components",
+    "register_adversary",
     "register_algorithm",
     "register_family",
     "register_problem",

@@ -1,0 +1,33 @@
+"""Interactive lower-bound adversaries (Propositions 3.13, 4.9, 5.20).
+
+The engine (:mod:`repro.adversary.engine`) provides the shared
+interactive-oracle protocol — lazy materialization with degree-commit
+semantics, monotone finalize, and replayable transcripts; the per-result
+modules implement the paper's three processes on top of it and register
+them as first-class components (``repro adversary run/sweep``, the
+``lower_bounds`` section of the bench artifact).
+"""
+
+from repro.adversary.base import Adversary, AdversaryRun, sweep_adversary
+from repro.adversary.engine import (
+    AdversaryEngineError,
+    InfoEvent,
+    InteractiveOracle,
+    RecordingOracle,
+    ResolveEvent,
+    Transcript,
+    transcripts_equal,
+)
+
+__all__ = [
+    "Adversary",
+    "AdversaryEngineError",
+    "AdversaryRun",
+    "InfoEvent",
+    "InteractiveOracle",
+    "RecordingOracle",
+    "ResolveEvent",
+    "Transcript",
+    "sweep_adversary",
+    "transcripts_equal",
+]

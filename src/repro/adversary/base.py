@@ -1,0 +1,179 @@
+"""First-class adversaries: the uniform surface over the three processes.
+
+A registered adversary (see :func:`repro.registry.register_adversary`)
+wraps one lower-bound game behind a uniform interface:
+
+* :meth:`Adversary.run` plays the game at one budget-grid point and
+  returns an :class:`AdversaryRun` — the measured query/bit counts, the
+  verdict, the finished witness instance, and the full
+  :class:`~repro.adversary.engine.Transcript`;
+* :meth:`Adversary.verify` re-derives the interactive verdict from the
+  finished instance alone (replaying the transcript and re-running the
+  victim algorithm through the ordinary execution backends, compiled
+  fast path included) — the conformance property the test suite and the
+  ``repro adversary`` CLI gate on;
+* :func:`sweep_adversary` runs a whole budget grid and fits the measured
+  cost curve against the entry's expected Ω-class.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.adversary.engine import Transcript
+from repro.graphs.labelings import Instance
+from repro.model.probe import ProbeAlgorithm
+
+
+@dataclass
+class AdversaryRun:
+    """One play of a lower-bound game at one budget point."""
+
+    adversary: str
+    algorithm: str
+    budget: object
+    n: int  # nodes of the finished witness instance
+    queries: int  # interactive oracle queries answered
+    defeated: bool
+    upheld: bool  # the lower-bound dichotomy held at this point
+    bits: Optional[int] = None  # two-party games only
+    elapsed: float = 0.0
+    instance: Optional[Instance] = None
+    transcript: Optional[Transcript] = None
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    def point(self) -> Dict[str, object]:
+        """The JSON-able artifact row for this run."""
+        return {
+            "budget": _param_repr(self.budget),
+            "n": self.n,
+            "queries": self.queries,
+            "bits": self.bits,
+            "defeated": self.defeated,
+            "upheld": self.upheld,
+            "elapsed": self.elapsed,
+        }
+
+
+def _param_repr(param: object) -> object:
+    return param if isinstance(param, (int, float, str)) else repr(param)
+
+
+class Adversary:
+    """Base class for registered interactive adversaries.
+
+    ``victim`` is the registered name of the deterministic algorithm the
+    game is played against by default; constructors accept an override so
+    ``repro adversary run --algorithm`` can pit any compatible solver
+    against the process.
+    """
+
+    name: str = "adversary"
+    default_victim: str = ""
+
+    def __init__(self, victim: Optional[str] = None) -> None:
+        self.victim = victim or self.default_victim
+
+    def make_victim(self) -> ProbeAlgorithm:
+        from repro.registry import ALGORITHMS, load_components
+
+        load_components()
+        entry = ALGORITHMS.get(self.victim)
+        if entry.randomized:
+            raise ValueError(
+                f"{self.name} concerns deterministic algorithms; "
+                f"{entry.name!r} is randomized"
+            )
+        return entry.make()
+
+    def run(self, budget: object) -> AdversaryRun:
+        raise NotImplementedError
+
+    def verify(self, run: AdversaryRun, backend=None) -> bool:
+        """Reproduce the interactive verdict from the finished instance.
+
+        Implementations must (a) replay ``run.transcript`` against the
+        finished instance and (b) re-run the victim algorithm on it via
+        the given execution ``backend`` (``"reference"`` selects the
+        uncompiled engine), returning ``True`` iff every interactive
+        observation is reproduced.
+        """
+        raise NotImplementedError
+
+    def timed_run(self, budget: object) -> AdversaryRun:
+        started = time.perf_counter()
+        run = self.run(budget)
+        run.elapsed = time.perf_counter() - started
+        return run
+
+
+def sweep_adversary(entry, grid: str = "quick", progress=None):
+    """Run one registered adversary over a budget grid.
+
+    Returns ``(runs, fit)`` where ``fit`` maps the measured query counts
+    (and bit counts, for two-party games) against the finished-instance
+    sizes — the Ω-regression the bench artifact and CI gate on.
+    """
+    from repro.analysis.complexity_fit import fit_growth
+
+    adversary = entry.make()
+    runs: List[AdversaryRun] = []
+    for budget in entry.params(grid):
+        run = adversary.timed_run(budget)
+        runs.append(run)
+        if progress is not None:
+            progress(
+                f"  {entry.name} budget={run.point()['budget']}: "
+                f"n={run.n} queries={run.queries} "
+                f"{'upheld' if run.upheld else 'FAILED'}"
+            )
+    ns = [run.n for run in runs]
+    queries_fit = (
+        fit_growth(ns, [run.queries for run in runs], entry.candidates).best
+        if len(runs) >= 2
+        else None
+    )
+    bits = [run.bits for run in runs]
+    bits_fit = (
+        fit_growth(ns, bits, entry.candidates).best
+        if len(runs) >= 2 and all(b is not None for b in bits)
+        else None
+    )
+    return runs, {"queries_fit": queries_fit, "bits_fit": bits_fit}
+
+
+def sweep_records(entries, grid: str = "quick", progress=None):
+    """Sweep several registered adversaries; one artifact record each.
+
+    The single code path behind both ``repro adversary sweep`` and the
+    bench artifact's ``lower_bounds`` section, so the two surfaces can
+    never drift apart.
+    """
+    records: List[Dict[str, object]] = []
+    for entry in entries:
+        runs, fit = sweep_adversary(entry, grid, progress=progress)
+        records.append(adversary_record(entry, runs, fit))
+    return records
+
+
+def adversary_record(entry, runs, fit) -> Dict[str, object]:
+    """The ``lower_bounds`` artifact record for one swept adversary."""
+    ok = (
+        all(run.upheld for run in runs)
+        and fit["queries_fit"] in entry.expected_fit
+        and (fit["bits_fit"] is None or fit["bits_fit"] in entry.expected_fit)
+    )
+    return {
+        "adversary": entry.name,
+        "problem": entry.problem,
+        "algorithm": runs[0].algorithm if runs else entry.victim,
+        "bound": entry.bound,
+        "expected_fit": list(entry.expected_fit),
+        "points": [run.point() for run in runs],
+        "queries_fit": fit["queries_fit"],
+        "bits_fit": fit["bits_fit"],
+        "ok": ok,
+        "wall_time": sum(run.elapsed for run in runs),
+    }

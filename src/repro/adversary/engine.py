@@ -1,0 +1,440 @@
+"""The interactive-adversary engine: one oracle protocol for every process P.
+
+The paper's lower bounds (Propositions 3.13, 4.9 via Eden-Rosenbaum
+disjointness, 5.20) are *interactive games*: an adversary answers an
+algorithm's probe queries while (lazily) deciding what the input graph is.
+Before this module each adversary hand-rolled its own lazy growth, oracle
+interception and bookkeeping; now they share one engine with three pieces:
+
+* :class:`Transcript` — an ordered, serializable record of every oracle
+  answer given during the interaction.  A transcript can be **replayed**
+  against any :class:`~repro.model.oracle.GraphOracle` over the finished
+  instance (``StaticOracle`` or ``CompiledOracle``) and must reproduce
+  every answer bitwise — replay is the executable ground truth that the
+  interaction was consistent with a single concrete input.
+* :class:`InteractiveOracle` — the lazy-growth base class.  Nodes are
+  materialized on demand with **degree-commit semantics**: a node's port
+  set (hence its degree and label) is fixed the moment the node is
+  created, so everything an algorithm is told during the interaction is
+  already true of the final instance.  :meth:`InteractiveOracle.finalized`
+  enforces **monotone finalize**: completion may only hang new structure
+  off dangling committed ports, and the whole transcript is replayed
+  against the finished instance before it is handed out.
+* :class:`RecordingOracle` — transcript recording over an *existing*
+  oracle, for referee-style adversaries (the two-party disjointness
+  simulation) whose instance is fixed but whose bookkeeping is driven by
+  which answers the algorithm extracted.
+
+Golden-transcript regression tests and the cross-engine conformance suite
+live in ``tests/adversary/``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.graphs.labelings import Instance, Labeling, NodeLabel
+from repro.graphs.port_graph import PortGraph
+from repro.model.oracle import GraphOracle, NodeInfo, StaticOracle
+
+
+class AdversaryEngineError(RuntimeError):
+    """An adversary violated the engine's protocol (commit/finalize rules)."""
+
+
+# ----------------------------------------------------------------------
+# transcripts
+# ----------------------------------------------------------------------
+_LABEL_FIELDS = tuple(f.name for f in fields(NodeLabel))
+
+
+def canonical_label(label: NodeLabel) -> Tuple[Tuple[str, object], ...]:
+    """A hashable, order-stable snapshot of a label's non-⊥ fields.
+
+    Fields are sorted by name, so snapshots compare equal no matter
+    whether they were recorded live or deserialized from JSON.
+    Snapshotting at record time matters: :class:`NodeInfo` holds a live
+    reference to the label, so an adversary that mutated a revealed label
+    during finalization would otherwise corrupt the evidence it is
+    checked against.
+    """
+    return tuple(
+        sorted(
+            (name, getattr(label, name))
+            for name in _LABEL_FIELDS
+            if getattr(label, name) is not None
+        )
+    )
+
+
+@dataclass(frozen=True)
+class InfoEvent:
+    """One ``node_info`` answer: the node's committed degree/label/ports."""
+
+    node: int
+    degree: int
+    ports: Tuple[int, ...]
+    label: Tuple[Tuple[str, object], ...]
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "kind": "info",
+            "node": self.node,
+            "degree": self.degree,
+            "ports": list(self.ports),
+            "label": {name: value for name, value in self.label},
+        }
+
+
+@dataclass(frozen=True)
+class ResolveEvent:
+    """One ``resolve`` answer: the endpoint behind ``(node, port)``."""
+
+    node: int
+    port: int
+    endpoint: Optional[int]
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "kind": "resolve",
+            "node": self.node,
+            "port": self.port,
+            "endpoint": self.endpoint,
+        }
+
+
+TranscriptEvent = Union[InfoEvent, ResolveEvent]
+
+TRANSCRIPT_SCHEMA = "repro-adversary-transcript"
+TRANSCRIPT_SCHEMA_VERSION = 1
+
+
+@dataclass
+class Transcript:
+    """Every oracle answer of one interactive run, in order.
+
+    ``meta`` carries the replay context (adversary name, budget, victim
+    algorithm, ...) — anything needed to regenerate the transcript; it is
+    serialized but not compared during replay.
+    """
+
+    adversary: str
+    n: int
+    events: List[TranscriptEvent] = field(default_factory=list)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    # -- recording ------------------------------------------------------
+    def record_info(self, info: NodeInfo) -> None:
+        self.events.append(
+            InfoEvent(
+                node=info.node_id,
+                degree=info.degree,
+                ports=tuple(info.ports),
+                label=canonical_label(info.label),
+            )
+        )
+
+    def record_resolve(
+        self, node: int, port: int, endpoint: Optional[int]
+    ) -> None:
+        self.events.append(ResolveEvent(node=node, port=port, endpoint=endpoint))
+
+    # -- accounting -----------------------------------------------------
+    @property
+    def queries(self) -> int:
+        """Number of recorded ``resolve`` answers (the model's queries)."""
+        return sum(1 for e in self.events if isinstance(e, ResolveEvent))
+
+    def revealed_nodes(self) -> List[int]:
+        """Node ids in first-reveal order (info answers + resolved endpoints)."""
+        seen: Dict[int, None] = {}
+        for event in self.events:
+            if isinstance(event, InfoEvent):
+                seen.setdefault(event.node, None)
+            elif event.endpoint is not None:
+                seen.setdefault(event.endpoint, None)
+        return list(seen)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- replay ---------------------------------------------------------
+    def replay(self, oracle: GraphOracle) -> List[str]:
+        """Re-ask every recorded question; return the divergences.
+
+        An empty list certifies that ``oracle`` (typically the finished
+        instance's ``StaticOracle`` or ``CompiledOracle``) answers every
+        recorded query exactly as the interactive adversary did.
+        """
+        divergences: List[str] = []
+        for index, event in enumerate(self.events):
+            if isinstance(event, InfoEvent):
+                info = oracle.node_info(event.node)
+                got = InfoEvent(
+                    node=info.node_id,
+                    degree=info.degree,
+                    ports=tuple(info.ports),
+                    label=canonical_label(info.label),
+                )
+                if got != event:
+                    divergences.append(
+                        f"event {index}: info({event.node}) diverged: "
+                        f"recorded {event.payload()}, replayed {got.payload()}"
+                    )
+            else:
+                endpoint = oracle.resolve(event.node, event.port)
+                if endpoint != event.endpoint:
+                    divergences.append(
+                        f"event {index}: resolve({event.node}, {event.port}) "
+                        f"diverged: recorded {event.endpoint}, "
+                        f"replayed {endpoint}"
+                    )
+        return divergences
+
+    def replay_exact(self, oracle: GraphOracle) -> None:
+        """Replay and raise :class:`AdversaryEngineError` on any divergence."""
+        divergences = self.replay(oracle)
+        if divergences:
+            preview = "; ".join(divergences[:3])
+            raise AdversaryEngineError(
+                f"transcript replay diverged on {len(divergences)} of "
+                f"{len(self.events)} events: {preview}"
+            )
+
+    # -- serialization --------------------------------------------------
+    def payload(self) -> Dict[str, object]:
+        return {
+            "schema": TRANSCRIPT_SCHEMA,
+            "schema_version": TRANSCRIPT_SCHEMA_VERSION,
+            "adversary": self.adversary,
+            "n": self.n,
+            "meta": self.meta,
+            "events": [event.payload() for event in self.events],
+        }
+
+    def to_json(self) -> str:
+        """The canonical byte-stable serialization (golden-file format)."""
+        return json.dumps(self.payload(), indent=1, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "Transcript":
+        if payload.get("schema") != TRANSCRIPT_SCHEMA:
+            raise ValueError(
+                f"not a {TRANSCRIPT_SCHEMA} payload: {payload.get('schema')!r}"
+            )
+        events: List[TranscriptEvent] = []
+        for entry in payload["events"]:
+            if entry["kind"] == "info":
+                events.append(
+                    InfoEvent(
+                        node=entry["node"],
+                        degree=entry["degree"],
+                        ports=tuple(entry["ports"]),
+                        label=tuple(sorted(entry["label"].items())),
+                    )
+                )
+            elif entry["kind"] == "resolve":
+                events.append(
+                    ResolveEvent(
+                        node=entry["node"],
+                        port=entry["port"],
+                        endpoint=entry["endpoint"],
+                    )
+                )
+            else:
+                raise ValueError(f"unknown event kind {entry['kind']!r}")
+        return cls(
+            adversary=payload["adversary"],
+            n=payload["n"],
+            events=events,
+            meta=dict(payload.get("meta", {})),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Transcript":
+        return cls.from_payload(json.loads(text))
+
+
+def transcripts_equal(first: Transcript, second: Transcript) -> bool:
+    """Event-wise equality between two transcripts."""
+    return first.events == second.events
+
+
+# ----------------------------------------------------------------------
+# recording over an existing oracle (referee-style adversaries)
+# ----------------------------------------------------------------------
+class RecordingOracle:
+    """A :class:`GraphOracle` wrapper that records every answer it gives."""
+
+    def __init__(self, inner: GraphOracle, transcript: Transcript) -> None:
+        self._inner = inner
+        self.transcript = transcript
+
+    @property
+    def n(self) -> int:
+        return self._inner.n
+
+    def node_info(self, node_id: int) -> NodeInfo:
+        info = self._inner.node_info(node_id)
+        self.transcript.record_info(info)
+        return info
+
+    def resolve(self, node_id: int, port: int) -> Optional[int]:
+        endpoint = self._inner.resolve(node_id, port)
+        self.transcript.record_resolve(node_id, port, endpoint)
+        return endpoint
+
+
+# ----------------------------------------------------------------------
+# lazy-growth adversaries
+# ----------------------------------------------------------------------
+class InteractiveOracle:
+    """Base class for adversaries that grow the instance under the probe.
+
+    Subclasses implement :meth:`materialize` — what hangs behind a
+    committed-but-dangling port the first time it is resolved — and their
+    own ``finalize``-style method, which closes every dangling committed
+    port and then calls :meth:`finalized`.
+
+    The engine enforces the two invariants every proof in the paper leans
+    on:
+
+    * **degree commit** — :meth:`create_node` fixes the node's port set
+      and label immediately; ``node_info`` answers are derived from that
+      commitment only, so no later growth can contradict an answer
+      already given;
+    * **monotone finalize** — :meth:`finalized` verifies that every
+      committed port got connected, validates the port-graph invariants,
+      and replays the full transcript against the finished instance's
+      :class:`~repro.model.oracle.StaticOracle`; any divergence raises
+      :class:`AdversaryEngineError` instead of returning a bogus witness.
+    """
+
+    adversary_name = "interactive-adversary"
+
+    def __init__(self, n: int, max_degree: int = 3) -> None:
+        self._n = n
+        self.graph = PortGraph(max_degree=max_degree)
+        self.labeling = Labeling()
+        self.committed: Dict[int, Tuple[int, ...]] = {}
+        self._next_id = 1
+        self._finalized = False
+        self.transcript = Transcript(adversary=self.adversary_name, n=n)
+
+    # -- GraphOracle interface ------------------------------------------
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def node_info(self, node_id: int) -> NodeInfo:
+        self._check_live()
+        info = self.committed_info(node_id)
+        self.transcript.record_info(info)
+        return info
+
+    def resolve(self, node_id: int, port: int) -> Optional[int]:
+        self._check_live()
+        if port not in self.committed.get(node_id, ()):
+            endpoint: Optional[int] = None
+        else:
+            existing = self.graph.neighbor_at(node_id, port)
+            endpoint = (
+                existing
+                if existing is not None
+                else self.materialize(node_id, port)
+            )
+        self.transcript.record_resolve(node_id, port, endpoint)
+        return endpoint
+
+    # -- construction helpers for subclasses ----------------------------
+    def committed_info(self, node_id: int) -> NodeInfo:
+        """The node's committed answer (no transcript event)."""
+        try:
+            ports = self.committed[node_id]
+        except KeyError:
+            raise AdversaryEngineError(
+                f"node {node_id} was never created by this adversary"
+            ) from None
+        return NodeInfo(
+            node_id=node_id,
+            degree=len(ports),
+            label=self.labeling.get(node_id),
+            ports=ports,
+        )
+
+    def create_node(self, label: NodeLabel, ports: Sequence[int]) -> int:
+        """A fresh node committed to exactly ``ports`` (and ``label``)."""
+        if self._finalized:
+            raise AdversaryEngineError("cannot create nodes after finalize")
+        node = self._next_id
+        self._next_id += 1
+        self.graph.add_node(node)
+        self.labeling[node] = label
+        self.committed[node] = tuple(ports)
+        for port in ports:
+            self.graph.reserve_port(node, port)
+        return node
+
+    def connect(self, u: int, u_port: int, v: int, v_port: int) -> None:
+        """Wire two committed ports together."""
+        for node, port in ((u, u_port), (v, v_port)):
+            if port not in self.committed.get(node, ()):
+                raise AdversaryEngineError(
+                    f"port {port} of node {node} was never committed"
+                )
+        self.graph.add_edge(u, u_port, v, v_port)
+
+    def materialize(self, node_id: int, port: int) -> int:
+        """What appears behind a dangling committed port on first resolve."""
+        raise NotImplementedError
+
+    # -- finalization ----------------------------------------------------
+    @property
+    def is_finalized(self) -> bool:
+        return self._finalized
+
+    def finalized(
+        self, name: str, meta: Optional[Dict[str, object]] = None
+    ) -> Instance:
+        """Seal the instance: commit checks, validation, transcript replay.
+
+        Call this *after* the subclass closed every dangling committed
+        port.  The finished instance is the ground-truth witness: the
+        transcript is replayed against its ``StaticOracle`` and any
+        divergence (a violated commitment, a non-monotone completion)
+        raises instead of returning the instance.
+        """
+        if self._finalized:
+            raise AdversaryEngineError("instance already finalized")
+        for node, ports in self.committed.items():
+            if self.graph.num_ports(node) != len(ports):
+                raise AdversaryEngineError(
+                    f"node {node} grew ports beyond its commitment"
+                )
+            for port in ports:
+                if self.graph.neighbor_at(node, port) is None:
+                    raise AdversaryEngineError(
+                        f"committed port {port} of node {node} left dangling "
+                        f"by finalize"
+                    )
+        self.graph.validate()
+        instance = Instance(
+            graph=self.graph,
+            labeling=self.labeling,
+            n=self._n,
+            name=name,
+            meta=dict(meta or {}),
+        )
+        self.transcript.replay_exact(StaticOracle(instance))
+        self._finalized = True
+        return instance
+
+    # -- internal --------------------------------------------------------
+    def _check_live(self) -> None:
+        if self._finalized:
+            raise AdversaryEngineError(
+                "the interactive oracle is finalized; query the finished "
+                "instance through StaticOracle/CompiledOracle instead"
+            )

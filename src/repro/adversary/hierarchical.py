@@ -1,0 +1,442 @@
+"""The Proposition 5.20 adversary: D-VOL(Hierarchical-THC(k)) = Ω̃(n).
+
+The process P defeats any deterministic algorithm A of volume ≤ m by
+constructing, over k phases, an instance on O(k²·m·log m) nodes on which
+A's outputs violate validity.  Phase ℓ holds a node v_ℓ at level ℓ whose
+parent has output X (so v_ℓ may not decline, by condition 4(b)/5(a)):
+
+* simulate A from v_ℓ inside its single-colored component; if A answers X,
+  descend to v_{ℓ-1} = RC(v_ℓ);
+* otherwise spawn a fresh opposite-colored component, simulate its root
+  v'_ℓ; if X, descend there;
+* otherwise splice the new component below v_ℓ (v'_ℓ becomes a left
+  descendant) — the two ends of the resulting backbone path now hold
+  *different* non-X outputs, so a valid output must place an X between
+  them; binary search either finds that X (descend) or pins two adjacent
+  nodes with conflicting non-X outputs — a local violation.
+
+Phase 1 cannot escape: level-1 nodes may not output X (condition 3), may
+not decline (the parent's X), and the adversary appends an opposite-color
+leaf below, contradicting whatever color A chose.
+
+The lazy growth, degree-commit discipline and transcript recording come
+from :class:`~repro.adversary.engine.InteractiveOracle`: nodes commit to
+their final degree when first revealed (level ≥ 2 ⇒ ports P/LC/RC;
+level 1 ⇒ P/LC), so re-running A on the finished instance reproduces
+every interactive execution — the final verdict is ground truth:
+finalize, re-run A from every node, validate.  Simulated executions run
+under A's volume budget with Remark 3.11 truncation semantics (fallback
+output), exactly as the re-run does.  Finalization closes every dangling
+port with the minimal level-consistent gadget (an O(k)-node chain), as in
+the proof's last step.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.adversary.base import Adversary, AdversaryRun
+from repro.adversary.engine import InteractiveOracle, Transcript
+from repro.graphs.labelings import (
+    BLUE,
+    EXEMPT,
+    Instance,
+    NodeLabel,
+    RED,
+    other_color,
+)
+from repro.model.probe import BudgetExceeded, ProbeAlgorithm, ProbeView
+from repro.model.randomness import RandomnessContext, RandomnessModel
+from repro.registry import register_adversary
+
+# Port conventions for adversary-created nodes (the proof's invariant).
+_P, _LC, _RC = 1, 2, 3
+# Finalization tops use the root convention: children on ports 1/2.
+_TOP_LC, _TOP_RC = 1, 2
+
+
+@dataclass
+class _NodeMeta:
+    level: int
+    color: str
+    kind: str  # "backbone" | "top" | "chain" | "leaf"
+
+
+class AdversarialTHCOracle(InteractiveOracle):
+    """Lazy level-aware oracle implementing the process P's answers."""
+
+    adversary_name = "prop520/hierarchical-thc"
+
+    def __init__(self, k: int, n: int) -> None:
+        super().__init__(n, max_degree=3)
+        self.k = k
+        self.meta: Dict[int, _NodeMeta] = {}
+
+    # -- lazy construction ---------------------------------------------
+    def new_backbone_node(self, level: int, color: str) -> int:
+        """A fresh node of the proof's standard shape at ``level``."""
+        if level >= 2:
+            label = NodeLabel(
+                parent=_P, left_child=_LC, right_child=_RC, color=color
+            )
+            ports = (_P, _LC, _RC)
+        else:
+            label = NodeLabel(parent=_P, left_child=_LC, color=color)
+            ports = (_P, _LC)
+        node = self.create_node(label, ports)
+        self.meta[node] = _NodeMeta(level=level, color=color, kind="backbone")
+        return node
+
+    def materialize(self, node_id: int, port: int) -> int:
+        info = self.meta[node_id]
+        label = self.labeling.get(node_id)
+        if info.kind == "top":
+            # tops have children on ports 1/2 and no parent
+            if port == _TOP_LC:
+                child = self.new_backbone_node(info.level, info.color)
+            else:
+                child = self.new_backbone_node(info.level - 1, info.color)
+            self.connect(node_id, port, child, _P)
+            return child
+        if port == label.parent:
+            # Same-level parent: node_id becomes the parent's LC, keeping
+            # the component's level profile intact.
+            parent = self.new_backbone_node(info.level, info.color)
+            self.connect(node_id, port, parent, _LC)
+            return parent
+        if port == label.left_child:
+            child = self.new_backbone_node(info.level, info.color)
+        elif port == label.right_child:
+            child = self.new_backbone_node(info.level - 1, info.color)
+        else:  # pragma: no cover - committed ports only
+            raise AssertionError("uncommitted port materialized")
+        self.connect(node_id, port, child, _P)
+        return child
+
+    # -- structure walks used by the phases -----------------------------
+    def highest_ancestor(self, node: int) -> int:
+        """Topmost *materialized* same-level ancestor along LC links."""
+        current = node
+        while True:
+            label = self.labeling.get(current)
+            if label.parent is None:
+                return current
+            parent = self.graph.neighbor_at(current, label.parent)
+            if parent is None:
+                return current
+            parent_lc = self.labeling.get(parent).left_child or -1
+            if self.graph.neighbor_at(parent, parent_lc) != current:
+                return current  # we hang off a RC port: different level
+            current = parent
+
+    def leftmost_descendant(self, node: int) -> int:
+        """Deepest materialized same-level descendant along LC links."""
+        current = node
+        while True:
+            label = self.labeling.get(current)
+            if label.left_child is None:
+                return current
+            child = self.graph.neighbor_at(current, label.left_child)
+            if child is None:
+                return current
+            current = child
+
+    def backbone_path(self, top: int, bottom: int) -> List[int]:
+        """Materialized LC path from ``top`` down to ``bottom``."""
+        path = [top]
+        current = top
+        while current != bottom:
+            label = self.labeling.get(current)
+            child = self.graph.neighbor_at(current, label.left_child)
+            if child is None:
+                raise AssertionError("backbone path interrupted")
+            path.append(child)
+            current = child
+        return path
+
+    def splice_below(self, upper_end: int, lower_top: int) -> None:
+        """Attach a component: ``lower_top`` becomes LC-child of upper_end."""
+        up_label = self.labeling.get(upper_end)
+        lo_label = self.labeling.get(lower_top)
+        self.connect(upper_end, up_label.left_child, lower_top, lo_label.parent)
+
+    def append_leaf(self, node: int, color: str) -> int:
+        """Phase 1's coup de grâce: a level-1 leaf of the opposite color."""
+        label = self.labeling.get(node)
+        leaf = self.create_node(NodeLabel(parent=_P, color=color), (_P,))
+        self.connect(node, label.left_child, leaf, _P)
+        self.meta[leaf] = _NodeMeta(level=1, color=color, kind="leaf")
+        return leaf
+
+    # -- finalization ----------------------------------------------------
+    def _new_chain_node(self, level: int, color: str) -> int:
+        """Minimal level-consistent filler: a level-ℓ leaf with RC chain."""
+        if level >= 2:
+            # chain nodes: parent on 1, RC on 2 (no LC: they are level leaves)
+            label = NodeLabel(parent=_P, right_child=2, color=color)
+            ports = (1, 2)
+        else:
+            label = NodeLabel(parent=_P, color=color)
+            ports = (1,)
+        node = self.create_node(label, ports)
+        self.meta[node] = _NodeMeta(level=level, color=color, kind="chain")
+        return node
+
+    def _attach_chain(self, node: int, port: int, level: int, color: str) -> None:
+        """Hang a minimal level-``level`` component off ``(node, port)``."""
+        head = self._new_chain_node(level, color)
+        self.connect(node, port, head, 1)
+        current = head
+        for lvl in range(level - 1, 0, -1):
+            nxt = self._new_chain_node(lvl, color)
+            self.connect(current, 2, nxt, 1)
+            current = nxt
+
+    def finalize(self) -> Instance:
+        """Close every dangling committed port with a consistent gadget."""
+        for node in list(self.graph.nodes()):
+            info = self.meta[node]
+            label = self.labeling.get(node)
+            ports = list(self.committed[node])
+            for port in ports:
+                if self.graph.neighbor_at(node, port) is not None:
+                    continue
+                if info.kind == "top":
+                    level = info.level if port == _TOP_LC else info.level - 1
+                    self._attach_chain(node, port, level, info.color)
+                elif port == label.parent:
+                    # a fresh top above: keeps every seen degree intact
+                    top = self.create_node(
+                        NodeLabel(
+                            left_child=_TOP_LC,
+                            right_child=_TOP_RC,
+                            color=info.color,
+                        ),
+                        (_TOP_LC, _TOP_RC),
+                    )
+                    self.meta[top] = _NodeMeta(
+                        level=info.level, color=info.color, kind="top"
+                    )
+                    self.connect(node, port, top, _TOP_LC)
+                    self._attach_chain(top, _TOP_RC, info.level - 1, info.color)
+                elif port == label.left_child:
+                    self._attach_chain(node, port, info.level, info.color)
+                elif port == label.right_child:
+                    self._attach_chain(node, port, info.level - 1, info.color)
+        if self.graph.num_nodes > self._n:
+            raise RuntimeError(
+                f"adversary outgrew its advertised n: "
+                f"{self.graph.num_nodes} > {self._n}"
+            )
+        return self.finalized(
+            name=f"prop520-adversarial-k{self.k}",
+            meta={"k": self.k},
+        )
+
+
+@dataclass
+class THCAdversaryOutcome:
+    defeated: bool
+    instance: Optional[Instance]
+    simulations: int
+    phase_log: List[str] = field(default_factory=list)
+    transcript: Optional[Transcript] = None
+
+
+def _simulate(oracle, algorithm, node, budget):
+    view = ProbeView(
+        oracle,
+        node,
+        RandomnessContext(None, RandomnessModel.DETERMINISTIC, node),
+        max_volume=budget,
+    )
+    try:
+        return algorithm.run(view)
+    except BudgetExceeded:
+        return algorithm.fallback(view)
+
+
+def duel_hierarchical(
+    algorithm: ProbeAlgorithm,
+    k: int,
+    volume_budget: int,
+    n: Optional[int] = None,
+) -> THCAdversaryOutcome:
+    """Run Proposition 5.20's process P against a deterministic algorithm.
+
+    The algorithm runs with ``volume_budget`` and Remark 3.11 truncation;
+    the verdict re-runs it from every node of the finished instance under
+    the same budget and validates.  For budgets m = o(n / (k² log m)) the
+    process provably defeats any deterministic algorithm.
+    """
+    if algorithm.is_randomized:
+        raise ValueError("Proposition 5.20 concerns deterministic algorithms")
+    m = volume_budget
+    if n is None:
+        n = 64 * k * k * m * max(1, math.ceil(math.log2(max(2, m))))
+    oracle = AdversarialTHCOracle(k, n)
+    oracle.transcript.adversary = f"prop520/hierarchical-thc({k})"
+    oracle.transcript.meta.update(
+        {"algorithm": algorithm.name, "k": k, "volume_budget": m}
+    )
+    log: List[str] = []
+    sims = 0
+
+    def simulate(node) -> object:
+        nonlocal sims
+        sims += 1
+        return _simulate(oracle, algorithm, node, m)
+
+    def binary_search_phase(path: List[int], out_lo, out_hi) -> Optional[int]:
+        """Find an X on the path, or pin a conflicting adjacent pair."""
+        lo, hi = 0, len(path) - 1
+        known = {lo: out_lo, hi: out_hi}
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            out_mid = simulate(path[mid])
+            known[mid] = out_mid
+            if out_mid == EXEMPT:
+                return path[mid]
+            if out_mid == known[lo]:
+                lo = mid
+            else:
+                hi = mid
+        return None  # adjacent conflict: defeat expected
+
+    # ---- phases k .. 2 --------------------------------------------------
+    current_color = BLUE
+    v = oracle.new_backbone_node(k, BLUE)
+    for level in range(k, 1, -1):
+        out_v = simulate(v)
+        log.append(f"phase {level}: A({v}) = {out_v}")
+        if out_v == EXEMPT:
+            v = oracle.resolve(v, oracle.labeling.get(v).right_child)
+            current_color = oracle.meta[v].color
+            continue
+        v_prime = oracle.new_backbone_node(level, other_color(current_color))
+        out_vp = simulate(v_prime)
+        log.append(f"phase {level}: A({v_prime}) = {out_vp}")
+        if out_vp == EXEMPT:
+            v = oracle.resolve(
+                v_prime, oracle.labeling.get(v_prime).right_child
+            )
+            current_color = oracle.meta[v].color
+            continue
+        # splice v' below v and binary search for an X between them
+        lower_top = oracle.highest_ancestor(v_prime)
+        upper_end = oracle.leftmost_descendant(v)
+        oracle.splice_below(upper_end, lower_top)
+        path = oracle.backbone_path(
+            oracle.highest_ancestor(v), oracle.leftmost_descendant(v_prime)
+        )
+        # restrict to the v..v' stretch
+        i_v, i_vp = path.index(v), path.index(v_prime)
+        path = path[i_v : i_vp + 1]
+        found = binary_search_phase(path, out_v, out_vp)
+        if found is None:
+            log.append(f"phase {level}: adjacent conflict — verifying")
+            return _verdict(oracle, algorithm, m, sims, log)
+        log.append(f"phase {level}: X at {found}; descending")
+        v = oracle.resolve(found, oracle.labeling.get(found).right_child)
+        current_color = oracle.meta[v].color
+
+    # ---- phase 1 ---------------------------------------------------------
+    out1 = simulate(v)
+    log.append(f"phase 1: A({v}) = {out1}")
+    if out1 in (RED, BLUE):
+        # Append an opposite-colored leaf below the deepest explored node.
+        bottom = oracle.leftmost_descendant(v)
+        oracle.append_leaf(bottom, other_color(out1))
+        log.append("phase 1: appended contradicting leaf")
+    # Any other answer (D/X/pair) is locally invalid at level 1 under an
+    # exempt parent; fall through to the verdict either way.
+    return _verdict(oracle, algorithm, m, sims, log)
+
+
+def _verdict(oracle, algorithm, budget, sims, log) -> THCAdversaryOutcome:
+    from repro.model.runner import run_algorithm
+    from repro.problems.hierarchical_thc import HierarchicalTHC
+
+    instance = oracle.finalize()
+    # The re-run goes through the default execution backend, i.e. the
+    # compiled instance fast path — n·budget probe steps on CSR arrays.
+    result = run_algorithm(instance, algorithm, max_volume=budget)
+    problem = HierarchicalTHC(oracle.k)
+    violations = problem.validate(instance, result.outputs)
+    log.append(
+        f"verdict: {len(violations)} violations on {instance.graph.num_nodes} nodes"
+    )
+    return THCAdversaryOutcome(
+        defeated=bool(violations),
+        instance=instance,
+        simulations=sims,
+        phase_log=log,
+        transcript=oracle.transcript,
+    )
+
+
+@register_adversary(
+    "prop520/hierarchical-thc(2)",
+    problem="hierarchical-thc(2)",
+    bound="D-VOL(Hierarchical-THC(k)) = Ω̃(n)",
+    victim="hierarchical-thc(2)/recursive",
+    quick=(20, 30, 45),
+    full=(20, 40, 80, 160),
+    expected_fit=("n",),
+    candidates=("log n", "n^{1/2}", "n"),
+    description="Prop 5.20: k-phase exemption chase with binary search.",
+)
+class Prop520Adversary(Adversary):
+    """Prop 5.20: k-phase exemption chase with binary search.
+
+    ``budget`` is the victim's volume budget m; the interactive query
+    total the process forces (O(k log m) budget-capped simulations plus
+    its own descents) tracks the finished instance size linearly for
+    fixed k, giving the Ω̃(n) curve.
+    """
+
+    name = "prop520/hierarchical-thc(2)"
+    default_victim = "hierarchical-thc(2)/recursive"
+    k = 2
+
+    def run(self, budget: object) -> AdversaryRun:
+        m = int(budget)
+        outcome = duel_hierarchical(self.make_victim(), k=self.k, volume_budget=m)
+        return AdversaryRun(
+            adversary=self.name,
+            algorithm=self.victim,
+            budget=m,
+            n=outcome.instance.graph.num_nodes,
+            queries=outcome.transcript.queries,
+            defeated=outcome.defeated,
+            upheld=outcome.defeated,
+            instance=outcome.instance,
+            transcript=outcome.transcript,
+            detail={
+                "k": self.k,
+                "volume_budget": m,
+                "simulations": outcome.simulations,
+                "phase_log": list(outcome.phase_log),
+            },
+        )
+
+    def verify(self, run: AdversaryRun, backend=None) -> bool:
+        from repro.model.oracle import CompiledOracle, StaticOracle
+        from repro.model.runner import run_algorithm
+        from repro.problems.hierarchical_thc import HierarchicalTHC
+
+        instance = run.instance
+        if run.transcript.replay(StaticOracle(instance)):
+            return False
+        if run.transcript.replay(CompiledOracle(instance)):
+            return False
+        result = run_algorithm(
+            instance,
+            self.make_victim(),
+            max_volume=run.detail["volume_budget"],
+            backend=backend,
+        )
+        violations = HierarchicalTHC(self.k).validate(instance, result.outputs)
+        return bool(violations) == run.defeated

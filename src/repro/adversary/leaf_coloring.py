@@ -1,0 +1,234 @@
+"""The Proposition 3.13 adversary: D-VOL(LeafColoring) = Ω(n).
+
+The process P interacts with a deterministic algorithm A started at a
+root ``v0``: every query is answered by lazily growing a binary tree whose
+created nodes all carry internal labels (P=1, LC=2, RC=3) and input color
+red.  Because A is deterministic and sees only red, whatever color χ0 it
+outputs at v0 can be punished: P completes the tree by hanging a leaf with
+color χ1 ≠ χ0 on every unmaterialized port.  All leaves of the finished
+instance then carry χ1, so the *unique* valid output is all-χ1
+(Proposition 3.12's induction) — and A already answered χ0 at the root.
+
+If A uses fewer than n/3 queries the finished tree fits in n nodes, hence
+any deterministic algorithm with volume < n/3 fails on some n-node input.
+
+The lazy growth, degree-commit bookkeeping and transcript recording all
+come from :class:`~repro.adversary.engine.InteractiveOracle`: created
+nodes commit to their final degree (internal ⇒ 3, the root ⇒ 2, matching
+the paper's v0), so the info A receives during the interaction is exactly
+the info it would receive on the finished instance — ``finalized()``
+replays the whole transcript against the finished instance to prove it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.adversary.base import Adversary, AdversaryRun
+from repro.adversary.engine import InteractiveOracle, Transcript
+from repro.graphs.labelings import (
+    Instance,
+    NodeLabel,
+    RED,
+    other_color,
+)
+from repro.model.probe import (
+    BudgetExceeded,
+    ProbeAlgorithm,
+    ProbeView,
+)
+from repro.model.randomness import RandomnessContext, RandomnessModel
+from repro.registry import register_adversary
+
+
+class AdversarialTreeOracle(InteractiveOracle):
+    """The lazy Proposition 3.13 tree, grown on demand by the engine."""
+
+    adversary_name = "prop313/leaf-coloring"
+    ROOT = 1
+
+    def __init__(self, n: int) -> None:
+        super().__init__(n, max_degree=3)
+        root = self.create_node(
+            # v0: no parent; children on ports 1 and 2 (proof of Prop 3.13).
+            NodeLabel(parent=None, left_child=1, right_child=2, color=RED),
+            (1, 2),
+        )
+        assert root == self.ROOT
+
+    def materialize(self, node_id: int, port: int) -> int:
+        # A fresh internal red node behind this port, committed to
+        # degree 3 the moment it becomes visible.
+        child = self.create_node(
+            NodeLabel(parent=1, left_child=2, right_child=3, color=RED),
+            (1, 2, 3),
+        )
+        self.connect(node_id, port, child, 1)
+        return child
+
+    def finalize(self, root_output: str) -> Instance:
+        """Complete the tree: a χ1-colored leaf on every unbuilt port."""
+        chi1 = other_color(root_output)
+        for node in list(self.graph.nodes()):
+            for port in self.committed[node]:
+                if self.graph.neighbor_at(node, port) is None:
+                    leaf = self.create_node(
+                        NodeLabel(parent=1, color=chi1), (1,)
+                    )
+                    self.connect(node, port, leaf, 1)
+        return self.finalized(
+            name=f"prop313-adversarial-{self.graph.num_nodes}",
+            meta={"root": self.ROOT, "chi1": chi1},
+        )
+
+
+@dataclass
+class AdversaryOutcome:
+    """Result of one adversary-vs-algorithm duel."""
+
+    defeated: bool  # the algorithm produced an invalid output
+    exceeded_budget: bool  # the algorithm needed more than the query budget
+    queries_used: int
+    instance: Optional[Instance]
+    root_output: Optional[str]
+    transcript: Optional[Transcript] = None
+    query_budget: int = 0  # the budget the duel actually enforced
+
+
+def duel_leaf_coloring(
+    algorithm: ProbeAlgorithm,
+    n: int,
+    query_budget: Optional[int] = None,
+) -> AdversaryOutcome:
+    """Run Proposition 3.13's process P against a deterministic algorithm.
+
+    ``query_budget`` defaults to ⌊n/3⌋ − 1, the paper's bound.  Returns
+    whether the algorithm was defeated (its root output contradicts the
+    unique valid solution of the finished instance) or whether it escaped
+    by exceeding the budget — the dichotomy that proves Ω(n) volume.
+
+    The duel always finalizes: on a budget escape the tree is completed
+    against the fallback color red, so the outcome carries a concrete
+    witness instance (with every interactive answer still true of it)
+    either way.
+    """
+    if algorithm.is_randomized:
+        raise ValueError("Proposition 3.13 concerns deterministic algorithms")
+    budget = (n // 3) - 1 if query_budget is None else query_budget
+    oracle = AdversarialTreeOracle(n)
+    oracle.transcript.meta.update(
+        {"algorithm": algorithm.name, "budget": budget}
+    )
+    view = ProbeView(
+        oracle,
+        oracle.ROOT,
+        RandomnessContext(None, RandomnessModel.DETERMINISTIC, oracle.ROOT),
+        max_queries=budget,
+    )
+    try:
+        root_output: Optional[str] = algorithm.run(view)
+        exceeded = False
+    except BudgetExceeded:
+        root_output = None
+        exceeded = True
+    instance = oracle.finalize(root_output if root_output is not None else RED)
+    # The unique valid output colors every node χ1 ≠ root_output; whatever
+    # the other nodes answer, the global labeling is invalid.
+    defeated = not exceeded and root_output != instance.meta["chi1"]
+    return AdversaryOutcome(
+        defeated=defeated,
+        exceeded_budget=exceeded,
+        queries_used=view.queries,
+        instance=instance,
+        root_output=root_output,
+        transcript=oracle.transcript,
+        query_budget=budget,
+    )
+
+
+@register_adversary(
+    "prop313/leaf-coloring",
+    problem="leaf-coloring",
+    bound="D-VOL(LeafColoring) = Ω(n)",
+    victim="leaf-coloring/distance",
+    quick=(60, 120, 240),
+    full=(60, 120, 240, 480, 960, 1920),
+    expected_fit=("n",),
+    candidates=("log n", "n^{1/2}", "n"),
+    description="Prop 3.13: lazy red tree, leaves colored after the output.",
+)
+class Prop313Adversary(Adversary):
+    """Prop 3.13: lazy red tree, leaves colored after the output.
+
+    ``budget`` is the advertised instance size n; the query budget is the
+    paper's ⌊n/3⌋ − 1, so the query count an escaping algorithm is forced
+    to spend grows as Ω(n).
+    """
+
+    name = "prop313/leaf-coloring"
+    default_victim = "leaf-coloring/distance"
+
+    def run(self, budget: object) -> AdversaryRun:
+        n = int(budget)
+        outcome = duel_leaf_coloring(self.make_victim(), n=n)
+        return AdversaryRun(
+            adversary=self.name,
+            algorithm=self.victim,
+            budget=n,
+            n=outcome.instance.graph.num_nodes,
+            queries=outcome.queries_used,
+            defeated=outcome.defeated,
+            upheld=outcome.defeated or outcome.exceeded_budget,
+            instance=outcome.instance,
+            transcript=outcome.transcript,
+            detail={
+                "advertised_n": n,
+                "query_budget": outcome.query_budget,
+                "exceeded_budget": outcome.exceeded_budget,
+                "root_output": outcome.root_output,
+                "chi1": outcome.instance.meta["chi1"],
+            },
+        )
+
+    def verify(self, run: AdversaryRun, backend=None) -> bool:
+        from repro.model.oracle import CompiledOracle, StaticOracle
+        from repro.model.runner import run_algorithm
+        from repro.problems.leaf_coloring import LeafColoring
+
+        instance = run.instance
+        if run.transcript.replay(StaticOracle(instance)):
+            return False
+        if run.transcript.replay(CompiledOracle(instance)):
+            return False
+        root = instance.meta["root"]
+        result = run_algorithm(
+            instance,
+            self.make_victim(),
+            nodes=[root],
+            max_queries=run.detail["query_budget"],
+            backend=backend,
+        )
+        profile = result.profiles[root]
+        if run.detail["exceeded_budget"]:
+            if not profile.truncated:
+                return False
+        else:
+            if profile.truncated:
+                return False
+            if result.outputs[root] != run.detail["root_output"]:
+                return False
+        if run.defeated:
+            # Defeat must certify a real counterexample: the same budgeted
+            # run from every node yields a globally invalid output.
+            full = run_algorithm(
+                instance,
+                self.make_victim(),
+                max_queries=run.detail["query_budget"],
+                backend=backend,
+            )
+            if full.outputs[root] != run.detail["root_output"]:
+                return False
+            if not LeafColoring().validate(instance, full.outputs):
+                return False
+        return True

@@ -26,6 +26,7 @@ import time
 from typing import Dict, List, Optional, Sequence
 
 from repro.registry import (
+    ADVERSARIES,
     ALGORITHMS,
     FAMILIES,
     PROBLEMS,
@@ -103,6 +104,19 @@ def _list_payload() -> Dict[str, List[Dict[str, object]]]:
             }
             for entry in FAMILIES
         ],
+        "adversaries": [
+            {
+                "name": entry.name,
+                "problem": entry.problem,
+                "bound": entry.bound,
+                "victim": entry.victim,
+                "quick": [repr(p) for p in entry.quick],
+                "full": [repr(p) for p in entry.full],
+                "expected_fit": list(entry.expected_fit),
+                "description": entry.description,
+            }
+            for entry in ADVERSARIES
+        ],
         "suites": [
             {"name": d.name, "description": d.description}
             for d in SUITES.values()
@@ -113,7 +127,7 @@ def _list_payload() -> Dict[str, List[Dict[str, object]]]:
 def cmd_list(args: argparse.Namespace) -> int:
     payload = _list_payload()
     kinds = (
-        ["problems", "algorithms", "families", "suites"]
+        ["problems", "algorithms", "families", "adversaries", "suites"]
         if args.kind == "all"
         else [args.kind]
     )
@@ -145,6 +159,15 @@ def cmd_list(args: argparse.Namespace) -> int:
               " ".join(f["quick"]),
               "{}..{}".format(*f["n_range"])]
              for f in payload["families"]],
+        ))
+        print()
+    if "adversaries" in kinds:
+        print(f"ADVERSARIES ({len(payload['adversaries'])})")
+        print(format_table(
+            ["name", "problem", "bound", "victim", "quick grid"],
+            [[a["name"], a["problem"], a["bound"], a["victim"],
+              " ".join(a["quick"])]
+             for a in payload["adversaries"]],
         ))
         print()
     if "suites" in kinds:
@@ -366,6 +389,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 # parser
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
+    from repro.cli.adversary import add_adversary_arguments
     from repro.cli.bench import add_bench_arguments
 
     parser = argparse.ArgumentParser(
@@ -382,7 +406,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_list.add_argument(
         "--kind",
-        choices=["problems", "algorithms", "families", "suites", "all"],
+        choices=[
+            "problems",
+            "algorithms",
+            "families",
+            "adversaries",
+            "suites",
+            "all",
+        ],
         default="all",
     )
     p_list.add_argument("--json", action="store_true")
@@ -430,6 +461,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--json", action="store_true")
     p_sweep.set_defaults(func=cmd_sweep)
 
+    add_adversary_arguments(sub)
     add_bench_arguments(sub)
     return parser
 

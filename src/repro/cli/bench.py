@@ -28,8 +28,18 @@ writes a schema-versioned machine-readable artifact::
           "elapsed": ...   (schema-v1 alias, always == wall_time)
         }, ...
       ],
+      "lower_bounds": [
+        {
+          "adversary": ..., "problem": ..., "algorithm": ..., "bound": ...,
+          "expected_fit": [...],
+          "points": [{"budget", "n", "queries", "bits", "defeated",
+                      "upheld", "elapsed"}, ...],
+          "queries_fit": ..., "bits_fit": ..., "ok": ..., "wall_time": ...
+        }, ...
+      ],
       "summary": {"cells", "points", "failed", "executions",
-                  "wall_time", "execs_per_sec", "elapsed"}
+                  "wall_time", "execs_per_sec", "elapsed",
+                  "lower_bounds", "lower_bounds_failed"}
     }
 
 Schema v2 (PR 3) added the timing trajectory: per-point and per-cell
@@ -37,9 +47,18 @@ wall-clock plus executions/sec (one "execution" = one per-node run of
 the algorithm), and the oracle mode the numbers were measured under —
 so later perf PRs have a committed baseline to be judged against.
 
+Schema v3 (PR 4) added the ``lower_bounds`` section: every registered
+interactive adversary is swept over its quick/full budget grid, the
+measured query (and, for two-party games, bit) counts are fitted
+against the growth classes of :mod:`repro.analysis.complexity_fit`,
+and a record is "ok" only when every point upheld the lower-bound
+dichotomy *and* the fitted class is one the registration expects
+(Ω(n) for all three paper adversaries).
+
 CI's ``bench-smoke`` job runs ``repro bench --quick`` on the serial and
 ``process:2`` backends, uploads the artifact, and fails on any invalid
-cell (non-zero exit).
+cell (non-zero exit); the ``adversary-smoke`` job gates the
+``lower_bounds`` section the same way.
 """
 
 from __future__ import annotations
@@ -52,10 +71,15 @@ import subprocess
 import time
 from typing import Dict, List, Optional
 
-from repro.registry import MatrixCell, iter_compatible, load_components
+from repro.registry import (
+    ADVERSARIES,
+    MatrixCell,
+    iter_compatible,
+    load_components,
+)
 
 SCHEMA_NAME = "repro-bench"
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 def git_sha() -> str:
@@ -161,6 +185,26 @@ def _select_cells(only: Optional[str]) -> List[MatrixCell]:
     return cells
 
 
+def _select_adversaries(only: Optional[str]):
+    entries = list(ADVERSARIES)
+    if only:
+        entries = [
+            e
+            for e in entries
+            if any(only in part for part in (e.name, e.problem, e.victim))
+        ]
+    return entries
+
+
+def run_lower_bounds(
+    grid: str, only: Optional[str] = None, progress=None
+) -> List[Dict[str, object]]:
+    """Sweep every (matching) registered adversary; one record each."""
+    from repro.adversary.base import sweep_records
+
+    return sweep_records(_select_adversaries(only), grid, progress=progress)
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.cli import _fail, format_table
     from repro.exec.backends import get_backend
@@ -168,8 +212,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
     load_components()
     grid = "full" if args.full else "quick"
     cells = _select_cells(args.only)
-    if not cells:
-        return _fail(f"no matrix cells match {args.only!r}")
+    adversaries = _select_adversaries(args.only)
+    if not cells and not adversaries:
+        return _fail(f"no matrix cells or adversaries match {args.only!r}")
     if args.list_cells:
         print(json.dumps([list(c.key) for c in cells], indent=2))
         return 0
@@ -185,8 +230,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
         # Release pool resources promptly (a leaked ProcessPoolExecutor
         # races interpreter teardown and spews atexit tracebacks).
         backend.close()
+    lower_bounds = run_lower_bounds(grid, only=args.only, progress=progress)
     elapsed = time.perf_counter() - started
     failed = [r for r in records if not r["ok"]]
+    lb_failed = [r for r in lower_bounds if not r["ok"]]
     executions = sum(r["executions"] for r in records)
     wall_time = sum(r["wall_time"] for r in records)
     artifact = {
@@ -199,6 +246,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "git_sha": git_sha(),
         "python": platform.python_version(),
         "cells": records,
+        "lower_bounds": lower_bounds,
         "summary": {
             "cells": len(records),
             "points": sum(len(r["points"]) for r in records),
@@ -207,27 +255,44 @@ def cmd_bench(args: argparse.Namespace) -> int:
             "wall_time": wall_time,
             "execs_per_sec": executions / wall_time if wall_time > 0 else None,
             "elapsed": elapsed,
+            "lower_bounds": len(lower_bounds),
+            "lower_bounds_failed": len(lb_failed),
         },
     }
     with open(args.out, "w") as handle:
         json.dump(artifact, handle, indent=1)
         handle.write("\n")
-    print(format_table(
-        ["cell", "n", "max vol", "vol fit", "dist fit", "ok", "s"],
-        [[
-            f"{r['algorithm']} @ {r['family']}",
-            "{}..{}".format(r["points"][0]["n"], r["points"][-1]["n"]),
-            r["max_volume"],
-            r["volume_fit"] or "-",
-            r["distance_fit"] or "-",
-            "ok" if r["ok"] else "FAIL",
-            f"{r['elapsed']:.2f}",
-        ] for r in records],
-    ))
-    print()
+    if records:
+        print(format_table(
+            ["cell", "n", "max vol", "vol fit", "dist fit", "ok", "s"],
+            [[
+                f"{r['algorithm']} @ {r['family']}",
+                "{}..{}".format(r["points"][0]["n"], r["points"][-1]["n"]),
+                r["max_volume"],
+                r["volume_fit"] or "-",
+                r["distance_fit"] or "-",
+                "ok" if r["ok"] else "FAIL",
+                f"{r['elapsed']:.2f}",
+            ] for r in records],
+        ))
+        print()
+    if lower_bounds:
+        print(format_table(
+            ["lower bound", "n", "queries fit", "expected", "ok", "s"],
+            [[
+                f"{r['adversary']} vs {r['algorithm']}",
+                "{}..{}".format(r["points"][0]["n"], r["points"][-1]["n"]),
+                r["queries_fit"] or "-",
+                "/".join(r["expected_fit"]),
+                "ok" if r["ok"] else "FAIL",
+                f"{r['wall_time']:.2f}",
+            ] for r in lower_bounds],
+        ))
+        print()
     print(
         f"{len(records)} cells, {artifact['summary']['points']} points, "
-        f"{len(failed)} failed, {elapsed:.1f}s, "
+        f"{len(failed)} failed, {len(lower_bounds)} lower bounds, "
+        f"{len(lb_failed)} lb-failed, {elapsed:.1f}s, "
         f"{executions} executions "
         f"(mode={grid}, backend={artifact['backend']}, "
         f"oracle={artifact['oracle']}) -> {args.out}"
@@ -238,7 +303,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
             f"FAILED: {record['algorithm']} @ {record['family']} "
             f"param={first_bad['param']}: {first_bad['violations'][:1]}"
         )
-    return 1 if failed else 0
+    for record in lb_failed:
+        print(
+            f"LB FAILED: {record['adversary']} "
+            f"(fitted {record['queries_fit']!r}, expected "
+            f"{'/'.join(record['expected_fit'])})"
+        )
+    return 1 if failed or lb_failed else 0
 
 
 def add_bench_arguments(sub) -> None:

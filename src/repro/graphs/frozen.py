@@ -56,14 +56,20 @@ class FrozenPortGraph(GraphTraversalMixin):
         "port_back_ports",
         "degrees",
         "_num_edges",
+        "meta",
     )
 
     def __init__(
         self,
         max_degree: int,
         ports: Dict[int, Dict[int, Optional[Tuple[int, int]]]],
+        meta: Optional[Dict[str, object]] = None,
     ) -> None:
         self._max_degree = max_degree
+        # Snapshot of the source graph's annotations; preserved by
+        # thaw(), so a freeze() -> thaw() round trip is lossless
+        # (structure *and* metadata, e.g. disjointness coordinate maps).
+        self.meta: Dict[str, object] = dict(meta or {})
         ids: List[int] = list(ports)
         index: Dict[int, int] = {nid: i for i, nid in enumerate(ids)}
         offsets: List[int] = [0] * (len(ids) + 1)
@@ -117,8 +123,13 @@ class FrozenPortGraph(GraphTraversalMixin):
         return self
 
     def thaw(self) -> PortGraph:
-        """An independent mutable :class:`PortGraph` with the same structure."""
+        """An independent mutable :class:`PortGraph` with the same structure.
+
+        Metadata (``meta``) is carried along, so ``freeze()`` → ``thaw()``
+        → ``freeze()`` round trips lose nothing.
+        """
         clone = PortGraph(self._max_degree)
+        clone.meta = dict(self.meta)
         for nid in self._ids:
             clone.add_node(nid, self.num_ports(nid))
         for edge in self.edges():

@@ -341,6 +341,11 @@ def disjointness_embedding(
     labeling[leaves[-1]].right_neighbor = None
 
     disj = 1 if all(x * y == 0 for x, y in zip(a, b)) else 0
+    # The coordinate map also rides on the graph itself: graph-level meta
+    # survives freeze()/thaw() (compilation into the CSR fast path), so
+    # the embedding stays chargeable even when only the graph travels.
+    topo.graph.meta["coordinate_of"] = coordinate_of
+    topo.graph.meta["root"] = topo.root
     return Instance(
         graph=topo.graph,
         labeling=labeling,

@@ -121,6 +121,11 @@ class PortGraph(GraphTraversalMixin):
         if max_degree < 1:
             raise PortGraphError(f"max_degree must be >= 1, got {max_degree}")
         self._max_degree = max_degree
+        # Free-form graph-level annotations (e.g. the disjointness
+        # embedding's coordinate map).  Preserved across freeze()/thaw()
+        # and copy(), so structural metadata survives compilation into
+        # the CSR fast path and back.
+        self.meta: Dict[str, object] = {}
         # node id -> port number -> (neighbor id, neighbor's port) or None
         self._ports: Dict[int, Dict[int, Optional[Tuple[int, int]]]] = {}
         # Incrementally maintained mirrors of the port table, so degree(),
@@ -268,7 +273,7 @@ class PortGraph(GraphTraversalMixin):
         """
         from repro.graphs.frozen import FrozenPortGraph
 
-        return FrozenPortGraph(self._max_degree, self._ports)
+        return FrozenPortGraph(self._max_degree, self._ports, meta=self.meta)
 
     # ------------------------------------------------------------------
     # algorithms (bfs_distances / ball / connected_components inherited
@@ -300,6 +305,7 @@ class PortGraph(GraphTraversalMixin):
 
     def copy(self) -> "PortGraph":
         clone = PortGraph(self._max_degree)
+        clone.meta = dict(self.meta)
         clone._ports = {n: dict(slots) for n, slots in self._ports.items()}
         clone._degrees = dict(self._degrees)
         clone._neighbor_sets = {n: set(s) for n, s in self._neighbor_sets.items()}

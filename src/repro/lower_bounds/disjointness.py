@@ -1,122 +1,25 @@
-"""Communication-complexity lower bounds via disjointness (Section 2.5).
+"""Back-compat shim: the Prop 4.9 referee moved to ``repro.adversary``.
 
-Theorem 2.9 (Eden–Rosenbaum): if ``(E, g)`` embeds a function f and every
-query can be answered with ≤ B bits of Alice↔Bob communication, then any
-algorithm computing g needs Ω(R(f)/B) queries.  Proposition 4.9
-instantiates this for BalancedTree with f = disjointness (R(disj) = Ω(N),
-Theorem 2.10 / Kalyanasundaram–Schnitger): in the Figure 5 embedding only
-leaf labels depend on (a, b) — coordinate i's pair (u_i, w_i) needs
-exactly the two bits (a_i, b_i) — so every query costs ≤ 2 bits and any
-algorithm solving BalancedTree needs Ω(N) = Ω(n) queries.
-
-:class:`TwoPartyReferee` executes a probe algorithm on E(a, b) while
-keeping Alice's and Bob's books: each time a query's *response* depends on
-an (a_i, b_i) the referee charges the two bits (once per coordinate per
-direction, since both parties cache what they learned — standard protocol
-bookkeeping).
+The bespoke charging oracle that used to live here was folded into the
+unified interactive-adversary engine (a recording oracle plus a
+transcript-auditable bit charge); see
+:mod:`repro.adversary.disjointness` and :mod:`repro.adversary.engine`.
 """
 
-from __future__ import annotations
-
-from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Set
-
-from repro.graphs.generators import disjointness_embedding
-from repro.graphs.labelings import BALANCED, Instance
-from repro.model.oracle import NodeInfo, StaticOracle
-from repro.model.probe import ProbeAlgorithm, ProbeView
-from repro.model.randomness import (
-    RandomnessContext,
-    TapeStore,
+from repro.adversary.disjointness import (  # noqa: F401
+    Prop49Referee,
+    TwoPartyReferee,
+    TwoPartyRun,
+    bits_from_transcript,
+    communication_cost_of_query_plan,
+    simulate_two_party,
 )
 
-
-class _ChargingOracle:
-    """Wraps the embedding's oracle; charges bits on input-dependent reads."""
-
-    def __init__(self, instance: Instance) -> None:
-        self._inner = StaticOracle(instance)
-        self._coordinate_of: Dict[int, int] = instance.meta["coordinate_of"]
-        self.bits_exchanged = 0
-        self._alice_knows: Set[int] = set()  # coordinates of b Alice learned
-        self._bob_knows: Set[int] = set()  # coordinates of a Bob learned
-
-    @property
-    def n(self) -> int:
-        return self._inner.n
-
-    def node_info(self, node_id: int) -> NodeInfo:
-        self._charge(node_id)
-        return self._inner.node_info(node_id)
-
-    def resolve(self, node_id: int, port: int) -> Optional[int]:
-        endpoint = self._inner.resolve(node_id, port)
-        if endpoint is not None:
-            self._charge(endpoint)
-        return endpoint
-
-    def _charge(self, node_id: int) -> None:
-        """Answering for a leaf reveals its labels ⇒ needs a_i and b_i."""
-        coord = self._coordinate_of.get(node_id)
-        if coord is None:
-            return
-        if coord not in self._alice_knows:
-            self._alice_knows.add(coord)
-            self.bits_exchanged += 1  # Bob sends b_i to Alice
-        if coord not in self._bob_knows:
-            self._bob_knows.add(coord)
-            self.bits_exchanged += 1  # Alice sends a_i to Bob
-
-
-@dataclass
-class TwoPartyRun:
-    """One simulated execution with its communication transcript."""
-
-    queries: int
-    bits_exchanged: int
-    output: object
-    g_value: int
-    disj_value: int
-
-    @property
-    def correct(self) -> bool:
-        return self.g_value == self.disj_value
-
-
-def simulate_two_party(
-    algorithm: ProbeAlgorithm,
-    a: Sequence[int],
-    b: Sequence[int],
-    seed: int = 0,
-) -> TwoPartyRun:
-    """Alice and Bob jointly run ``algorithm`` from the root of E(a, b).
-
-    ``g(E(a, b))`` is read off the root's output: (B, ·) ⇔ the labeling is
-    globally compatible ⇔ disj(a, b) = 1 (Proposition 4.9).  The bits
-    exchanged upper-bound the communication of the induced protocol, so
-    over many (a, b) the query count obeys queries ≥ bits/2.
-    """
-    instance = disjointness_embedding(a, b)
-    oracle = _ChargingOracle(instance)
-    root = instance.meta["root"]
-    tapes = TapeStore(seed) if algorithm.is_randomized else None
-    view = ProbeView(
-        oracle,
-        root,
-        # ProbeView binds its visited-set predicate to the context.
-        RandomnessContext(tapes, algorithm.randomness, root),
-    )
-    output = algorithm.run(view)
-    g_value = 1 if isinstance(output, tuple) and output[0] == BALANCED else 0
-    return TwoPartyRun(
-        queries=view.queries,
-        bits_exchanged=oracle.bits_exchanged,
-        output=output,
-        g_value=g_value,
-        disj_value=instance.meta["disjoint"],
-    )
-
-
-def communication_cost_of_query_plan(run: TwoPartyRun) -> float:
-    """Theorem 2.9's accounting: queries ≥ bits / B with B = 2."""
-    return run.bits_exchanged / 2.0
+__all__ = [
+    "Prop49Referee",
+    "TwoPartyReferee",
+    "TwoPartyRun",
+    "bits_from_transcript",
+    "communication_cost_of_query_plan",
+    "simulate_two_party",
+]

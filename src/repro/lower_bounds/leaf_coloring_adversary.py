@@ -1,179 +1,20 @@
-"""The Proposition 3.13 adversary: D-VOL(LeafColoring) = Ω(n).
+"""Back-compat shim: the Prop 3.13 adversary moved to ``repro.adversary``.
 
-The process P interacts with a deterministic algorithm A started at a
-root ``v0``: every query is answered by lazily growing a binary tree whose
-created nodes all carry internal labels (P=1, LC=2, RC=3) and input color
-red.  Because A is deterministic and sees only red, whatever color χ0 it
-outputs at v0 can be punished: P completes the tree by hanging a leaf with
-color χ1 ≠ χ0 on every unmaterialized port.  All leaves of the finished
-instance then carry χ1, so the *unique* valid output is all-χ1
-(Proposition 3.12's induction) — and A already answered χ0 at the root.
-
-If A uses fewer than n/3 queries the finished tree fits in n nodes, hence
-any deterministic algorithm with volume < n/3 fails on some n-node input.
-
-Faithfulness notes:
-
-* Created nodes *commit* to their final degree (internal ⇒ 3): the info A
-  receives during the interaction is exactly the info it would receive on
-  the finished instance, so re-running A on the finished instance
-  reproduces the interactive run verbatim (checked in tests).
-* The root commits to two ports (its children), matching the paper's v0.
+The bespoke lazy-oracle implementation that used to live here was folded
+into the unified interactive-adversary engine; see
+:mod:`repro.adversary.leaf_coloring` and :mod:`repro.adversary.engine`.
 """
 
-from __future__ import annotations
-
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
-
-from repro.graphs.labelings import (
-    Instance,
-    Labeling,
-    NodeLabel,
-    RED,
-    other_color,
+from repro.adversary.leaf_coloring import (  # noqa: F401
+    AdversarialTreeOracle,
+    AdversaryOutcome,
+    Prop313Adversary,
+    duel_leaf_coloring,
 )
-from repro.graphs.port_graph import PortGraph
-from repro.model.oracle import NodeInfo
-from repro.model.probe import (
-    BudgetExceeded,
-    ProbeAlgorithm,
-    ProbeView,
-)
-from repro.model.randomness import RandomnessContext, RandomnessModel
 
-
-class AdversarialTreeOracle:
-    """A GraphOracle that grows the Proposition 3.13 tree on demand."""
-
-    ROOT = 1
-
-    def __init__(self, n: int) -> None:
-        self._n = n
-        self.graph = PortGraph(max_degree=3)
-        self.labeling = Labeling()
-        self._next_id = self.ROOT
-        self._committed_ports: Dict[int, Tuple[int, ...]] = {}
-        root = self._new_node(is_root=True)
-        assert root == self.ROOT
-
-    # -- GraphOracle interface -------------------------------------------
-    @property
-    def n(self) -> int:
-        return self._n
-
-    def node_info(self, node_id: int) -> NodeInfo:
-        ports = self._committed_ports[node_id]
-        return NodeInfo(
-            node_id=node_id,
-            degree=len(ports),
-            label=self.labeling.get(node_id),
-            ports=ports,
-        )
-
-    def resolve(self, node_id: int, port: int) -> Optional[int]:
-        if port not in self._committed_ports.get(node_id, ()):
-            return None
-        existing = self.graph.neighbor_at(node_id, port)
-        if existing is not None:
-            return existing
-        # Materialize a fresh internal red node behind this port.
-        child = self._new_node()
-        self.graph.add_edge(node_id, port, child, 1)
-        return child
-
-    # -- construction ------------------------------------------------------
-    def _new_node(self, is_root: bool = False) -> int:
-        node = self._next_id
-        self._next_id += 1
-        self.graph.add_node(node)
-        if is_root:
-            # v0: no parent; children on ports 1 and 2 (proof of Prop 3.13).
-            self.labeling[node] = NodeLabel(
-                parent=None, left_child=1, right_child=2, color=RED
-            )
-            self._committed_ports[node] = (1, 2)
-        else:
-            self.labeling[node] = NodeLabel(
-                parent=1, left_child=2, right_child=3, color=RED
-            )
-            self._committed_ports[node] = (1, 2, 3)
-        for port in self._committed_ports[node]:
-            self.graph.reserve_port(node, port)
-        return node
-
-    def finalize(self, root_output: str) -> Instance:
-        """Complete the tree: a χ1-colored leaf on every unbuilt port."""
-        chi1 = other_color(root_output)
-        for node in list(self.graph.nodes()):
-            for port in self._committed_ports[node]:
-                if self.graph.neighbor_at(node, port) is None:
-                    leaf = self._next_id
-                    self._next_id += 1
-                    self.graph.add_node(leaf)
-                    self.labeling[leaf] = NodeLabel(parent=1, color=chi1)
-                    self._committed_ports[leaf] = (1,)
-                    self.graph.add_edge(node, port, leaf, 1)
-        return Instance(
-            graph=self.graph,
-            labeling=self.labeling,
-            n=self._n,
-            name=f"prop313-adversarial-{self.graph.num_nodes}",
-            meta={"root": self.ROOT, "chi1": chi1},
-        )
-
-
-@dataclass
-class AdversaryOutcome:
-    """Result of one adversary-vs-algorithm duel."""
-
-    defeated: bool  # the algorithm produced an invalid output
-    exceeded_budget: bool  # the algorithm needed more than the query budget
-    queries_used: int
-    instance: Optional[Instance]
-    root_output: Optional[str]
-
-
-def duel_leaf_coloring(
-    algorithm: ProbeAlgorithm,
-    n: int,
-    query_budget: Optional[int] = None,
-) -> AdversaryOutcome:
-    """Run Proposition 3.13's process P against a deterministic algorithm.
-
-    ``query_budget`` defaults to ⌊n/3⌋ − 1, the paper's bound.  Returns
-    whether the algorithm was defeated (its root output contradicts the
-    unique valid solution of the finished instance) or whether it escaped
-    by exceeding the budget — the dichotomy that proves Ω(n) volume.
-    """
-    if algorithm.is_randomized:
-        raise ValueError("Proposition 3.13 concerns deterministic algorithms")
-    budget = (n // 3) - 1 if query_budget is None else query_budget
-    oracle = AdversarialTreeOracle(n)
-    view = ProbeView(
-        oracle,
-        oracle.ROOT,
-        RandomnessContext(None, RandomnessModel.DETERMINISTIC, oracle.ROOT),
-        max_queries=budget,
-    )
-    try:
-        root_output = algorithm.run(view)
-    except BudgetExceeded:
-        return AdversaryOutcome(
-            defeated=False,
-            exceeded_budget=True,
-            queries_used=view.queries,
-            instance=None,
-            root_output=None,
-        )
-    instance = oracle.finalize(root_output)
-    # The unique valid output colors every node χ1 ≠ root_output; whatever
-    # the other nodes answer, the global labeling is invalid.
-    defeated = root_output != instance.meta["chi1"]
-    return AdversaryOutcome(
-        defeated=defeated,
-        exceeded_budget=False,
-        queries_used=view.queries,
-        instance=instance,
-        root_output=root_output,
-    )
+__all__ = [
+    "AdversarialTreeOracle",
+    "AdversaryOutcome",
+    "Prop313Adversary",
+    "duel_leaf_coloring",
+]

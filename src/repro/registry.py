@@ -124,6 +124,40 @@ class FamilyEntry:
         return InstanceFamily(self.name, self.factory, self.params(grid))
 
 
+@dataclass(frozen=True)
+class AdversaryEntry:
+    """One registered interactive adversary (a lower-bound process P).
+
+    ``problem`` names the registered problem whose complexity the game
+    bounds and ``bound`` states the Ω-claim it witnesses; ``victim`` is
+    the registered deterministic algorithm the game runs against by
+    default.  ``quick``/``full`` are budget grids (the game's size
+    parameter), and the measured query/bit curve over a grid must fit
+    one of ``expected_fit`` (chosen among ``candidates``) for the bench
+    gate to pass.
+    """
+
+    name: str
+    factory: Callable[..., object]
+    cls: type
+    problem: str
+    bound: str
+    victim: str
+    quick: Tuple[object, ...]
+    full: Tuple[object, ...]
+    expected_fit: Tuple[str, ...]
+    candidates: Tuple[str, ...]
+    description: str = ""
+
+    def make(self, victim: Optional[str] = None) -> object:
+        return self.factory(victim)
+
+    def params(self, grid: str = "quick") -> Tuple[object, ...]:
+        if grid not in ("quick", "full"):
+            raise ValueError(f"unknown grid {grid!r} (expected quick/full)")
+        return self.quick if grid == "quick" else self.full
+
+
 class Registry:
     """An ordered name -> entry mapping with helpful lookup errors."""
 
@@ -165,6 +199,7 @@ class Registry:
 PROBLEMS = Registry("problem")
 ALGORITHMS = Registry("algorithm")
 FAMILIES = Registry("instance family")
+ADVERSARIES = Registry("adversary")
 
 
 def _partial_factory(cls: type, defaults: Optional[Dict[str, object]]):
@@ -264,6 +299,45 @@ def register_family(
     return decorate
 
 
+def register_adversary(
+    name: str,
+    *,
+    problem: str,
+    bound: str,
+    victim: str,
+    quick: Sequence[object],
+    full: Sequence[object],
+    expected_fit: Sequence[str],
+    candidates: Sequence[str],
+    description: str = "",
+) -> Callable[[type], type]:
+    """Class decorator: register an interactive adversary under ``name``.
+
+    The class must subclass :class:`repro.adversary.base.Adversary`; its
+    constructor takes an optional victim-algorithm override.
+    """
+
+    def decorate(cls: type) -> type:
+        ADVERSARIES.add(
+            AdversaryEntry(
+                name=name,
+                factory=cls,
+                cls=cls,
+                problem=problem,
+                bound=bound,
+                victim=victim,
+                quick=tuple(quick),
+                full=tuple(full),
+                expected_fit=tuple(expected_fit),
+                candidates=tuple(candidates),
+                description=description or _first_docline(cls),
+            )
+        )
+        return cls
+
+    return decorate
+
+
 # ----------------------------------------------------------------------
 # population and enumeration
 # ----------------------------------------------------------------------
@@ -277,6 +351,9 @@ _COMPONENT_MODULES: Tuple[str, ...] = (
     "repro.algorithms.hybrid_algs",
     "repro.algorithms.hh_algs",
     "repro.families",
+    "repro.adversary.leaf_coloring",
+    "repro.adversary.hierarchical",
+    "repro.adversary.disjointness",
 )
 
 _loaded = False
@@ -339,7 +416,9 @@ def iter_compatible(
 
 
 __all__ = [
+    "ADVERSARIES",
     "ALGORITHMS",
+    "AdversaryEntry",
     "AlgorithmEntry",
     "FAMILIES",
     "FamilyEntry",
@@ -350,6 +429,7 @@ __all__ = [
     "RegistryError",
     "iter_compatible",
     "load_components",
+    "register_adversary",
     "register_algorithm",
     "register_family",
     "register_problem",

@@ -1,0 +1,181 @@
+"""Unit tests for the interactive-adversary engine."""
+
+import pytest
+
+from repro.adversary.engine import (
+    AdversaryEngineError,
+    InfoEvent,
+    InteractiveOracle,
+    RecordingOracle,
+    ResolveEvent,
+    Transcript,
+    transcripts_equal,
+)
+from repro.graphs.generators import leaf_coloring_instance
+from repro.graphs.labelings import NodeLabel, RED
+from repro.model.oracle import CompiledOracle, StaticOracle
+
+
+class ChainOracle(InteractiveOracle):
+    """Toy adversary: every resolved port grows one more 2-port node."""
+
+    adversary_name = "test/chain"
+
+    def __init__(self, n=50):
+        super().__init__(n, max_degree=2)
+        self.root = self.create_node(NodeLabel(color=RED), (1,))
+
+    def materialize(self, node_id, port):
+        child = self.create_node(NodeLabel(color=RED, parent=1), (1, 2))
+        self.connect(node_id, port, child, 1)
+        return child
+
+    def finalize(self):
+        for node in list(self.graph.nodes()):
+            for port in self.committed[node]:
+                if self.graph.neighbor_at(node, port) is None:
+                    leaf = self.create_node(NodeLabel(color=RED, parent=1), (1,))
+                    self.connect(node, port, leaf, 1)
+        return self.finalized(name="test-chain", meta={"root": self.root})
+
+
+class TestDegreeCommit:
+    def test_info_reflects_committed_ports_only(self):
+        oracle = ChainOracle()
+        info = oracle.node_info(oracle.root)
+        assert info.ports == (1,)
+        assert info.degree == 1
+
+    def test_uncommitted_port_resolves_to_none(self):
+        oracle = ChainOracle()
+        assert oracle.resolve(oracle.root, 2) is None
+        assert oracle.resolve(999, 1) is None
+
+    def test_materialization_is_stable(self):
+        oracle = ChainOracle()
+        child = oracle.resolve(oracle.root, 1)
+        assert child is not None
+        assert oracle.resolve(oracle.root, 1) == child
+
+    def test_connect_rejects_uncommitted_ports(self):
+        oracle = ChainOracle()
+        other = oracle.create_node(NodeLabel(color=RED), (1,))
+        with pytest.raises(AdversaryEngineError):
+            oracle.connect(oracle.root, 2, other, 1)
+
+
+class TestFinalize:
+    def test_finalize_closes_and_replays(self):
+        oracle = ChainOracle()
+        for _ in range(3):
+            child = oracle.resolve(oracle.root, 1)
+            oracle.resolve(child, 2)
+        instance = oracle.finalize()
+        instance.graph.validate()
+        for node in instance.graph.nodes():
+            assert not instance.graph.dangling_ports(node)
+        assert oracle.is_finalized
+
+    def test_queries_rejected_after_finalize(self):
+        oracle = ChainOracle()
+        oracle.resolve(oracle.root, 1)
+        oracle.finalize()
+        with pytest.raises(AdversaryEngineError):
+            oracle.resolve(oracle.root, 1)
+        with pytest.raises(AdversaryEngineError):
+            oracle.node_info(oracle.root)
+        with pytest.raises(AdversaryEngineError):
+            oracle.create_node(NodeLabel(color=RED), (1,))
+        with pytest.raises(AdversaryEngineError):
+            oracle.finalize()
+
+    def test_dangling_committed_port_rejected(self):
+        oracle = ChainOracle()
+        oracle.resolve(oracle.root, 1)
+        with pytest.raises(AdversaryEngineError, match="dangling"):
+            oracle.finalized(name="incomplete")
+
+    def test_non_monotone_finalize_is_caught(self):
+        """Mutating a *revealed* label during completion diverges from the
+        recorded transcript: finalized() must refuse the witness."""
+        oracle = ChainOracle()
+        child = oracle.resolve(oracle.root, 1)
+        oracle.node_info(child)  # reveal: the label is now on record
+        oracle.labeling[child].color = "B"  # adversary cheats
+        with pytest.raises(AdversaryEngineError, match="diverged"):
+            oracle.finalize()
+
+
+class TestTranscript:
+    def make_transcript(self):
+        oracle = ChainOracle()
+        view_child = oracle.resolve(oracle.root, 1)
+        oracle.node_info(view_child)
+        oracle.resolve(view_child, 2)
+        instance = oracle.finalize()
+        return oracle.transcript, instance
+
+    def test_event_accounting(self):
+        transcript, _ = self.make_transcript()
+        assert transcript.queries == 2
+        assert len(transcript) == 3
+        revealed = transcript.revealed_nodes()
+        assert revealed[0] == 2  # first resolve endpoint
+
+    def test_replay_detects_divergence(self):
+        transcript, instance = self.make_transcript()
+        assert transcript.replay(StaticOracle(instance)) == []
+        tampered = Transcript(
+            adversary=transcript.adversary,
+            n=transcript.n,
+            events=[
+                ResolveEvent(node=e.node, port=e.port, endpoint=999)
+                if isinstance(e, ResolveEvent)
+                else e
+                for e in transcript.events
+            ],
+        )
+        divergences = tampered.replay(StaticOracle(instance))
+        assert len(divergences) == 2
+        with pytest.raises(AdversaryEngineError, match="diverged"):
+            tampered.replay_exact(StaticOracle(instance))
+
+    def test_replay_identical_on_both_oracles(self):
+        transcript, instance = self.make_transcript()
+        assert transcript.replay(StaticOracle(instance)) == []
+        assert transcript.replay(CompiledOracle(instance)) == []
+
+    def test_json_round_trip_is_canonical(self):
+        transcript, instance = self.make_transcript()
+        transcript.meta["budget"] = 7
+        text = transcript.to_json()
+        loaded = Transcript.from_json(text)
+        assert transcripts_equal(transcript, loaded)
+        assert loaded.adversary == transcript.adversary
+        assert loaded.n == transcript.n
+        assert loaded.meta == transcript.meta
+        assert loaded.to_json() == text  # byte-stable
+        assert loaded.replay(StaticOracle(instance)) == []
+
+    def test_from_json_rejects_foreign_payloads(self):
+        with pytest.raises(ValueError):
+            Transcript.from_json('{"schema": "something-else", "events": []}')
+
+
+class TestRecordingOracle:
+    def test_records_and_delegates(self):
+        instance = leaf_coloring_instance(3)
+        inner = StaticOracle(instance)
+        recorder = RecordingOracle(
+            inner, Transcript(adversary="test/recorder", n=instance.n)
+        )
+        root = instance.meta["root"]
+        info = recorder.node_info(root)
+        assert info == inner.node_info(root)
+        endpoint = recorder.resolve(root, info.ports[0])
+        assert endpoint == inner.resolve(root, info.ports[0])
+        assert recorder.n == inner.n
+        events = recorder.transcript.events
+        assert isinstance(events[0], InfoEvent)
+        assert isinstance(events[1], ResolveEvent)
+        assert recorder.transcript.replay(CompiledOracle(instance)) == []

@@ -1,0 +1,70 @@
+"""Golden-transcript regression tests.
+
+Each registered adversary has a canonical recorded transcript committed
+under ``tests/adversary/golden/`` at a fixed budget.  Re-running the
+adversary must reproduce the committed file *byte-identically*, and the
+committed transcript must replay against the freshly finalized instance's
+reference and compiled oracles without a single divergence — any drift in
+the engine port (event order, lazy-growth decisions, id assignment,
+serialization) fails here first.
+
+Regenerate after an intentional change with::
+
+    repro adversary run <name> --budget <b> --transcript <golden-path>
+"""
+
+import pathlib
+
+import pytest
+
+from repro.adversary.engine import Transcript, transcripts_equal
+from repro.model.oracle import CompiledOracle, StaticOracle
+from repro.registry import ADVERSARIES, load_components
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+# (adversary name, pinned budget, committed file)
+GOLDEN_CASES = [
+    ("prop313/leaf-coloring", 60, "prop313-leaf-coloring-b60.json"),
+    ("prop520/hierarchical-thc(2)", 20, "prop520-hierarchical-thc2-b20.json"),
+    ("prop49/balanced-tree", 3, "prop49-balanced-tree-b3.json"),
+]
+
+
+@pytest.fixture(autouse=True)
+def _loaded():
+    load_components()
+
+
+def _case_id(case):
+    return case[0]
+
+
+@pytest.mark.parametrize("case", GOLDEN_CASES, ids=_case_id)
+class TestGoldenTranscripts:
+    def test_every_registered_adversary_has_a_golden_case(self, case):
+        covered = {name for name, _, _ in GOLDEN_CASES}
+        assert covered == set(ADVERSARIES.names())
+
+    def test_rerun_is_byte_identical(self, case):
+        name, budget, filename = case
+        run = ADVERSARIES.get(name).make().run(budget)
+        committed = (GOLDEN_DIR / filename).read_text()
+        assert run.transcript.to_json() == committed, (
+            f"transcript drift for {name}; if intentional, regenerate "
+            f"tests/adversary/golden/{filename}"
+        )
+
+    def test_committed_transcript_replays_on_both_oracles(self, case):
+        name, budget, filename = case
+        run = ADVERSARIES.get(name).make().run(budget)
+        committed = Transcript.from_json((GOLDEN_DIR / filename).read_text())
+        assert transcripts_equal(committed, run.transcript)
+        assert committed.replay(StaticOracle(run.instance)) == []
+        assert committed.replay(CompiledOracle(run.instance)) == []
+
+    def test_golden_metadata_names_the_victim(self, case):
+        name, budget, filename = case
+        committed = Transcript.from_json((GOLDEN_DIR / filename).read_text())
+        assert committed.adversary == name
+        assert committed.meta.get("algorithm") == ADVERSARIES.get(name).victim

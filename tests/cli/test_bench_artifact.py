@@ -48,6 +48,27 @@ POINT_KEYS = {
     "elapsed",
     "execs_per_sec",
 }
+LOWER_BOUND_KEYS = {
+    "adversary",
+    "problem",
+    "algorithm",
+    "bound",
+    "expected_fit",
+    "points",
+    "queries_fit",
+    "bits_fit",
+    "ok",
+    "wall_time",
+}
+LOWER_BOUND_POINT_KEYS = {
+    "budget",
+    "n",
+    "queries",
+    "bits",
+    "defeated",
+    "upheld",
+    "elapsed",
+}
 
 
 @pytest.fixture(autouse=True)
@@ -88,7 +109,7 @@ class TestArtifact:
         artifact = json.loads(out.read_text())
         assert artifact["schema"] == SCHEMA_NAME
         assert artifact["schema_version"] == SCHEMA_VERSION
-        assert artifact["schema_version"] == 2
+        assert artifact["schema_version"] == 3
         assert artifact["mode"] == "quick"
         assert artifact["backend"] == "serial"
         assert artifact["oracle"] == "compiled"
@@ -118,9 +139,24 @@ class TestArtifact:
                 assert set(point) == POINT_KEYS
                 assert point["valid"] is True
                 assert point["executions"] == point["n"]
+        # --only leaf-coloring also selects the Prop 3.13 adversary, so
+        # the schema-v3 lower_bounds section must be present and gated.
+        lower_bounds = artifact["lower_bounds"]
+        assert [r["adversary"] for r in lower_bounds] == [
+            "prop313/leaf-coloring"
+        ]
+        for record in lower_bounds:
+            assert set(record) == LOWER_BOUND_KEYS
+            assert record["ok"] is True
+            assert record["queries_fit"] in record["expected_fit"]
+            for point in record["points"]:
+                assert set(point) == LOWER_BOUND_POINT_KEYS
+                assert point["upheld"] is True
         summary = artifact["summary"]
         assert summary["cells"] == len(artifact["cells"])
         assert summary["failed"] == 0
+        assert summary["lower_bounds"] == len(lower_bounds)
+        assert summary["lower_bounds_failed"] == 0
         assert summary["executions"] == sum(
             c["executions"] for c in artifact["cells"]
         )
@@ -128,6 +164,26 @@ class TestArtifact:
             sum(c["wall_time"] for c in artifact["cells"])
         )
         assert summary["execs_per_sec"] is None or summary["execs_per_sec"] > 0
+
+    def test_adversary_only_bench(self, tmp_path, capsys):
+        """--only can select just a lower-bound game (no matrix cells)."""
+        out = tmp_path / "bench.json"
+        assert main([
+            "bench",
+            "--quick",
+            "--only",
+            "prop49",
+            "--out",
+            str(out),
+        ]) == 0
+        artifact = json.loads(out.read_text())
+        assert artifact["cells"] == []
+        assert [r["adversary"] for r in artifact["lower_bounds"]] == [
+            "prop49/balanced-tree"
+        ]
+        record = artifact["lower_bounds"][0]
+        assert record["bits_fit"] == "n"
+        assert all(p["bits"] is not None for p in record["points"])
 
     def test_reference_backend_recorded_in_artifact(self, tmp_path, capsys):
         out = tmp_path / "bench.json"

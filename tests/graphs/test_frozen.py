@@ -138,6 +138,33 @@ class TestFrozenSemantics:
         thawed.add_node(999)  # mutable again
         assert 999 in thawed
 
+    def test_meta_survives_freeze_thaw_roundtrip(self):
+        """Regression: thaw() used to drop graph metadata, so compiled
+        disjointness embeddings lost their coordinate map."""
+        g = path_graph(3)
+        g.meta["coordinate_of"] = {1: 0, 2: 1}
+        g.meta["root"] = 1
+        frozen = g.freeze()
+        assert frozen.meta == g.meta
+        thawed = frozen.thaw()
+        assert thawed.meta == g.meta
+        assert thawed.freeze().meta == g.meta
+        # independent copies: mutating one side must not leak
+        thawed.meta["root"] = 99
+        assert frozen.meta["root"] == 1
+        assert g.meta["root"] == 1
+        assert g.copy().meta == g.meta
+
+    def test_disjointness_embedding_meta_survives_compilation(self):
+        from repro.graphs.generators import disjointness_embedding
+
+        inst = disjointness_embedding([1, 0], [0, 1])
+        coordinate_of = inst.graph.meta["coordinate_of"]
+        assert coordinate_of == inst.meta["coordinate_of"]
+        round_tripped = inst.graph.freeze().thaw().freeze()
+        assert round_tripped.meta["coordinate_of"] == coordinate_of
+        assert round_tripped.meta["root"] == inst.meta["root"]
+
     def test_csr_arrays_are_consistent(self):
         g = cycle_graph(6)
         f = g.freeze()
