@@ -1,0 +1,58 @@
+"""E6 — streaming Monte Carlo: adaptive early stopping vs fixed counts.
+
+Two views of the :mod:`repro.montecarlo` engine:
+
+* the ``mc/success-rates`` suite (identical to ``repro sweep
+  mc/success-rates``): randomized-solver success probabilities with
+  streaming confidence intervals over the quick grids;
+* a fixed-vs-adaptive comparison over every *randomized* registry cell
+  (the same records `repro bench` embeds in the artifact's
+  ``monte_carlo`` section): both runs share the trial stream, the
+  adaptive one stops once its Wilson interval is inside tolerance, and
+  the table reports the trial saving per cell.
+
+Run directly (``python benchmarks/bench_montecarlo.py``) or under
+pytest-benchmark timing.  ``REPRO_BENCH_BACKEND`` selects the backend.
+"""
+
+from _common import BACKEND, banner, once, run_suite
+
+
+def mc_comparison_table() -> None:
+    from repro.cli.bench import run_mc_cell
+    from repro.registry import iter_compatible
+
+    banner("Monte Carlo — fixed (32 trials) vs adaptive early stopping")
+    print(f"{'cell':44} {'trials':>8} {'rate':>6} {'stop':>10} {'ok':>4}")
+    total_fixed = total_adaptive = 0
+    for cell in iter_compatible():
+        if not cell.algorithm.randomized:
+            continue
+        record = run_mc_cell(cell, "quick", BACKEND)
+        total_fixed += record["fixed"]["trials"]
+        total_adaptive += record["adaptive"]["trials"]
+        print(
+            f"{record['algorithm'] + ' @ ' + record['family']:44} "
+            f"{record['fixed']['trials']:>3}->{record['adaptive']['trials']:<3} "
+            f"{record['adaptive']['rate']:>6.3f} "
+            f"{record['adaptive']['stopped']:>10} "
+            f"{'ok' if record['ok'] else 'FAIL':>4}"
+        )
+    saved = total_fixed - total_adaptive
+    print(
+        f"\ntotal trials: {total_fixed} fixed -> {total_adaptive} adaptive "
+        f"({saved} saved, {saved / total_fixed:.0%})"
+    )
+
+
+def test_mc_success_rates(benchmark):
+    once(benchmark, lambda: run_suite("mc/success-rates"))
+
+
+def test_mc_comparison(benchmark):
+    once(benchmark, mc_comparison_table)
+
+
+if __name__ == "__main__":
+    run_suite("mc/success-rates")
+    mc_comparison_table()

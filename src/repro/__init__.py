@@ -15,7 +15,14 @@ from repro.exec.backends import (
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
+    TrialOutcome,
     get_backend,
+)
+from repro.montecarlo import (
+    MonteCarloResult,
+    TrialPolicy,
+    estimate_success_probability,
+    run_trials,
 )
 from repro.exec.sweep import (
     InstanceFamily,
@@ -56,7 +63,7 @@ from repro.registry import (
     register_problem,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ADVERSARIES",
@@ -75,6 +82,7 @@ __all__ = [
     "InteractiveOracle",
     "Labeling",
     "LeafColoring",
+    "MonteCarloResult",
     "NodeLabel",
     "PortGraph",
     "ProbeAlgorithm",
@@ -89,6 +97,9 @@ __all__ = [
     "SweepCache",
     "SweepResult",
     "SweepSpec",
+    "TrialOutcome",
+    "TrialPolicy",
+    "estimate_success_probability",
     "get_backend",
     "iter_compatible",
     "load_components",
@@ -99,6 +110,7 @@ __all__ = [
     "run_algorithm",
     "run_sweep",
     "run_sweeps",
+    "run_trials",
     "solve_and_check",
     "success_probability",
 ]

@@ -9,6 +9,9 @@ One addressable surface over the component registry:
   API makes, so verdicts are reproducible from the command line);
 * ``repro sweep`` — execute named suites, an ad-hoc family x algorithm
   sweep, or a JSON spec file through the sweep orchestrator;
+* ``repro mc`` — streaming Monte-Carlo success estimation on one
+  registry cell, with confidence intervals and early stopping (see
+  :mod:`repro.cli.mc`);
 * ``repro bench`` — run the registry-enumerated smoke matrix and write
   the machine-readable ``BENCH_repro.json`` artifact (see
   :mod:`repro.cli.bench`).
@@ -61,6 +64,54 @@ def parse_param(text: str):
         return ast.literal_eval(text)
     except (ValueError, SyntaxError):
         return text
+
+
+def resolve_cell(
+    algorithm_name: str,
+    family_name: Optional[str] = None,
+    problem_name: Optional[str] = None,
+):
+    """Algorithm name (+ optional family/problem) -> registry entries.
+
+    The shared resolution behind ``repro run`` and ``repro mc``: the
+    algorithm determines the problem, the family defaults to the first
+    compatible one, and every declared capability (family problems,
+    per-algorithm family restrictions, an asserted problem name) is
+    checked — raising :class:`~repro.registry.RegistryError` with the
+    CLI's usage-error messages.
+    """
+    algorithm = ALGORITHMS.get(algorithm_name)
+    problem = PROBLEMS.get(algorithm.problem)
+    if problem_name is not None and problem_name != problem.name:
+        raise RegistryError(
+            f"algorithm {algorithm.name!r} solves {problem.name!r}, "
+            f"not {problem_name!r}"
+        )
+    if family_name is not None:
+        family = FAMILIES.get(family_name)
+        if problem.name not in family.problems:
+            raise RegistryError(
+                f"family {family.name!r} does not generate "
+                f"{problem.name!r} instances "
+                f"(it generates: {', '.join(family.problems)})"
+            )
+        if (
+            algorithm.families is not None
+            and family.name not in algorithm.families
+        ):
+            raise RegistryError(
+                f"algorithm {algorithm.name!r} is restricted to families "
+                f"{', '.join(algorithm.families)}"
+            )
+    else:
+        compatible = list(iter_compatible(algorithms=[algorithm.name]))
+        if not compatible:
+            raise RegistryError(
+                f"no registered family generates instances of "
+                f"{problem.name!r}"
+            )
+        family = compatible[0].family
+    return problem, algorithm, family
 
 
 # ----------------------------------------------------------------------
@@ -187,30 +238,11 @@ def cmd_run(args: argparse.Namespace) -> int:
 
     load_components()
     try:
-        algorithm = ALGORITHMS.get(args.algorithm)
-        problem = PROBLEMS.get(algorithm.problem)
-        if args.problem is not None and args.problem != problem.name:
-            return _fail(
-                f"algorithm {algorithm.name!r} solves {problem.name!r}, "
-                f"not {args.problem!r}"
-            )
-        if args.family is not None:
-            family = FAMILIES.get(args.family)
-        else:
-            compatible = list(iter_compatible(algorithms=[algorithm.name]))
-            if not compatible:
-                return _fail(
-                    f"no registered family generates instances of "
-                    f"{problem.name!r}"
-                )
-            family = compatible[0].family
+        problem, algorithm, family = resolve_cell(
+            args.algorithm, args.family, args.problem
+        )
     except RegistryError as exc:
         return _fail(str(exc))
-    if problem.name not in family.problems:
-        return _fail(
-            f"family {family.name!r} does not generate {problem.name!r} "
-            f"instances (it generates: {', '.join(family.problems)})"
-        )
     param = (
         parse_param(args.param) if args.param is not None else family.quick[-1]
     )
@@ -391,6 +423,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 def build_parser() -> argparse.ArgumentParser:
     from repro.cli.adversary import add_adversary_arguments
     from repro.cli.bench import add_bench_arguments
+    from repro.cli.mc import add_mc_arguments
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -461,6 +494,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--json", action="store_true")
     p_sweep.set_defaults(func=cmd_sweep)
 
+    add_mc_arguments(sub)
     add_adversary_arguments(sub)
     add_bench_arguments(sub)
     return parser

@@ -55,10 +55,23 @@ and a record is "ok" only when every point upheld the lower-bound
 dichotomy *and* the fitted class is one the registration expects
 (Ω(n) for all three paper adversaries).
 
+Schema v4 (PR 5) added the ``monte_carlo`` section: every matrix cell
+is estimated twice by the streaming trial engine at its smallest grid
+point — once fixed-count (``early_stop=off``, the legacy semantics)
+and once adaptive — and a record is "ok" only when the two reach the
+same success verdict, the adaptive run's verdict sequence is a prefix
+of the fixed run's (the engine's determinism contract), and it spent
+no more trials.  ``summary.monte_carlo`` totals the fixed vs adaptive
+trial counts, so the committed artifact documents the saving.  A
+formal JSON-schema for the artifact ships at
+``repro/cli/schemas/bench-v4.schema.json``; :func:`upgrade_artifact`
+reads older artifacts forward (v3 → v4 adds an empty ``monte_carlo``
+section).
+
 CI's ``bench-smoke`` job runs ``repro bench --quick`` on the serial and
 ``process:2`` backends, uploads the artifact, and fails on any invalid
-cell (non-zero exit); the ``adversary-smoke`` job gates the
-``lower_bounds`` section the same way.
+cell (non-zero exit); the ``adversary-smoke`` and ``mc-smoke`` jobs
+gate the ``lower_bounds`` and ``monte_carlo`` sections the same way.
 """
 
 from __future__ import annotations
@@ -69,6 +82,7 @@ import platform
 import statistics
 import subprocess
 import time
+from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.registry import (
@@ -79,7 +93,21 @@ from repro.registry import (
 )
 
 SCHEMA_NAME = "repro-bench"
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
+SCHEMA_DOCUMENT = Path(__file__).parent / "schemas" / "bench-v4.schema.json"
+
+# The Monte-Carlo section's policies: the adaptive run is the shared
+# QUICK_POLICY preset (the same one `repro mc --quick` uses, by
+# construction — see repro.montecarlo.engine), the fixed run is the
+# legacy semantics at the preset's trial budget.  A cell's success
+# verdict is "rate >= MC_VERDICT_THRESHOLD".
+MC_VERDICT_THRESHOLD = 0.9
+
+
+def _mc_policies():
+    from repro.montecarlo.engine import QUICK_POLICY, TrialPolicy
+
+    return TrialPolicy.fixed(QUICK_POLICY.max_trials), QUICK_POLICY
 
 
 def git_sha() -> str:
@@ -205,6 +233,175 @@ def run_lower_bounds(
     return sweep_records(_select_adversaries(only), grid, progress=progress)
 
 
+def _replay_backend(outcomes):
+    """A backend serving recorded :class:`TrialOutcome`\\ s, not executing.
+
+    A trial's outcome is a pure function of ``(base_seed, trial)`` (see
+    DESIGN.md §8.2), so driving the adaptive policy's batching/stopping
+    logic over the fixed run's recorded outcomes yields the *identical*
+    adaptive record at zero extra solve-and-check cost — the real
+    dispatch path is pinned separately by the conformance suite under
+    ``tests/montecarlo``.
+    """
+    from repro.exec.backends import ExecutionBackend
+
+    class _ReplayBackend(ExecutionBackend):
+        name = "replay"
+
+        def __init__(self, recorded) -> None:
+            self._by_trial = {o.trial: o for o in recorded}
+
+        def run(self, *args, **kwargs):  # pragma: no cover - not used
+            raise NotImplementedError("replay backend only serves trials")
+
+        def run_trial_batch(
+            self, problem, factory, algorithm, trial_indices, **kwargs
+        ):
+            return [self._by_trial[t] for t in trial_indices]
+
+    return _ReplayBackend(outcomes)
+
+
+def run_mc_cell(
+    cell: MatrixCell,
+    grid: str,
+    backend,
+    seed: Optional[int] = None,
+) -> Dict[str, object]:
+    """Fixed-count vs adaptive Monte-Carlo estimation of one cell.
+
+    Both estimates stream trials over the cell's *smallest* grid-point
+    instance under the same base seed.  For *randomized* cells the
+    adaptive run executes live, so ``prefix_consistent`` genuinely
+    gates the engine's only-truncates determinism contract on the real
+    dispatch path.  A deterministic algorithm never reads a tape, so
+    its 32 fixed trials are identical by construction; re-executing a
+    prefix of them would verify nothing — those cells derive the
+    adaptive record by replaying the fixed run's recorded outcomes
+    (``adaptive_mode: "replayed"``) and save the redundant work.
+    """
+    from repro.montecarlo.engine import run_trials
+
+    fixed_policy, adaptive_policy = _mc_policies()
+    param = cell.family.params(grid)[0]
+    instance = cell.family.instance(param)
+    problem = cell.problem.make()
+    base_seed = cell.algorithm.seed if seed is None else seed
+    fixed = run_trials(
+        problem,
+        instance,
+        cell.algorithm.make(),
+        fixed_policy,
+        base_seed=base_seed,
+        backend=backend,
+    )
+    live = cell.algorithm.randomized
+    adaptive = run_trials(
+        problem,
+        instance,
+        cell.algorithm.make(),
+        adaptive_policy,
+        base_seed=base_seed,
+        backend=backend if live else _replay_backend(fixed.outcomes),
+    )
+    verdict_fixed = fixed.rate >= MC_VERDICT_THRESHOLD
+    verdict_adaptive = adaptive.rate >= MC_VERDICT_THRESHOLD
+    prefix_consistent = (
+        adaptive.verdicts == fixed.verdicts[: adaptive.trials]
+    )
+    return {
+        "problem": cell.problem.name,
+        "algorithm": cell.algorithm.name,
+        "family": cell.family.name,
+        "param": repr(param),
+        "n": instance.graph.num_nodes,
+        "seed": base_seed,
+        "randomized": cell.algorithm.randomized,
+        "threshold": MC_VERDICT_THRESHOLD,
+        "adaptive_mode": "live" if live else "replayed",
+        "policy": adaptive_policy.describe(),
+        "fixed": fixed.to_payload(),
+        "adaptive": adaptive.to_payload(),
+        "verdict_fixed": verdict_fixed,
+        "verdict_adaptive": verdict_adaptive,
+        "verdicts_agree": verdict_adaptive == verdict_fixed,
+        "prefix_consistent": prefix_consistent,
+        "trials_saved": fixed.trials - adaptive.trials,
+        "ok": (
+            verdict_adaptive == verdict_fixed
+            and prefix_consistent
+            and adaptive.trials <= fixed.trials
+        ),
+        "wall_time": fixed.elapsed + adaptive.elapsed,
+    }
+
+
+def run_monte_carlo(
+    cells: List[MatrixCell],
+    grid: str,
+    backend,
+    seed: Optional[int] = None,
+    progress=None,
+) -> List[Dict[str, object]]:
+    """The artifact's ``monte_carlo`` section: one record per cell."""
+    records = []
+    for cell in cells:
+        record = run_mc_cell(cell, grid, backend, seed=seed)
+        records.append(record)
+        if progress is not None:
+            progress(
+                f"  mc {record['algorithm']} @ {record['family']}: "
+                f"{record['fixed']['trials']} -> "
+                f"{record['adaptive']['trials']} trials, "
+                f"rate={record['adaptive']['rate']:.3f} "
+                f"({'ok' if record['ok'] else 'FAIL'})"
+            )
+    return records
+
+
+def upgrade_artifact(payload: Dict[str, object]) -> Dict[str, object]:
+    """Read an older bench artifact forward to the current schema.
+
+    The only supported upgrade today is v3 → v4 (the ``monte_carlo``
+    section and its summary counters did not exist before this PR; an
+    empty section with zero totals is the faithful translation).  The
+    payload is upgraded in place and returned; current-version payloads
+    pass through untouched, anything newer than this reader is refused.
+    """
+    if payload.get("schema") != SCHEMA_NAME:
+        raise ValueError(
+            f"not a {SCHEMA_NAME} artifact: schema={payload.get('schema')!r}"
+        )
+    version = payload.get("schema_version")
+    if not isinstance(version, int) or version < 3:
+        raise ValueError(
+            f"cannot upgrade schema_version={version!r} (v3+ supported)"
+        )
+    if version > SCHEMA_VERSION:
+        raise ValueError(
+            f"artifact schema_version={version} is newer than this "
+            f"reader (v{SCHEMA_VERSION})"
+        )
+    if version < 4:
+        payload["monte_carlo"] = []
+        summary = payload.setdefault("summary", {})
+        summary["monte_carlo"] = {
+            "cells": 0,
+            "failed": 0,
+            "fixed_trials": 0,
+            "adaptive_trials": 0,
+            "trials_saved": 0,
+        }
+        payload["schema_version"] = 4
+    return payload
+
+
+def load_artifact(path) -> Dict[str, object]:
+    """Load a ``BENCH_repro.json`` and upgrade it to the current schema."""
+    with open(path) as handle:
+        return upgrade_artifact(json.load(handle))
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.cli import _fail, format_table
     from repro.exec.backends import get_backend
@@ -226,6 +423,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
             run_cell(cell, grid, backend, seed=args.seed, progress=progress)
             for cell in cells
         ]
+        monte_carlo = (
+            []
+            if args.no_mc
+            else run_monte_carlo(
+                cells, grid, backend, seed=args.seed, progress=progress
+            )
+        )
     finally:
         # Release pool resources promptly (a leaked ProcessPoolExecutor
         # races interpreter teardown and spews atexit tracebacks).
@@ -234,6 +438,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     elapsed = time.perf_counter() - started
     failed = [r for r in records if not r["ok"]]
     lb_failed = [r for r in lower_bounds if not r["ok"]]
+    mc_failed = [r for r in monte_carlo if not r["ok"]]
     executions = sum(r["executions"] for r in records)
     wall_time = sum(r["wall_time"] for r in records)
     artifact = {
@@ -247,6 +452,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "python": platform.python_version(),
         "cells": records,
         "lower_bounds": lower_bounds,
+        "monte_carlo": monte_carlo,
         "summary": {
             "cells": len(records),
             "points": sum(len(r["points"]) for r in records),
@@ -257,6 +463,17 @@ def cmd_bench(args: argparse.Namespace) -> int:
             "elapsed": elapsed,
             "lower_bounds": len(lower_bounds),
             "lower_bounds_failed": len(lb_failed),
+            "monte_carlo": {
+                "cells": len(monte_carlo),
+                "failed": len(mc_failed),
+                "fixed_trials": sum(
+                    r["fixed"]["trials"] for r in monte_carlo
+                ),
+                "adaptive_trials": sum(
+                    r["adaptive"]["trials"] for r in monte_carlo
+                ),
+                "trials_saved": sum(r["trials_saved"] for r in monte_carlo),
+            },
         },
     }
     with open(args.out, "w") as handle:
@@ -276,6 +493,22 @@ def cmd_bench(args: argparse.Namespace) -> int:
             ] for r in records],
         ))
         print()
+    if monte_carlo:
+        print(format_table(
+            ["monte carlo", "n", "trials", "rate", "ci", "stop", "ok"],
+            [[
+                f"{r['algorithm']} @ {r['family']}",
+                r["n"],
+                f"{r['fixed']['trials']}->{r['adaptive']['trials']}",
+                f"{r['adaptive']['rate']:.3f}",
+                "[{:.2f}, {:.2f}]".format(
+                    r["adaptive"]["ci_low"], r["adaptive"]["ci_high"]
+                ),
+                r["adaptive"]["stopped"],
+                "ok" if r["ok"] else "FAIL",
+            ] for r in monte_carlo],
+        ))
+        print()
     if lower_bounds:
         print(format_table(
             ["lower bound", "n", "queries fit", "expected", "ok", "s"],
@@ -289,10 +522,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
             ] for r in lower_bounds],
         ))
         print()
+    mc_summary = artifact["summary"]["monte_carlo"]
     print(
         f"{len(records)} cells, {artifact['summary']['points']} points, "
         f"{len(failed)} failed, {len(lower_bounds)} lower bounds, "
-        f"{len(lb_failed)} lb-failed, {elapsed:.1f}s, "
+        f"{len(lb_failed)} lb-failed, {len(monte_carlo)} mc cells "
+        f"({mc_summary['fixed_trials']} -> "
+        f"{mc_summary['adaptive_trials']} trials, "
+        f"{len(mc_failed)} mc-failed), {elapsed:.1f}s, "
         f"{executions} executions "
         f"(mode={grid}, backend={artifact['backend']}, "
         f"oracle={artifact['oracle']}) -> {args.out}"
@@ -309,7 +546,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
             f"(fitted {record['queries_fit']!r}, expected "
             f"{'/'.join(record['expected_fit'])})"
         )
-    return 1 if failed or lb_failed else 0
+    for record in mc_failed:
+        print(
+            f"MC FAILED: {record['algorithm']} @ {record['family']} "
+            f"(fixed rate {record['fixed']['rate']:.3f}, adaptive rate "
+            f"{record['adaptive']['rate']:.3f}, prefix_consistent="
+            f"{record['prefix_consistent']})"
+        )
+    return 1 if failed or lb_failed or mc_failed else 0
 
 
 def add_bench_arguments(sub) -> None:
@@ -337,6 +581,10 @@ def add_bench_arguments(sub) -> None:
     p_bench.add_argument(
         "--seed", type=int, default=None,
         help="override every cell's registered default seed",
+    )
+    p_bench.add_argument(
+        "--no-mc", action="store_true",
+        help="skip the Monte-Carlo section (schema v4 keeps an empty list)",
     )
     p_bench.add_argument("--out", default="BENCH_repro.json")
     p_bench.add_argument(

@@ -43,6 +43,7 @@ import abc
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.model.oracle import StaticOracle, compile_oracle
@@ -54,6 +55,29 @@ from repro.model.runner import RunResult
 def _make_oracle(instance, compiled: bool):
     """One instance's oracle: compiled fast path or reference semantics."""
     return compile_oracle(instance) if compiled else StaticOracle(instance)
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """One solve-and-check trial of a success-probability experiment.
+
+    Trial ``i`` always runs under seed ``base_seed + i`` — every node's
+    tape is derived from the string ``repro-tape:{base_seed + i}:{node}``,
+    so the outcome is a pure function of ``(base_seed, trial, node)`` and
+    any backend (or any resumed run) reproduces it bit for bit.  The
+    per-trial cost maxima and the total random-bit consumption ride along
+    so streaming consumers (the Monte-Carlo engine) can keep quantile
+    sketches and conformance tests can compare tape draws, not just
+    verdicts.
+    """
+
+    trial: int
+    seed: int
+    valid: bool
+    max_volume: int
+    max_distance: int
+    max_queries: int
+    random_bits: int
 
 
 def _execute_nodes(
@@ -105,23 +129,20 @@ def _run_chunk(payload: bytes) -> List[Tuple[int, object, CostProfile]]:
     )
 
 
-def _run_trials(payload: bytes) -> List[bool]:
-    """Worker entry point: a chunk of independent success trials."""
+def _trial_outcomes(
+    backend: "ExecutionBackend",
+    problem,
+    instance_factory,
+    algorithm: ProbeAlgorithm,
+    trial_indices: Sequence[int],
+    base_seed: int,
+    max_volume: Optional[int],
+    max_queries: Optional[int],
+) -> List[TrialOutcome]:
+    """The shared trial loop: solve-and-check each trial on ``backend``."""
     from repro.model.runner import solve_and_check
 
-    (
-        problem,
-        instance_factory,
-        algorithm,
-        trial_indices,
-        base_seed,
-        max_volume,
-        max_queries,
-        compiled,
-    ) = pickle.loads(payload)
-    # Amortize oracle compilation if the factory repeats an instance.
-    backend = BatchBackend(compiled=compiled)
-    verdicts: List[bool] = []
+    outcomes: List[TrialOutcome] = []
     for trial in trial_indices:
         instance = instance_factory(trial)
         report = solve_and_check(
@@ -133,8 +154,45 @@ def _run_trials(payload: bytes) -> List[bool]:
             max_queries=max_queries,
             backend=backend,
         )
-        verdicts.append(bool(report.valid))
-    return verdicts
+        run = report.run
+        outcomes.append(
+            TrialOutcome(
+                trial=trial,
+                seed=base_seed + trial,
+                valid=bool(report.valid),
+                max_volume=run.max_volume,
+                max_distance=run.max_distance,
+                max_queries=run.max_queries,
+                random_bits=run.total_random_bits,
+            )
+        )
+    return outcomes
+
+
+def _run_trials(payload: bytes) -> List[TrialOutcome]:
+    """Worker entry point: a chunk of independent success trials."""
+    (
+        problem,
+        instance_factory,
+        algorithm,
+        trial_indices,
+        base_seed,
+        max_volume,
+        max_queries,
+        compiled,
+    ) = pickle.loads(payload)
+    # Amortize oracle compilation if the factory repeats an instance.
+    with BatchBackend(compiled=compiled) as backend:
+        return _trial_outcomes(
+            backend,
+            problem,
+            instance_factory,
+            algorithm,
+            trial_indices,
+            base_seed,
+            max_volume,
+            max_queries,
+        )
 
 
 class ExecutionBackend(abc.ABC):
@@ -165,6 +223,36 @@ class ExecutionBackend(abc.ABC):
     ) -> RunResult:
         """Execute ``algorithm`` from every node (or the given subset)."""
 
+    def run_trial_batch(
+        self,
+        problem,
+        instance_factory,
+        algorithm: ProbeAlgorithm,
+        trial_indices: Sequence[int],
+        *,
+        base_seed: int = 0,
+        max_volume: Optional[int] = None,
+        max_queries: Optional[int] = None,
+    ) -> List[TrialOutcome]:
+        """Solve-and-check the given trials; one :class:`TrialOutcome` each.
+
+        Trial ``i`` runs under seed ``base_seed + i`` regardless of which
+        backend dispatches it or how the indices are batched, so the
+        outcome list for a set of indices is backend-independent.  This is
+        the primitive both :meth:`success_probability` (one fixed batch)
+        and the streaming Monte-Carlo engine (adaptive batches) build on.
+        """
+        return _trial_outcomes(
+            self,
+            problem,
+            instance_factory,
+            algorithm,
+            list(trial_indices),
+            base_seed,
+            max_volume,
+            max_queries,
+        )
+
     def success_probability(
         self,
         problem,
@@ -178,21 +266,22 @@ class ExecutionBackend(abc.ABC):
     ) -> float:
         """Fraction of independent trials the algorithm solved Π on.
 
-        The default dispatches trials serially through :meth:`run` (so an
-        oracle-caching backend amortizes repeated instances for free).
+        One fixed-count batch through :meth:`run_trial_batch`, so every
+        backend's trial dispatch (oracle caching, process fan-out) is
+        shared with the Monte-Carlo engine and the two can never diverge.
         """
         if trials <= 0:
             raise ValueError("success_probability needs at least one trial")
-        return _serial_trials(
-            self,
+        outcomes = self.run_trial_batch(
             problem,
             instance_factory,
             algorithm,
-            trials,
-            base_seed,
-            max_volume,
-            max_queries,
+            range(trials),
+            base_seed=base_seed,
+            max_volume=max_volume,
+            max_queries=max_queries,
         )
+        return sum(o.valid for o in outcomes) / trials
 
     # Backends that hold external resources (pools) override these.
     def close(self) -> None:
@@ -218,36 +307,6 @@ class ExecutionBackend(abc.ABC):
             result.outputs[node] = output
             result.profiles[node] = profile
         return result
-
-
-def _serial_trials(
-    backend: "ExecutionBackend",
-    problem,
-    instance_factory,
-    algorithm: ProbeAlgorithm,
-    trials: int,
-    base_seed: int,
-    max_volume: Optional[int],
-    max_queries: Optional[int],
-) -> float:
-    """The shared trial loop: solve-and-check each trial on ``backend``."""
-    from repro.model.runner import solve_and_check
-
-    successes = 0
-    for trial in range(trials):
-        instance = instance_factory(trial)
-        report = solve_and_check(
-            problem,
-            instance,
-            algorithm,
-            seed=base_seed + trial,
-            max_volume=max_volume,
-            max_queries=max_queries,
-            backend=backend,
-        )
-        if report.valid:
-            successes += 1
-    return successes / trials
 
 
 class SerialBackend(ExecutionBackend):
@@ -293,32 +352,30 @@ class SerialBackend(ExecutionBackend):
         )
         return self._assemble(instance, algorithm, triples)
 
-    def success_probability(
+    def run_trial_batch(
         self,
         problem,
         instance_factory,
         algorithm: ProbeAlgorithm,
-        trials: int,
+        trial_indices: Sequence[int],
         *,
         base_seed: int = 0,
         max_volume: Optional[int] = None,
         max_queries: Optional[int] = None,
-    ) -> float:
-        """Trial loop with the oracle compiled once per trial batch.
+    ) -> List[TrialOutcome]:
+        """Trial batch with the oracle compiled once per batch.
 
         A fixed-instance factory (the Proposition 3.12 shape) would
         otherwise recompile the same instance every trial; routing the
         batch through a transient :class:`BatchBackend` compiles it once.
         """
-        if trials <= 0:
-            raise ValueError("success_probability needs at least one trial")
         with BatchBackend(compiled=self.compiled) as batch:
-            return _serial_trials(
+            return _trial_outcomes(
                 batch,
                 problem,
                 instance_factory,
                 algorithm,
-                trials,
+                list(trial_indices),
                 base_seed,
                 max_volume,
                 max_queries,
@@ -350,10 +407,10 @@ class BatchBackend(SerialBackend):
         # for as long as the entry is cached.
         self._oracles: "dict[int, object]" = {}
 
-    def success_probability(self, *args, **kwargs) -> float:
+    def run_trial_batch(self, *args, **kwargs) -> List[TrialOutcome]:
         # This backend already amortizes repeated instances itself; the
         # SerialBackend override would wrap it in yet another batch.
-        return ExecutionBackend.success_probability(self, *args, **kwargs)
+        return ExecutionBackend.run_trial_batch(self, *args, **kwargs)
 
     def _oracle_for(self, instance):
         key = id(instance)
@@ -446,30 +503,41 @@ class ProcessPoolBackend(ExecutionBackend):
             triples.extend(future.result())
         return self._assemble(instance, algorithm, triples)
 
-    def success_probability(
+    def run_trial_batch(
         self,
         problem,
         instance_factory,
         algorithm: ProbeAlgorithm,
-        trials: int,
+        trial_indices: Sequence[int],
         *,
         base_seed: int = 0,
         max_volume: Optional[int] = None,
         max_queries: Optional[int] = None,
-    ) -> float:
-        if trials <= 0:
-            raise ValueError("success_probability needs at least one trial")
-        chunks = self._chunk(list(range(trials)))
+    ) -> List[TrialOutcome]:
+        """Fan the trials out over the pool; merged in index order.
+
+        Each worker amortizes repeated instances through its own
+        :class:`BatchBackend`; trial seeds depend only on the indices, so
+        the merged outcome list is identical to the serial one.
+        """
+        indices = list(trial_indices)
+        chunks = self._chunk(indices)
+
+        def _local() -> List[TrialOutcome]:
+            with BatchBackend(compiled=self.compiled) as batch:
+                return _trial_outcomes(
+                    batch,
+                    problem,
+                    instance_factory,
+                    algorithm,
+                    indices,
+                    base_seed,
+                    max_volume,
+                    max_queries,
+                )
+
         if self.workers == 1 or len(chunks) <= 1:
-            return super().success_probability(
-                problem,
-                instance_factory,
-                algorithm,
-                trials,
-                base_seed=base_seed,
-                max_volume=max_volume,
-                max_queries=max_queries,
-            )
+            return _local()
         try:
             payloads = [
                 pickle.dumps(
@@ -489,20 +557,12 @@ class ProcessPoolBackend(ExecutionBackend):
         except Exception:
             # Unpicklable factory/problem (lambdas, local classes): the
             # parallel path is an optimization, not a requirement.
-            return super().success_probability(
-                problem,
-                instance_factory,
-                algorithm,
-                trials,
-                base_seed=base_seed,
-                max_volume=max_volume,
-                max_queries=max_queries,
-            )
+            return _local()
         futures = [self._pool().submit(_run_trials, p) for p in payloads]
-        verdicts: List[bool] = []
-        for future in futures:
-            verdicts.extend(future.result())
-        return sum(verdicts) / trials
+        outcomes: List[TrialOutcome] = []
+        for future in futures:  # submission order == trial index order
+            outcomes.extend(future.result())
+        return outcomes
 
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -28,7 +28,7 @@ import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.complexity_fit import (
     FitResult,
@@ -80,6 +80,14 @@ class SweepSpec:
 
     ``nodes`` optionally selects the start nodes per grid point as
     ``nodes(instance, param)``; ``None`` means every node.
+
+    The ``success_rate`` metric runs the streaming Monte-Carlo engine
+    per grid point instead of a single whole-instance run: it needs a
+    ``problem_factory`` (to check validity) and a ``trial_policy``
+    (a :class:`~repro.montecarlo.engine.TrialPolicy` controlling trial
+    budgets and early stopping); each point's cost is the estimated
+    success probability, with trial counts / CI bounds / stopping
+    reason recorded in :attr:`SweepPoint.detail`.
     """
 
     label: str
@@ -94,8 +102,10 @@ class SweepSpec:
     measure: Optional[Callable] = None
     candidates: Optional[Sequence[str]] = None
     cache_extra: str = ""
+    problem_factory: Optional[Callable] = None
+    trial_policy: Optional[object] = None
 
-    _METRICS = ("volume", "distance", "queries")
+    _METRICS = ("volume", "distance", "queries", "success_rate")
 
     def __post_init__(self) -> None:
         if self.measure is None:
@@ -109,6 +119,31 @@ class SweepSpec:
                     f"unknown metric {self.metric!r} "
                     f"(expected one of {self._METRICS})"
                 )
+        if self.measure is not None:
+            if self.trial_policy is not None:
+                raise ValueError(
+                    f"spec {self.label!r}: trial_policy does not apply to "
+                    "a custom measure callable"
+                )
+        elif self.metric == "success_rate":
+            if self.problem_factory is None or self.trial_policy is None:
+                raise ValueError(
+                    f"spec {self.label!r}: the success_rate metric needs "
+                    "a problem_factory and a trial_policy"
+                )
+            if self.nodes is not None:
+                # Validity is checked over the outputs of *every* node
+                # (Definition 2.4); a start-node selector would be
+                # silently ignored by the trial engine.
+                raise ValueError(
+                    f"spec {self.label!r}: the success_rate metric runs "
+                    "from every node; a nodes selector does not apply"
+                )
+        elif self.trial_policy is not None:
+            raise ValueError(
+                f"spec {self.label!r}: trial_policy only applies to the "
+                "success_rate metric"
+            )
 
     # ------------------------------------------------------------------
     def describe(self) -> Dict[str, object]:
@@ -130,6 +165,12 @@ class SweepSpec:
             "max_volume": self.max_volume,
             "max_queries": self.max_queries,
             "cache_extra": self.cache_extra,
+            "problem": _callable_id(self.problem_factory),
+            "trial_policy": (
+                None
+                if self.trial_policy is None
+                else self.trial_policy.describe()
+            ),
         }
 
     def cache_key(self) -> str:
@@ -138,8 +179,40 @@ class SweepSpec:
 
     # ------------------------------------------------------------------
     def measure_point(self, instance, param, backend: ExecutionBackend) -> float:
+        return self.measure_point_detailed(instance, param, backend)[0]
+
+    def measure_point_detailed(
+        self, instance, param, backend: ExecutionBackend
+    ) -> "Tuple[float, Optional[Dict[str, object]]]":
+        """One grid point's cost plus an optional detail record.
+
+        Only the ``success_rate`` metric produces a detail (trial count,
+        CI bounds, stopping reason); the single-run metrics return
+        ``None``.
+        """
         if self.measure is not None:
-            return float(self.measure(instance, param))
+            return float(self.measure(instance, param)), None
+        if self.metric == "success_rate":
+            from repro.montecarlo.engine import run_trials
+
+            result = run_trials(
+                self.problem_factory(),
+                instance,
+                self.algorithm_factory(),
+                self.trial_policy,
+                base_seed=self.seed,
+                backend=backend,
+                max_volume=self.max_volume,
+                max_queries=self.max_queries,
+            )
+            low, high = result.interval()
+            return float(result.rate), {
+                "trials": result.trials,
+                "successes": result.successes,
+                "ci_low": low,
+                "ci_high": high,
+                "stopped": result.stopped,
+            }
         nodes = None if self.nodes is None else self.nodes(instance, param)
         result = backend.run(
             instance,
@@ -149,7 +222,7 @@ class SweepSpec:
             max_volume=self.max_volume,
             max_queries=self.max_queries,
         )
-        return float(getattr(result, f"max_{self.metric}"))
+        return float(getattr(result, f"max_{self.metric}")), None
 
 
 def _callable_id(fn: Optional[Callable]) -> Optional[str]:
@@ -181,12 +254,18 @@ def _callable_id(fn: Optional[Callable]) -> Optional[str]:
 
 @dataclass
 class SweepPoint:
-    """One measured grid point."""
+    """One measured grid point.
+
+    ``detail`` carries metric-specific extras (for ``success_rate``:
+    trial count, CI bounds, stopping reason); ``None`` for plain
+    single-run metrics.
+    """
 
     param: object
     n: int
     cost: float
     elapsed: float = 0.0
+    detail: Optional[Dict[str, object]] = None
 
 
 @dataclass
@@ -245,10 +324,16 @@ class SweepCache:
         # The describe() match guarantees the stored points were measured
         # over exactly this parameter grid, so the grid points can be
         # restored from the spec (params may not be JSON-serializable).
+        # A matching describe() implies the current payload format, so a
+        # missing/short details list can only mean a mangled file:
+        # re-measure rather than guess.
+        details = payload.get("details")
+        if details is None or len(details) != len(payload["ns"]):
+            return None
         points = [
-            SweepPoint(param=param, n=n, cost=cost)
-            for param, n, cost in zip(
-                spec.family.params, payload["ns"], payload["costs"]
+            SweepPoint(param=param, n=n, cost=cost, detail=detail)
+            for param, n, cost, detail in zip(
+                spec.family.params, payload["ns"], payload["costs"], details
             )
         ]
         return SweepResult(spec=spec, points=points, from_cache=True)
@@ -259,6 +344,7 @@ class SweepCache:
             "describe": _jsonify(result.spec.describe()),
             "ns": result.ns,
             "costs": result.costs,
+            "details": [p.detail for p in result.points],
         }
         self._path(result.spec).write_text(json.dumps(payload, indent=1))
 
@@ -289,11 +375,13 @@ def run_sweep(
     for index, param in enumerate(spec.family.params, start=1):
         instance = spec.family.instance(param)
         started = time.perf_counter()
-        cost = spec.measure_point(instance, param, backend)
+        cost, detail = spec.measure_point_detailed(instance, param, backend)
         elapsed = time.perf_counter() - started
         n = instance.graph.num_nodes
         result.points.append(
-            SweepPoint(param=param, n=n, cost=cost, elapsed=elapsed)
+            SweepPoint(
+                param=param, n=n, cost=cost, elapsed=elapsed, detail=detail
+            )
         )
         if progress is not None:
             progress(
@@ -312,9 +400,25 @@ def run_sweeps(
     cache: Optional[SweepCache] = None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> List[SweepResult]:
-    """Execute a batch of sweeps on one backend, in order."""
+    """Execute a batch of sweeps on one backend, in order.
+
+    The closing progress line reports cache hits *separately* from
+    executed sweeps — a cached result costs no measurements, so counting
+    it as executed (as the summary used to) overstated the work done and
+    made "N sweeps executed" unusable as a progress signal on warm
+    caches.
+    """
     backend = get_backend(backend)
-    return [run_sweep(s, backend, cache=cache, progress=progress) for s in specs]
+    results = [
+        run_sweep(s, backend, cache=cache, progress=progress) for s in specs
+    ]
+    if progress is not None:
+        cached = sum(1 for r in results if r.from_cache)
+        progress(
+            f"sweeps: {len(results) - cached} executed, {cached} cache "
+            f"hit{'' if cached == 1 else 's'}"
+        )
+    return results
 
 
 def cache_from_env(var: str = "REPRO_SWEEP_CACHE") -> Optional[SweepCache]:

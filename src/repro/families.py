@@ -26,6 +26,9 @@ from repro.graphs.generators import (
     hierarchical_thc_instance,
     hybrid_thc_instance,
     leaf_coloring_instance,
+    perturbed_leaf_coloring_instance,
+    random_regular_instance,
+    random_tree_instance,
     relay_instance,
 )
 from repro.registry import register_family
@@ -144,6 +147,70 @@ def cycle_family(n: int):
 )
 def cycle_small_family(n: int):
     return cycle_instance(n, rng=random.Random(n))
+
+
+# ----------------------------------------------------------------------
+# randomized scenario families (PR 5): the grids stay deterministic —
+# each parameter seeds its own RNG, so every process draws the same
+# instance — but the *shapes* are random rather than hand-built, which
+# widens the matrix beyond the paper's worst-case gadgets.
+# ----------------------------------------------------------------------
+@register_family(
+    "random-tree",
+    problems=("leaf-coloring",),
+    quick=(40, 70, 100),
+    full=(60, 120, 240, 480),
+    n_range=(40, 520),
+    description="Random binary pseudo-trees grown toward a target size.",
+)
+def random_tree_family(target_size: int):
+    return random_tree_instance(target_size, rng=random.Random(target_size))
+
+
+@register_family(
+    "random-tree-cyclic",
+    problems=("leaf-coloring",),
+    quick=(48, 80, 120),
+    full=(64, 160, 360, 480),
+    n_range=(48, 520),
+    description="Random pseudo-trees with the one G_T cycle (Obs 3.7).",
+)
+def random_tree_cyclic_family(target_size: int):
+    return random_tree_instance(
+        target_size,
+        rng=random.Random(target_size),
+        with_cycle=True,
+        cycle_length=max(4, target_size // 10),
+    )
+
+
+@register_family(
+    "leaf-coloring-perturbed",
+    problems=("leaf-coloring",),
+    quick=((3, 0.1), (4, 0.25), (5, 0.25)),
+    full=((4, 0.1), (5, 0.25), (6, 0.5), (7, 0.25), (8, 0.25)),
+    n_range=(15, 511),
+    description="Prop 3.12 gadgets with a controlled leaf defect rate.",
+)
+def leaf_coloring_perturbed_family(shape):
+    depth, defect_rate = shape
+    return perturbed_leaf_coloring_instance(
+        depth,
+        defect_rate,
+        rng=random.Random(int(depth * 100 + defect_rate * 100)),
+    )
+
+
+@register_family(
+    "random-regular",
+    problems=("constant", "degree-parity"),
+    quick=(10, 20, 30),
+    full=(16, 64, 256, 1024),
+    n_range=(10, 1024),
+    description="Sparse random 3-regular port graphs (pairing model).",
+)
+def random_regular_family(n: int):
+    return random_regular_instance(n, degree=3, rng=random.Random(n))
 
 
 @register_family(

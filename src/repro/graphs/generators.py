@@ -640,6 +640,106 @@ def relay_instance(
     )
 
 
+def perturbed_leaf_coloring_instance(
+    depth: int,
+    defect_rate: float,
+    rng: Optional[random.Random] = None,
+) -> Instance:
+    """A Proposition 3.12 gadget with a controlled leaf defect rate.
+
+    Starts from the unanimous-leaf hard instance (internal nodes red,
+    every leaf colored χ0) and recolors ``max(1, defect_rate · #leaves)``
+    randomly chosen leaves to a uniformly random *different* color —
+    ``defect_rate=0`` keeps the pristine gadget.  The result is a general
+    (non-promise) LeafColoring input whose leaf distribution sits a
+    controlled distance from the worst case, so randomized-solver sweeps
+    can chart how success probability and walk volume degrade as the
+    promise breaks down.
+    """
+    if not 0.0 <= defect_rate <= 1.0:
+        raise ValueError("defect_rate must be in [0, 1]")
+    rnd = _rng(rng)
+    inst = hard_leaf_coloring_instance(depth, rng=rnd)
+    leaves = list(inst.meta["leaves"])
+    chi0 = inst.meta["chi0"]
+    defects = 0 if defect_rate == 0.0 else max(
+        1, int(round(defect_rate * len(leaves)))
+    )
+    defective: List[int] = []
+    for leaf in rnd.sample(leaves, min(defects, len(leaves))):
+        inst.labeling[leaf].color = rnd.choice(
+            [c for c in COLORS if c != chi0]
+        )
+        defective.append(leaf)
+    inst.name = f"leaf-coloring-perturbed-d{depth}-r{defect_rate:g}"
+    inst.meta["defect_rate"] = defect_rate
+    inst.meta["defective_leaves"] = defective
+    return inst
+
+
+def random_regular_instance(
+    n: int,
+    degree: int = 3,
+    rng: Optional[random.Random] = None,
+    max_attempts: int = 1000,
+) -> Instance:
+    """A simple random ``degree``-regular port graph on ``n`` nodes.
+
+    Configuration model with rejection: every node gets ``degree`` stubs,
+    the stub list is shuffled and paired sequentially, and the draw is
+    rejected (and redrawn from the same RNG stream) if any pairing forms
+    a self-loop or a parallel edge — so the result is uniform over simple
+    regular multigraph-free pairings and fully determined by the RNG.
+    Ports are assigned in pairing order (1..degree per node).  The labels
+    are empty: these instances feed the class-A specimen problems
+    (``constant``, ``degree-parity``), which read only the topology.
+    """
+    if n < degree + 1:
+        raise ValueError("need n >= degree + 1 for a simple regular graph")
+    if (n * degree) % 2:
+        raise ValueError("n * degree must be even")
+    rnd = _rng(rng)
+    for _ in range(max_attempts):
+        stubs = [v for v in range(1, n + 1) for _ in range(degree)]
+        rnd.shuffle(stubs)
+        pairs = [
+            (stubs[i], stubs[i + 1]) for i in range(0, len(stubs), 2)
+        ]
+        if any(u == v for u, v in pairs):
+            continue
+        seen = set()
+        simple = True
+        for u, v in pairs:
+            key = (u, v) if u < v else (v, u)
+            if key in seen:
+                simple = False
+                break
+            seen.add(key)
+        if not simple:
+            continue
+        graph = PortGraph(max_degree=degree)
+        for node in range(1, n + 1):
+            graph.add_node(node)
+        next_port = {node: 1 for node in range(1, n + 1)}
+        for u, v in pairs:
+            graph.add_edge(u, next_port[u], v, next_port[v])
+            next_port[u] += 1
+            next_port[v] += 1
+        labeling = Labeling()
+        for node in graph.nodes():
+            labeling[node] = NodeLabel()
+        return Instance(
+            graph=graph,
+            labeling=labeling,
+            name=f"random-regular-n{n}-d{degree}",
+            meta={"n": n, "degree": degree},
+        )
+    raise RuntimeError(
+        f"no simple {degree}-regular pairing found on {n} nodes after "
+        f"{max_attempts} attempts"
+    )
+
+
 def cycle_instance(
     n: int,
     rng: Optional[random.Random] = None,

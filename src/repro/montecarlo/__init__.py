@@ -1,0 +1,58 @@
+"""Streaming Monte-Carlo estimation of success probabilities.
+
+The paper's separations are probabilistic — success probabilities and
+VOL/DIST distributions over the nodes' random tapes — and the legacy
+:func:`~repro.model.runner.success_probability` samples them with a fixed
+trial count.  This package replaces that with a *streaming* engine:
+
+* :mod:`repro.montecarlo.stats` — Wilson / Clopper–Pearson confidence
+  intervals and deterministic bounded-memory quantile sketches;
+* :mod:`repro.montecarlo.engine` — :class:`TrialPolicy` (budgets,
+  tolerance, early stopping), :func:`run_trials` (batched dispatch over
+  any execution backend), and :class:`MonteCarloResult` (online
+  statistics plus the full per-trial outcome record).
+
+``early_stop=False`` reproduces the legacy fixed-count path bit for bit;
+``early_stop=True`` stops as soon as the interval is inside tolerance.
+See DESIGN.md §8 for the determinism/resume argument.
+"""
+
+from repro.exec.backends import TrialOutcome
+from repro.montecarlo.engine import (
+    QUICK_POLICY,
+    STOP_BUDGET,
+    STOP_CONVERGED,
+    STOP_FIXED,
+    FixedInstanceFactory,
+    MonteCarloResult,
+    TrialPolicy,
+    estimate_success_probability,
+    run_trials,
+)
+from repro.montecarlo.stats import (
+    METHODS,
+    QuantileSketch,
+    SuccessStats,
+    binomial_interval,
+    clopper_pearson_interval,
+    wilson_interval,
+)
+
+__all__ = [
+    "FixedInstanceFactory",
+    "METHODS",
+    "MonteCarloResult",
+    "QUICK_POLICY",
+    "QuantileSketch",
+    "STOP_BUDGET",
+    "STOP_CONVERGED",
+    "STOP_FIXED",
+    "SuccessStats",
+    "TrialOutcome",
+    "TrialPolicy",
+    "binomial_interval",
+    "clopper_pearson_interval",
+    "estimate_success_probability",
+    "run_trials",
+    "wilson_interval",
+]

@@ -21,7 +21,13 @@ from repro.exec.sweep import (
     SweepSpec,
     run_sweeps,
 )
-from repro.registry import ALGORITHMS, FAMILIES, RegistryError, load_components
+from repro.registry import (
+    ALGORITHMS,
+    FAMILIES,
+    PROBLEMS,
+    RegistryError,
+    load_components,
+)
 
 # Candidate growth classes shared by the Table-1 style sweeps.
 DIST_CANDIDATES = ["log log n", "log n", "n^{1/3}", "n^{1/2}", "n"]
@@ -323,6 +329,56 @@ def fig2_volume_landscape() -> List[SweepSpec]:
                   "distance", _algo("cycle/cole-vishkin"),
                   candidates=LANDSCAPE_CANDIDATES),
     ]
+
+
+# ----------------------------------------------------------------------
+# Monte Carlo — streaming success-probability estimation (PR 5)
+# ----------------------------------------------------------------------
+def _problem(name: str) -> Callable:
+    load_components()
+    return PROBLEMS.get(name).factory
+
+
+@suite(
+    "mc/success-rates",
+    "Monte Carlo — randomized-solver success rates (streaming CIs, "
+    "early stopping)",
+    notes=(
+        "  (per-point trial counts / CI bounds / stopping reasons ride "
+        "in SweepPoint.detail; `repro sweep mc/success-rates --json`)",
+    ),
+)
+def mc_success_rates() -> List[SweepSpec]:
+    """W.h.p. solvers should estimate to rate ≈ 1 on every family."""
+    from repro.montecarlo.engine import TrialPolicy
+
+    policy = TrialPolicy(
+        min_trials=8, max_trials=64, batch_size=8, tolerance=0.1
+    )
+    rate_candidates = ["1", "log n"]
+    problem = _problem("leaf-coloring")
+    algo = _algo("leaf-coloring/rw-to-leaf")
+    specs = []
+    for family_name in (
+        "leaf-coloring",
+        "random-tree",
+        "random-tree-cyclic",
+        "leaf-coloring-perturbed",
+    ):
+        specs.append(
+            SweepSpec(
+                f"RWtoLeaf success @ {family_name}",
+                "Θ(1) (→ 1 w.h.p.)",
+                _family(family_name, "quick"),
+                "success_rate",
+                algo,
+                seed=7,
+                candidates=rate_candidates,
+                problem_factory=problem,
+                trial_policy=policy,
+            )
+        )
+    return specs
 
 
 __all__ = [

@@ -1,0 +1,189 @@
+"""Golden-artifact schema v4: JSON-schema validation + v3→v4 reader shim.
+
+The committed ``BENCH_repro.json`` at the repo root is the golden
+artifact: it must validate against the formal JSON-schema document that
+ships with the CLI (``repro/cli/schemas/bench-v4.schema.json``), and it
+must document the PR-5 acceptance criterion — adaptive early stopping
+reaching the same verdicts as the fixed-count runs on every registry
+cell while executing strictly fewer total trials.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+jsonschema = pytest.importorskip(
+    "jsonschema", reason="jsonschema ships in the dev extra"
+)
+
+from repro.cli import main  # noqa: E402
+from repro.cli.bench import (  # noqa: E402
+    SCHEMA_DOCUMENT,
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    load_artifact,
+    upgrade_artifact,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+GOLDEN = REPO_ROOT / "BENCH_repro.json"
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return json.loads(SCHEMA_DOCUMENT.read_text())
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN.read_text())
+
+
+class TestSchemaDocument:
+    def test_document_is_itself_valid_draft7(self, schema):
+        jsonschema.Draft7Validator.check_schema(schema)
+
+    def test_document_pins_current_version(self, schema):
+        assert schema["properties"]["schema"]["const"] == SCHEMA_NAME
+        assert (
+            schema["properties"]["schema_version"]["const"] == SCHEMA_VERSION
+        )
+
+
+class TestGoldenArtifact:
+    def test_golden_artifact_validates(self, schema, golden):
+        jsonschema.validate(golden, schema)
+        assert golden["schema_version"] == 4
+        assert golden["mode"] == "quick"
+
+    def test_monte_carlo_section_covers_every_cell(self, golden):
+        cells = {
+            (c["problem"], c["algorithm"], c["family"])
+            for c in golden["cells"]
+        }
+        mc = {
+            (r["problem"], r["algorithm"], r["family"])
+            for r in golden["monte_carlo"]
+        }
+        assert mc == cells
+
+    def test_acceptance_criterion(self, golden):
+        """Same verdicts on every cell, strictly fewer total trials."""
+        assert golden["monte_carlo"], "monte_carlo section must be populated"
+        for record in golden["monte_carlo"]:
+            assert record["ok"] is True
+            assert record["verdicts_agree"] is True
+            assert record["prefix_consistent"] is True
+            assert (
+                record["adaptive"]["trials"] <= record["fixed"]["trials"]
+            )
+        summary = golden["summary"]["monte_carlo"]
+        assert summary["failed"] == 0
+        assert summary["adaptive_trials"] < summary["fixed_trials"]
+        assert summary["trials_saved"] == (
+            summary["fixed_trials"] - summary["adaptive_trials"]
+        )
+
+    def test_summary_totals_are_consistent(self, golden):
+        summary = golden["summary"]["monte_carlo"]
+        assert summary["cells"] == len(golden["monte_carlo"])
+        assert summary["fixed_trials"] == sum(
+            r["fixed"]["trials"] for r in golden["monte_carlo"]
+        )
+        assert summary["adaptive_trials"] == sum(
+            r["adaptive"]["trials"] for r in golden["monte_carlo"]
+        )
+
+
+class TestFreshArtifact:
+    def test_fresh_quick_artifact_validates(self, tmp_path, schema, capsys):
+        out = tmp_path / "bench.json"
+        assert main([
+            "bench", "--quick", "--only", "relay", "--out", str(out),
+        ]) == 0
+        artifact = json.loads(out.read_text())
+        jsonschema.validate(artifact, schema)
+        assert artifact["monte_carlo"]
+        for record in artifact["monte_carlo"]:
+            assert record["adaptive"]["stopped"] in (
+                "converged", "budget",
+            )
+            assert record["fixed"]["stopped"] == "fixed"
+
+    def test_no_mc_flag_keeps_schema_valid(self, tmp_path, schema, capsys):
+        out = tmp_path / "bench.json"
+        assert main([
+            "bench", "--quick", "--only", "constant", "--no-mc",
+            "--out", str(out),
+        ]) == 0
+        artifact = json.loads(out.read_text())
+        jsonschema.validate(artifact, schema)
+        assert artifact["monte_carlo"] == []
+        assert artifact["summary"]["monte_carlo"]["cells"] == 0
+
+
+def _minimal_v3():
+    return {
+        "schema": SCHEMA_NAME,
+        "schema_version": 3,
+        "generated": "2026-01-01T00:00:00Z",
+        "mode": "quick",
+        "backend": "serial",
+        "oracle": "compiled",
+        "git_sha": "abc",
+        "python": "3.12.0",
+        "cells": [],
+        "lower_bounds": [],
+        "summary": {
+            "cells": 0,
+            "points": 0,
+            "failed": 0,
+            "executions": 0,
+            "wall_time": 0.0,
+            "execs_per_sec": None,
+            "elapsed": 0.0,
+            "lower_bounds": 0,
+            "lower_bounds_failed": 0,
+        },
+    }
+
+
+class TestUpgradeShim:
+    def test_v3_upgrades_to_v4(self, schema):
+        upgraded = upgrade_artifact(_minimal_v3())
+        assert upgraded["schema_version"] == 4
+        assert upgraded["monte_carlo"] == []
+        assert upgraded["summary"]["monte_carlo"] == {
+            "cells": 0,
+            "failed": 0,
+            "fixed_trials": 0,
+            "adaptive_trials": 0,
+            "trials_saved": 0,
+        }
+        jsonschema.validate(upgraded, schema)
+
+    def test_v4_passes_through_untouched(self, golden):
+        import copy
+
+        payload = copy.deepcopy(golden)
+        assert upgrade_artifact(payload) == golden
+
+    def test_load_artifact_reads_v3_files(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps(_minimal_v3()))
+        artifact = load_artifact(path)
+        assert artifact["schema_version"] == 4
+        assert artifact["monte_carlo"] == []
+
+    def test_rejects_foreign_and_future_payloads(self):
+        with pytest.raises(ValueError, match="not a repro-bench"):
+            upgrade_artifact({"schema": "something-else"})
+        too_new = _minimal_v3()
+        too_new["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="newer than this reader"):
+            upgrade_artifact(too_new)
+        too_old = _minimal_v3()
+        too_old["schema_version"] = 2
+        with pytest.raises(ValueError, match="v3\\+ supported"):
+            upgrade_artifact(too_old)

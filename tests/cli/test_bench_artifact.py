@@ -69,6 +69,41 @@ LOWER_BOUND_POINT_KEYS = {
     "upheld",
     "elapsed",
 }
+MC_KEYS = {
+    "problem",
+    "algorithm",
+    "family",
+    "param",
+    "n",
+    "seed",
+    "randomized",
+    "threshold",
+    "adaptive_mode",
+    "policy",
+    "fixed",
+    "adaptive",
+    "verdict_fixed",
+    "verdict_adaptive",
+    "verdicts_agree",
+    "prefix_consistent",
+    "trials_saved",
+    "ok",
+    "wall_time",
+}
+MC_ESTIMATE_KEYS = {
+    "trials",
+    "successes",
+    "rate",
+    "ci_low",
+    "ci_high",
+    "confidence",
+    "method",
+    "stopped",
+    "volume",
+    "distance",
+    "queries",
+    "elapsed",
+}
 
 
 @pytest.fixture(autouse=True)
@@ -109,7 +144,7 @@ class TestArtifact:
         artifact = json.loads(out.read_text())
         assert artifact["schema"] == SCHEMA_NAME
         assert artifact["schema_version"] == SCHEMA_VERSION
-        assert artifact["schema_version"] == 3
+        assert artifact["schema_version"] == 4
         assert artifact["mode"] == "quick"
         assert artifact["backend"] == "serial"
         assert artifact["oracle"] == "compiled"
@@ -152,11 +187,36 @@ class TestArtifact:
             for point in record["points"]:
                 assert set(point) == LOWER_BOUND_POINT_KEYS
                 assert point["upheld"] is True
+        # Schema v4: one monte_carlo record per selected matrix cell,
+        # fixed vs adaptive estimation with agreeing verdicts.
+        monte_carlo = artifact["monte_carlo"]
+        assert [
+            (r["problem"], r["algorithm"], r["family"]) for r in monte_carlo
+        ] == got
+        for record in monte_carlo:
+            assert set(record) == MC_KEYS
+            assert set(record["fixed"]) == MC_ESTIMATE_KEYS
+            assert set(record["adaptive"]) == MC_ESTIMATE_KEYS
+            # The prefix gate runs live exactly where it is meaningful:
+            # deterministic cells replay (identical trials by
+            # construction), randomized cells re-execute.
+            assert record["adaptive_mode"] == (
+                "live" if record["randomized"] else "replayed"
+            )
+            assert record["ok"] is True
+            assert record["verdicts_agree"] is True
+            assert record["fixed"]["stopped"] == "fixed"
+            assert record["adaptive"]["trials"] <= record["fixed"]["trials"]
+            assert record["trials_saved"] == (
+                record["fixed"]["trials"] - record["adaptive"]["trials"]
+            )
         summary = artifact["summary"]
         assert summary["cells"] == len(artifact["cells"])
         assert summary["failed"] == 0
         assert summary["lower_bounds"] == len(lower_bounds)
         assert summary["lower_bounds_failed"] == 0
+        assert summary["monte_carlo"]["cells"] == len(monte_carlo)
+        assert summary["monte_carlo"]["failed"] == 0
         assert summary["executions"] == sum(
             c["executions"] for c in artifact["cells"]
         )

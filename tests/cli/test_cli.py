@@ -1,4 +1,4 @@
-"""Tests for `repro list` / `repro run` / `repro sweep`."""
+"""Tests for `repro list` / `repro run` / `repro sweep` / `repro mc`."""
 
 import json
 import os
@@ -115,6 +115,14 @@ class TestRun:
         assert main(["run", "cycle/cole-vishkin", "--family", "relay"]) == 2
         assert "does not generate" in capsys.readouterr().err
 
+    def test_restricted_family_exits_two(self, capsys):
+        # Promise-only solvers declare a family restriction; `repro run`
+        # enforces it like `repro mc` does (shared resolve_cell).
+        assert main([
+            "run", "leaf-coloring/secret-rw", "--family", "leaf-coloring",
+        ]) == 2
+        assert "restricted" in capsys.readouterr().err
+
 
 class TestSweep:
     def test_adhoc_sweep_json(self, capsys):
@@ -176,6 +184,127 @@ class TestSweep:
     def test_no_arguments_exits_two(self, capsys):
         assert main(["sweep"]) == 2
         assert "nothing to sweep" in capsys.readouterr().err
+
+
+class TestMc:
+    def test_matches_direct_engine_call(self, capsys):
+        """`repro mc` reproduces the direct run_trials estimate."""
+        assert main([
+            "mc",
+            "leaf-coloring/rw-to-leaf",
+            "--param", "4",
+            "--quick",
+            "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+
+        from repro.montecarlo.engine import TrialPolicy, run_trials
+
+        direct = run_trials(
+            PROBLEMS.get("leaf-coloring").make(),
+            FAMILIES.get("leaf-coloring").instance(4),
+            ALGORITHMS.get("leaf-coloring/rw-to-leaf").make(),
+            TrialPolicy(min_trials=8, max_trials=32, batch_size=8,
+                        tolerance=0.1),
+            base_seed=7,  # the registered seed
+        )
+        assert payload["rate"] == direct.rate
+        assert payload["trials"] == direct.trials
+        assert payload["stopped"] == direct.stopped
+        assert payload["ci_low"] == direct.interval()[0]
+        assert payload["policy"]["early_stop"] is True
+        assert payload["base_seed"] == 7
+
+    def test_quick_preset_matches_bench_policy(self, capsys):
+        """--quick is the exact policy the bench artifact gates on."""
+        from repro.montecarlo.engine import QUICK_POLICY
+
+        assert main([
+            "mc", "constant/echo-ok", "--quick", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["policy"] == QUICK_POLICY.describe()
+
+    def test_explicit_flags_override_quick_preset(self, capsys):
+        # Regression: --quick used to silently discard an explicitly
+        # passed --tolerance/--max-trials.
+        assert main([
+            "mc", "constant/echo-ok", "--quick",
+            "--max-trials", "16", "--tolerance", "0.2", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["policy"]["max_trials"] == 16
+        assert payload["policy"]["tolerance"] == 0.2
+        assert payload["policy"]["min_trials"] == 8  # preset keeps the rest
+
+    def test_no_early_stop_runs_exactly_max_trials(self, capsys):
+        assert main([
+            "mc",
+            "constant/echo-ok",
+            "--max-trials", "6",
+            "--min-trials", "1",
+            "--batch-size", "6",
+            "--no-early-stop",
+            "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["trials"] == 6
+        assert payload["stopped"] == "fixed"
+        assert payload["rate"] == 1.0
+
+    def test_gate_failure_exits_one(self, capsys):
+        # A gate above 1.0 can never be met, whatever the estimate.
+        assert main([
+            "mc",
+            "leaf-coloring/rw-to-leaf",
+            "--param", "3",
+            "--quick",
+            "--gate", "1.01",
+        ]) == 1
+        assert "gate failed" in capsys.readouterr().err
+
+    def test_backend_equivalence(self, capsys):
+        args = [
+            "mc", "leaf-coloring/rw-to-leaf", "--param", "3", "--quick",
+            "--json",
+        ]
+        assert main(args) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(args + ["--backend", "reference"]) == 0
+        reference = json.loads(capsys.readouterr().out)
+        for key in ("rate", "trials", "successes", "stopped", "volume"):
+            assert serial[key] == reference[key]
+
+    def test_unknown_algorithm_exits_two(self, capsys):
+        assert main(["mc", "leaf-coloring/distanse"]) == 2
+        assert "did you mean" in capsys.readouterr().err
+
+    def test_incompatible_family_exits_two(self, capsys):
+        assert main([
+            "mc", "cycle/cole-vishkin", "--family", "relay",
+        ]) == 2
+        assert "does not generate" in capsys.readouterr().err
+
+    def test_restricted_family_exits_two(self, capsys):
+        assert main([
+            "mc", "leaf-coloring/secret-rw", "--family", "leaf-coloring",
+        ]) == 2
+        assert "restricted" in capsys.readouterr().err
+
+    def test_bad_policy_exits_two(self, capsys):
+        assert main([
+            "mc", "constant/echo-ok", "--min-trials", "0",
+        ]) == 2
+        assert "min_trials" in capsys.readouterr().err
+
+    def test_progress_goes_to_stderr_keeping_json_parseable(self, capsys):
+        assert main([
+            "mc", "constant/echo-ok", "--quick", "--progress", "--json",
+        ]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)  # stdout is pure JSON
+        assert payload["stopped"] == "converged"
+        assert "trials=" in captured.err
 
 
 class TestParseParam:

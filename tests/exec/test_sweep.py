@@ -131,6 +131,148 @@ class TestRunSweep:
         assert [r.spec.label for r in results] == ["dist", "vol"]
 
 
+class TestCacheHitReporting:
+    """Regression: cached sweeps must not be counted as executed.
+
+    The run_sweeps summary line used to report every sweep as executed;
+    on a warm cache that overstated the work done.  Cache hits are now
+    reported separately.
+    """
+
+    def _spec(self):
+        return SweepSpec(
+            "walk", "Θ(log n)", leaf_family((3, 4)), "volume", RWtoLeaf,
+            seed=7,
+        )
+
+    def test_warm_cache_reports_zero_executed(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        run_sweeps([self._spec()], cache=cache)  # warm the cache
+        lines = []
+        results = run_sweeps([self._spec()], cache=cache,
+                             progress=lines.append)
+        assert all(r.from_cache for r in results)
+        assert "sweeps: 0 executed, 1 cache hit" in lines[-1]
+
+    def test_cold_cache_reports_all_executed(self, tmp_path):
+        lines = []
+        run_sweeps([self._spec()], cache=SweepCache(tmp_path),
+                   progress=lines.append)
+        assert "sweeps: 1 executed, 0 cache hits" in lines[-1]
+
+    def test_mixed_batch_splits_the_counts(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cached_spec = self._spec()
+        run_sweeps([cached_spec], cache=cache)
+        fresh_spec = SweepSpec(
+            "walk-fresh", "Θ(log n)", leaf_family((3, 4)), "volume",
+            RWtoLeaf, seed=8,
+        )
+        lines = []
+        results = run_sweeps([cached_spec, fresh_spec], cache=cache,
+                             progress=lines.append)
+        assert [r.from_cache for r in results] == [True, False]
+        assert "sweeps: 1 executed, 1 cache hit" in lines[-1]
+
+
+class TestSuccessRateMetric:
+    """SweepSpec trial-policy fields: the Monte-Carlo sweep metric."""
+
+    def _spec(self, policy=None, **kwargs):
+        from repro.montecarlo.engine import TrialPolicy
+        from repro.problems.leaf_coloring import LeafColoring
+
+        return SweepSpec(
+            "walk success", "Θ(1)", leaf_family((3, 4)), "success_rate",
+            RWtoLeaf, seed=7,
+            problem_factory=LeafColoring,
+            trial_policy=policy or TrialPolicy(
+                min_trials=4, max_trials=16, batch_size=4, tolerance=0.15
+            ),
+            **kwargs,
+        )
+
+    def test_measures_rates_with_detail(self):
+        result = run_sweep(self._spec())
+        assert all(0.0 <= c <= 1.0 for c in result.costs)
+        for point in result.points:
+            assert point.detail is not None
+            assert point.detail["trials"] >= 4
+            assert point.detail["ci_low"] <= point.cost
+            assert point.cost <= point.detail["ci_high"]
+            assert point.detail["stopped"] in ("converged", "budget")
+
+    def test_rate_matches_direct_engine_call(self):
+        from repro.montecarlo.engine import TrialPolicy, run_trials
+        from repro.problems.leaf_coloring import LeafColoring
+
+        policy = TrialPolicy.fixed(8)
+        result = run_sweep(self._spec(policy=policy))
+        family = leaf_family((3, 4))
+        for point, param in zip(result.points, (3, 4)):
+            direct = run_trials(
+                LeafColoring(), family.instance(param), RWtoLeaf(), policy,
+                base_seed=7,
+            )
+            assert point.cost == direct.rate
+            assert point.detail["trials"] == direct.trials
+
+    def test_detail_round_trips_through_cache(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        spec = self._spec()
+        measured = run_sweep(spec, cache=cache)
+        cached = run_sweep(spec, cache=cache)
+        assert cached.from_cache
+        assert [p.detail for p in cached.points] == [
+            p.detail for p in measured.points
+        ]
+
+    def test_policy_change_invalidates_cache(self, tmp_path):
+        from repro.montecarlo.engine import TrialPolicy
+
+        cache = SweepCache(tmp_path)
+        run_sweep(self._spec(), cache=cache)
+        other = run_sweep(
+            self._spec(policy=TrialPolicy(
+                min_trials=4, max_trials=16, batch_size=4, tolerance=0.05
+            )),
+            cache=cache,
+        )
+        assert not other.from_cache
+
+    def test_success_rate_requires_policy_and_problem(self):
+        from repro.montecarlo.engine import TrialPolicy
+        from repro.problems.leaf_coloring import LeafColoring
+
+        with pytest.raises(ValueError, match="needs a problem_factory"):
+            SweepSpec(
+                "x", "Θ(1)", leaf_family(), "success_rate", RWtoLeaf,
+            )
+        with pytest.raises(ValueError, match="only applies"):
+            SweepSpec(
+                "x", "Θ(1)", leaf_family(), "volume", RWtoLeaf,
+                problem_factory=LeafColoring,
+                trial_policy=TrialPolicy(),
+            )
+        # A custom measure bypasses the engine entirely, so pairing it
+        # with a trial_policy is a contradiction whatever the metric.
+        with pytest.raises(ValueError, match="custom measure"):
+            SweepSpec(
+                "x", "Θ(1)", leaf_family(), "success_rate",
+                measure=lambda inst, d: 1.0,
+                trial_policy=TrialPolicy(),
+            )
+        # Validity is over every node's output, so a start-node
+        # selector would be silently ignored — reject it up front.
+        with pytest.raises(ValueError, match="nodes selector"):
+            SweepSpec(
+                "x", "Θ(1)", leaf_family(), "success_rate", RWtoLeaf,
+                nodes=lambda inst, d: [1],
+                problem_factory=LeafColoring,
+                trial_policy=TrialPolicy(),
+            )
+
+
 class TestSweepCache:
     def test_round_trip(self, tmp_path):
         cache = SweepCache(tmp_path)

@@ -23,6 +23,8 @@ from repro.graphs.generators import (
     hybrid_thc_instance,
     hierarchical_thc_instance,
     leaf_coloring_instance,
+    perturbed_leaf_coloring_instance,
+    random_regular_instance,
     random_tree_instance,
     relay_instance,
 )
@@ -210,6 +212,81 @@ class TestRelayAndCycleInstances:
     def test_cycle_instance_unshuffled(self):
         inst = cycle_instance(10, shuffle_ids=False)
         assert sorted(inst.graph.nodes()) == list(range(1, 11))
+
+
+class TestRandomRegularInstances:
+    def test_regularity_and_simplicity(self):
+        inst = random_regular_instance(20, 3, rng=random.Random(1))
+        inst.graph.validate()
+        assert inst.graph.num_nodes == 20
+        for node in inst.graph.nodes():
+            assert inst.graph.degree(node) == 3
+        # Simple: no self-loops or parallel edges among the 3n/2 edges.
+        seen = set()
+        for edge in inst.graph.edges():
+            assert edge.u != edge.v
+            key = (min(edge.u, edge.v), max(edge.u, edge.v))
+            assert key not in seen
+            seen.add(key)
+        assert len(seen) == 30
+
+    def test_deterministic_given_rng(self):
+        a = random_regular_instance(16, 3, rng=random.Random(5))
+        b = random_regular_instance(16, 3, rng=random.Random(5))
+        assert sorted(
+            (e.u, e.u_port, e.v, e.v_port) for e in a.graph.edges()
+        ) == sorted((e.u, e.u_port, e.v, e.v_port) for e in b.graph.edges())
+
+    def test_rejects_infeasible_shapes(self):
+        with pytest.raises(ValueError, match="even"):
+            random_regular_instance(5, 3)
+        with pytest.raises(ValueError, match="degree"):
+            random_regular_instance(3, 3)
+
+    @given(st.integers(min_value=4, max_value=40))
+    @settings(max_examples=20, deadline=None)
+    def test_any_even_shape_is_regular(self, n):
+        n = n if (n * 3) % 2 == 0 else n + 1
+        inst = random_regular_instance(n, 3, rng=random.Random(n))
+        assert all(inst.graph.degree(v) == 3 for v in inst.graph.nodes())
+
+
+class TestPerturbedLeafColoringInstances:
+    def test_zero_rate_keeps_the_pristine_gadget(self):
+        inst = perturbed_leaf_coloring_instance(4, 0.0, rng=random.Random(0))
+        chi0 = inst.meta["chi0"]
+        assert inst.meta["defective_leaves"] == []
+        assert all(
+            inst.label(leaf).color == chi0 for leaf in inst.meta["leaves"]
+        )
+
+    def test_controlled_defect_count(self):
+        inst = perturbed_leaf_coloring_instance(5, 0.25, rng=random.Random(2))
+        leaves = inst.meta["leaves"]
+        chi0 = inst.meta["chi0"]
+        defective = inst.meta["defective_leaves"]
+        assert len(defective) == round(0.25 * len(leaves))
+        for leaf in defective:
+            assert inst.label(leaf).color != chi0
+        intact = set(leaves) - set(defective)
+        assert all(inst.label(leaf).color == chi0 for leaf in intact)
+
+    def test_tiny_rate_still_perturbs_one_leaf(self):
+        inst = perturbed_leaf_coloring_instance(
+            3, 0.001, rng=random.Random(3)
+        )
+        assert len(inst.meta["defective_leaves"]) == 1
+
+    def test_internal_nodes_stay_red(self):
+        inst = perturbed_leaf_coloring_instance(4, 0.5, rng=random.Random(1))
+        leaves = set(inst.meta["leaves"])
+        for node in inst.graph.nodes():
+            if node not in leaves:
+                assert inst.label(node).color == RED
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError, match="defect_rate"):
+            perturbed_leaf_coloring_instance(3, 1.5)
 
 
 @given(st.integers(min_value=2, max_value=16))

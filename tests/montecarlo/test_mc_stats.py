@@ -1,0 +1,344 @@
+"""Statistical unit tests: interval math against closed forms (PR 5).
+
+The Wilson bounds are recomputed here from the textbook formula with an
+independently derived z; the Clopper–Pearson bounds are checked against
+(a) the exact closed forms at the s ∈ {0, n} boundaries and (b) values
+precomputed with scipy.stats.beta.ppf (hardcoded — the runtime stays
+stdlib-only).  The early-stopping rule is exercised on synthetic
+Bernoulli streams with pinned seeds: whenever the engine reports
+``converged``, the interval really is inside tolerance, and it stopped
+at the *first* batch boundary where the rule held.
+"""
+
+import math
+import random
+from statistics import NormalDist
+
+import pytest
+
+from repro.exec.backends import ExecutionBackend, TrialOutcome
+from repro.montecarlo.engine import (
+    STOP_BUDGET,
+    STOP_CONVERGED,
+    TrialPolicy,
+    run_trials,
+)
+from repro.montecarlo.stats import (
+    QuantileSketch,
+    SuccessStats,
+    binomial_interval,
+    clopper_pearson_interval,
+    regularized_incomplete_beta,
+    wilson_interval,
+)
+
+# (successes, trials, confidence) -> scipy.stats.beta.ppf reference.
+CLOPPER_PEARSON_REFERENCE = {
+    (3, 10, 0.95): (0.0667395111777345, 0.6524528500599973),
+    (17, 40, 0.9): (0.29184657878614506, 0.5668609107163234),
+    (1, 50, 0.99): (0.00010024581152369896, 0.1394041245610722),
+    (8, 10, 0.95): (0.4439045376923585, 0.9747892736731666),
+}
+
+
+class TestWilson:
+    def test_matches_textbook_formula(self):
+        for s, n, conf in [(8, 10, 0.95), (3, 10, 0.9), (40, 40, 0.99)]:
+            z = NormalDist().inv_cdf(0.5 + conf / 2.0)
+            p = s / n
+            denom = 1 + z * z / n
+            center = (p + z * z / (2 * n)) / denom
+            spread = (
+                z
+                * math.sqrt(p * (1 - p) / n + z * z / (4 * n * n))
+                / denom
+            )
+            low, high = wilson_interval(s, n, conf)
+            assert low == pytest.approx(max(0.0, center - spread), abs=1e-12)
+            assert high == pytest.approx(min(1.0, center + spread), abs=1e-12)
+
+    def test_stays_inside_unit_interval_at_boundaries(self):
+        for n in (1, 5, 100):
+            low0, high0 = wilson_interval(0, n)
+            lown, highn = wilson_interval(n, n)
+            assert low0 == 0.0 and 0 < high0 <= 1
+            assert highn == 1.0 and 0 <= lown < 1
+            assert lown == pytest.approx(1.0 - high0, abs=1e-12)  # symmetry
+
+    def test_narrows_with_more_trials(self):
+        widths = [
+            wilson_interval(n // 2, n)[1] - wilson_interval(n // 2, n)[0]
+            for n in (10, 40, 160, 640)
+        ]
+        assert widths == sorted(widths, reverse=True)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 4)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 4, confidence=1.0)
+
+
+class TestClopperPearson:
+    def test_closed_form_boundaries(self):
+        """upper(0, n) = 1 − (α/2)^(1/n) and lower(n, n) = (α/2)^(1/n)."""
+        for n, conf in [(10, 0.95), (20, 0.95), (50, 0.9)]:
+            alpha = 1 - conf
+            low0, high0 = clopper_pearson_interval(0, n, conf)
+            lown, highn = clopper_pearson_interval(n, n, conf)
+            assert low0 == 0.0 and highn == 1.0
+            assert high0 == pytest.approx(
+                1.0 - (alpha / 2) ** (1.0 / n), abs=1e-9
+            )
+            assert lown == pytest.approx((alpha / 2) ** (1.0 / n), abs=1e-9)
+
+    def test_matches_scipy_reference(self):
+        for (s, n, conf), (low, high) in CLOPPER_PEARSON_REFERENCE.items():
+            got_low, got_high = clopper_pearson_interval(s, n, conf)
+            assert got_low == pytest.approx(low, abs=1e-9)
+            assert got_high == pytest.approx(high, abs=1e-9)
+
+    def test_symmetry(self):
+        """CP(s, n).low == 1 − CP(n−s, n).high, by construction."""
+        for s, n in [(3, 10), (17, 40), (1, 50)]:
+            low, high = clopper_pearson_interval(s, n)
+            mlow, mhigh = clopper_pearson_interval(n - s, n)
+            assert low == pytest.approx(1.0 - mhigh, abs=1e-9)
+            assert high == pytest.approx(1.0 - mlow, abs=1e-9)
+
+    def test_covers_point_estimate_and_contains_wilson_center(self):
+        for s, n in [(0, 7), (7, 7), (3, 7), (30, 100)]:
+            low, high = clopper_pearson_interval(s, n)
+            assert low <= s / n <= high
+
+    def test_incomplete_beta_closed_forms(self):
+        for x in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert regularized_incomplete_beta(x, 1, 1) == pytest.approx(x)
+            assert regularized_incomplete_beta(x, 2, 1) == pytest.approx(
+                x * x
+            )
+            assert regularized_incomplete_beta(x, 1, 3) == pytest.approx(
+                1 - (1 - x) ** 3
+            )
+        # Symmetric beta: the median is 1/2.
+        for a in (2, 5, 11):
+            assert regularized_incomplete_beta(0.5, a, a) == pytest.approx(
+                0.5, abs=1e-12
+            )
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            clopper_pearson_interval(-1, 10)
+        with pytest.raises(ValueError):
+            clopper_pearson_interval(2, 10, confidence=0.0)
+        with pytest.raises(ValueError):
+            regularized_incomplete_beta(2.0, 1, 1)
+        with pytest.raises(ValueError):
+            regularized_incomplete_beta(0.5, 0, 1)
+
+
+class TestSuccessStats:
+    def test_streaming_counts_and_rate(self):
+        stats = SuccessStats()
+        for outcome in (True, True, False, True):
+            stats.record(outcome)
+        assert stats.trials == 4
+        assert stats.successes == 3
+        assert stats.rate == 0.75
+        assert stats.interval() == wilson_interval(3, 4)
+
+    def test_empty_interval_is_vacuous(self):
+        assert SuccessStats().interval() == (0.0, 1.0)
+        assert SuccessStats().rate == 0.0
+
+    def test_method_dispatch(self):
+        cp = SuccessStats(method="clopper-pearson")
+        for _ in range(6):
+            cp.record(True)
+        assert cp.interval(0.95) == clopper_pearson_interval(6, 6, 0.95)
+        assert binomial_interval(6, 6, 0.95, "clopper-pearson") == (
+            cp.interval(0.95)
+        )
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            SuccessStats(method="wald")
+        with pytest.raises(ValueError):
+            binomial_interval(1, 2, method="wald")
+
+
+class TestQuantileSketch:
+    def test_exact_before_compaction(self):
+        sketch = QuantileSketch(capacity=256)
+        sketch.extend(range(101))
+        assert sketch.quantile(0.0) == 0
+        assert sketch.quantile(0.5) == 50
+        assert sketch.quantile(1.0) == 100
+        assert not sketch.compacted
+
+    def test_bounded_memory_and_exact_extremes(self):
+        sketch = QuantileSketch(capacity=64)
+        rnd = random.Random(3)
+        values = [rnd.random() for _ in range(5000)]
+        sketch.extend(values)
+        assert sketch.compacted
+        assert len(sketch._values) <= 64
+        assert sketch.count == 5000
+        assert sketch.quantile(0.0) == min(values)
+        assert sketch.quantile(1.0) == max(values)
+        # Rank-approximate in the middle: within a loose band.
+        assert abs(sketch.quantile(0.5) - 0.5) < 0.1
+
+    def test_deterministic_across_runs(self):
+        def build():
+            sketch = QuantileSketch(capacity=32)
+            rnd = random.Random(9)
+            sketch.extend(rnd.random() for _ in range(1000))
+            return sketch.summary()
+
+        assert build() == build()
+
+    def test_no_weight_skew_after_compaction(self):
+        """Old survivors and fresh arrivals must stay equally weighted.
+
+        Regression: a sort-and-halve compaction left survivors standing
+        for 2^k stream values each while fresh arrivals stood for one,
+        so a late minority could swamp the ranks.  1025 zeros followed
+        by 100 ones are 8.9% ones — p90 of the stream is 0.
+        """
+        sketch = QuantileSketch(capacity=512)
+        sketch.extend([0.0] * 1025)
+        sketch.extend([1.0] * 100)
+        assert sketch.quantile(0.9) == 0.0
+        assert sketch.quantile(1.0) == 1.0  # exact max still tracked
+
+    def test_stride_sample_tracks_stream_proportions(self):
+        # ~30% ones (pinned pseudo-random arrivals — systematic
+        # sampling would alias against a periodic pattern): the
+        # retained sample keeps the proportion however many
+        # compactions ran.
+        sketch = QuantileSketch(capacity=32)
+        rnd = random.Random(7)
+        for _ in range(4000):
+            sketch.add(1.0 if rnd.random() < 0.3 else 0.0)
+        ones = sum(1 for v in sketch._values if v == 1.0)
+        assert abs(ones / len(sketch._values) - 0.3) < 0.15
+
+    def test_summary_keys(self):
+        sketch = QuantileSketch()
+        sketch.extend([3, 1, 2])
+        assert sketch.summary() == {
+            "count": 3, "min": 1, "p50": 2, "p90": 3, "max": 3,
+        }
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(capacity=4)
+        with pytest.raises(ValueError):
+            QuantileSketch(capacity=9)  # odd: stride phase would skew
+        with pytest.raises(ValueError):
+            QuantileSketch().quantile(0.5)
+        sketch = QuantileSketch()
+        sketch.add(1)
+        with pytest.raises(ValueError):
+            sketch.quantile(1.5)
+
+
+class BernoulliBackend(ExecutionBackend):
+    """A stub backend: trial i succeeds iff hash-free pinned RNG says so.
+
+    The verdict for trial ``i`` is drawn from ``random.Random((seed, i))``
+    — a pure function of the trial index, like the real engine's tape
+    derivation — so the stream is identical however it is batched.
+    """
+
+    name = "bernoulli"
+
+    def __init__(self, p: float, stream_seed: int) -> None:
+        self.p = p
+        self.stream_seed = stream_seed
+
+    def verdict(self, trial: int) -> bool:
+        return (
+            random.Random(f"bern:{self.stream_seed}:{trial}").random()
+            < self.p
+        )
+
+    def run(self, *args, **kwargs):  # pragma: no cover - not used
+        raise NotImplementedError
+
+    def run_trial_batch(
+        self, problem, factory, algorithm, trial_indices, *,
+        base_seed=0, max_volume=None, max_queries=None,
+    ):
+        return [
+            TrialOutcome(
+                trial=t, seed=base_seed + t, valid=self.verdict(t),
+                max_volume=1, max_distance=1, max_queries=1, random_bits=0,
+            )
+            for t in trial_indices
+        ]
+
+
+class TestEarlyStoppingOnBernoulliStreams:
+    """The stopping rule never fires outside tolerance (pinned seeds)."""
+
+    POLICIES = [
+        TrialPolicy(min_trials=8, max_trials=96, batch_size=8,
+                    tolerance=0.12),
+        TrialPolicy(min_trials=16, max_trials=128, batch_size=16,
+                    tolerance=0.08, method="clopper-pearson"),
+    ]
+
+    @pytest.mark.parametrize("p", [0.05, 0.3, 0.5, 0.8, 0.97, 1.0])
+    @pytest.mark.parametrize("policy", POLICIES, ids=["wilson", "cp"])
+    def test_converged_means_inside_tolerance(self, p, policy):
+        for stream_seed in range(5):
+            backend = BernoulliBackend(p, stream_seed)
+            result = run_trials(None, None, None, policy, backend=backend)
+            if result.stopped == STOP_CONVERGED:
+                assert result.trials >= policy.min_trials
+                assert result.half_width() <= policy.tolerance
+            else:
+                assert result.stopped == STOP_BUDGET
+                assert result.trials == policy.max_trials
+
+    @pytest.mark.parametrize("p", [0.5, 0.9, 1.0])
+    def test_stops_at_first_qualifying_batch_boundary(self, p):
+        policy = TrialPolicy(
+            min_trials=8, max_trials=96, batch_size=8, tolerance=0.12
+        )
+        backend = BernoulliBackend(p, stream_seed=1)
+        result = run_trials(None, None, None, policy, backend=backend)
+        # Replay the stream and find the first boundary where the rule
+        # holds; the engine must have stopped exactly there.
+        stats = SuccessStats(policy.method)
+        first = None
+        for trial in range(policy.max_trials):
+            stats.record(backend.verdict(trial))
+            boundary = (trial + 1) % policy.batch_size == 0
+            if (
+                boundary
+                and trial + 1 >= policy.min_trials
+                and stats.half_width(policy.confidence) <= policy.tolerance
+            ):
+                first = trial + 1
+                break
+        if first is None:
+            assert result.stopped == STOP_BUDGET
+            assert result.trials == policy.max_trials
+        else:
+            assert result.stopped == STOP_CONVERGED
+            assert result.trials == first
+
+    def test_verdict_stream_is_batching_invariant(self):
+        backend = BernoulliBackend(0.7, stream_seed=4)
+        a = TrialPolicy(min_trials=1, max_trials=40, batch_size=5,
+                        early_stop=False)
+        b = TrialPolicy(min_trials=1, max_trials=40, batch_size=13,
+                        early_stop=False)
+        ra = run_trials(None, None, None, a, backend=backend)
+        rb = run_trials(None, None, None, b, backend=backend)
+        assert ra.verdicts == rb.verdicts
