@@ -2,50 +2,112 @@
 
 The probe engine's inner loop is multiplied by ``n x queries`` on every
 sweep (the runner starts the algorithm from *all* n nodes), so this bench
-times exactly the three layers PR 3 compiled:
+times the compiled layers PR 3 introduced and the PR 6 execution paths
+stacked on top of them:
 
 * ``oracle_queries`` — raw oracle throughput: ``resolve`` + ``node_info``
   over every (node, port) of an instance, :class:`StaticOracle` (dict-of-
   dict walk, per-call ``NodeInfo`` rebuild) vs :class:`CompiledOracle`
   (precomputed tables over a frozen CSR graph);
 * ``full_gather`` — a full-gather ``run_algorithm`` from every node of a
-  line and a complete-tree instance (n >= 512), compiled path vs the
-  uncompiled reference path — the acceptance gate expects >= 3x here;
+  line and a complete-tree instance (n >= 512): uncompiled reference vs
+  compiled scalar vs the batched flat-array kernel
+  (:mod:`repro.model.batched`);
 * ``dist_maintenance`` — an exploration that polls ``distance_cost()``
-  after every query, incremental labels vs BFS-per-invalidation.
+  after every query, incremental labels vs BFS-per-invalidation;
+* ``parallel_scaling`` — the batched full-gather run fanned out over
+  :class:`~repro.exec.backends.ProcessPoolBackend` at 1/2/4 workers with
+  the shared-memory and pickle transports, including the one-off
+  publish+attach overhead the shared-memory path pays;
+* ``trial_batch`` — a fixed-instance Monte-Carlo trial batch on the
+  serial backend vs both process-pool transports.
+
+Speedup conventions: every row's ``speedup`` is measured against the
+*compiled scalar serial* run of the same workload (the pre-PR-6 state of
+the repo), so the gated numbers capture what this PR's batched kernel +
+zero-copy fan-out actually buy; ``parallel_scaling`` rows additionally
+report ``speedup_vs_serial_batched`` (pure dispatch efficiency, which on
+a single-core CI box hovers near or below 1.0 by construction).
 
 ``--quick`` (the CI perf-smoke mode) runs reduced repeats and writes the
-timing artifact; the process exits non-zero if the compiled path ever
-falls behind the reference path on the ``oracle_queries`` throughput
-microbench, which is the regression CI gates on.
+timing artifact; the process exits non-zero if the compiled path falls
+behind the reference oracle on query throughput, if the 2-worker
+shared-memory row drops below 1.3x over compiled scalar serial, or if
+any shared-memory segment leaks (``/dev/shm`` is scanned before/after).
 
-Outputs are cross-checked compiled-vs-reference inside the bench, on top
-of the property suite in ``tests/perf/test_compiled_equivalence.py``.
+Outputs are cross-checked across engines inside the bench, on top of the
+property suites in ``tests/perf`` / ``tests/model`` / ``tests/exec``.
+``REPRO_BENCH_BACKEND`` (the sweep benches' env knob) is deliberately
+ignored here: every section pins its own backends, because the
+backend-vs-backend comparison *is* the measurement.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import pickle
 import platform
 import sys
 import time
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from _common import banner
 
 from repro.cli.bench import git_sha
-from repro.exec.backends import SerialBackend
+from repro.exec import shm
+from repro.exec.backends import (
+    FixedInstanceFactory,
+    ProcessPoolBackend,
+    SerialBackend,
+)
 from repro.graphs.builders import complete_binary_tree, path_graph
 from repro.graphs.labelings import Instance, Labeling
-from repro.model.oracle import CompiledOracle, StaticOracle
-from repro.model.probe import ProbeAlgorithm, ProbeView
+from repro.model.batched import gather_kernel
+from repro.model.oracle import CompiledOracle, StaticOracle, compile_oracle
+from repro.model.probe import CostProfile, ProbeAlgorithm, ProbeView
 from repro.model.randomness import RandomnessContext, RandomnessModel
 from repro.model.runner import run_algorithm
 from repro.model.views import gather_ball
 
 SCHEMA_NAME = "repro-bench-hotpath"
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+
+def load_hotpath_artifact(source) -> Dict[str, object]:
+    """Read a hot-path artifact, upgrading schema v1 payloads in place.
+
+    ``source`` is a path or an already-parsed dict.  Version 1 artifacts
+    (PR 3-5) predate the ``parallel_scaling`` / ``trial_batch`` sections
+    and the parallel gate keys; the shim fills those with empty/None
+    values and stamps ``upgraded_from`` so v2 consumers (CI scripts,
+    analysis notebooks) can read any committed artifact uniformly.
+    """
+    if isinstance(source, dict):
+        artifact = source
+    else:
+        with open(source) as fh:
+            artifact = json.load(fh)
+    if artifact.get("schema") != SCHEMA_NAME:
+        raise ValueError(f"not a {SCHEMA_NAME} artifact: {source!r}")
+    version = artifact.get("schema_version")
+    if version == SCHEMA_VERSION:
+        return artifact
+    if version != 1:
+        raise ValueError(f"unsupported {SCHEMA_NAME} schema_version "
+                         f"{version!r}")
+    artifact = dict(artifact)
+    artifact["schema_version"] = SCHEMA_VERSION
+    artifact["upgraded_from"] = 1
+    artifact.setdefault("parallel_scaling", [])
+    artifact.setdefault("trial_batch", [])
+    gate = dict(artifact.get("gate", {}))
+    gate.setdefault("parallel_speedup_2w_shm", None)
+    gate.setdefault("parallel_ok", True)  # nothing measured => nothing failed
+    gate.setdefault("shm_leak_free", True)
+    artifact["gate"] = gate
+    return artifact
 
 
 def line_instance(n: int) -> Instance:
@@ -70,7 +132,9 @@ class PureGatherAlgorithm(ProbeAlgorithm):
 
     Unlike :class:`~repro.algorithms.generic.FullGatherAlgorithm` there
     is no instance reconstruction or reference solve afterwards, so the
-    measured time is the engine + oracle loop and nothing else.
+    measured time is the engine + oracle loop and nothing else.  This
+    class is deliberately scalar-only (no ``run_node_batch``): it is the
+    pre-PR-6 compiled baseline every ``speedup`` column divides by.
     """
 
     name = "pure-gather"
@@ -78,6 +142,31 @@ class PureGatherAlgorithm(ProbeAlgorithm):
     def run(self, view: ProbeView):
         ball = gather_ball(view, max(1, view.n))
         return (len(ball.distance), max(ball.distance.values()))
+
+
+class BatchedGatherAlgorithm(PureGatherAlgorithm):
+    """The same workload through the flat-array CSR kernel.
+
+    ``summarize`` returns exactly the scalar run's ``(size, depth)``
+    output and cost surface (the kernel suite pins this), so timing the
+    two algorithms side by side isolates the batched kernel's win.
+    """
+
+    name = "pure-gather-batched"
+
+    def run_node_batch(self, oracle, nodes):
+        kernel = gather_kernel(oracle)
+        if kernel is None:
+            return None
+        radius = max(1, oracle.n)
+        out = []
+        for node in nodes:
+            size, depth, queries = kernel.summarize(node, radius)
+            profile = CostProfile(
+                volume=size, distance=depth, queries=queries, random_bits=0
+            )
+            out.append((node, (size, depth), profile))
+        return out
 
 
 def best_of(repeats: int, fn: Callable[[], float]) -> float:
@@ -136,19 +225,21 @@ def bench_oracle_queries(repeats: int, rounds: int) -> Dict[str, object]:
 # 2. full-gather whole-instance run
 # ----------------------------------------------------------------------
 def bench_full_gather(instance: Instance, repeats: int) -> Dict[str, object]:
-    algorithm = PureGatherAlgorithm()
+    scalar = PureGatherAlgorithm()
+    batched = BatchedGatherAlgorithm()
     reference_backend = SerialBackend(compiled=False)
     compiled_backend = SerialBackend(compiled=True)
-    ref_run = run_algorithm(instance, algorithm, backend=reference_backend)
-    fast_run = run_algorithm(instance, algorithm, backend=compiled_backend)
-    assert fast_run.outputs == ref_run.outputs
-    assert fast_run.profiles == ref_run.profiles
+    ref_run = run_algorithm(instance, scalar, backend=reference_backend)
+    fast_run = run_algorithm(instance, scalar, backend=compiled_backend)
+    batched_run = run_algorithm(instance, batched, backend=compiled_backend)
+    assert fast_run.outputs == ref_run.outputs == batched_run.outputs
+    assert fast_run.profiles == ref_run.profiles == batched_run.profiles
     n = instance.graph.num_nodes
     reference_s = best_of(
         repeats,
         lambda: timed(
             lambda: run_algorithm(
-                instance, algorithm, backend=reference_backend
+                instance, scalar, backend=reference_backend
             )
         ),
     )
@@ -156,7 +247,15 @@ def bench_full_gather(instance: Instance, repeats: int) -> Dict[str, object]:
         repeats,
         lambda: timed(
             lambda: run_algorithm(
-                instance, algorithm, backend=compiled_backend
+                instance, scalar, backend=compiled_backend
+            )
+        ),
+    )
+    batched_s = best_of(
+        repeats,
+        lambda: timed(
+            lambda: run_algorithm(
+                instance, batched, backend=compiled_backend
             )
         ),
     )
@@ -165,9 +264,14 @@ def bench_full_gather(instance: Instance, repeats: int) -> Dict[str, object]:
         "params": {"n": n, "executions": n},
         "reference_s": reference_s,
         "compiled_s": compiled_s,
+        "batched_s": batched_s,
         "reference_eps": n / reference_s,
         "compiled_eps": n / compiled_s,
+        "batched_eps": n / batched_s,
+        # `speedup` keeps its v1 meaning (reference vs compiled scalar);
+        # the kernel's own win is reported against the scalar baseline.
         "speedup": reference_s / compiled_s,
+        "batched_speedup_vs_scalar": compiled_s / batched_s,
     }
 
 
@@ -222,6 +326,157 @@ def bench_dist_maintenance(n: int, repeats: int) -> Dict[str, object]:
 
 
 # ----------------------------------------------------------------------
+# 4. parallel scaling: batched full-gather over the process pool
+# ----------------------------------------------------------------------
+def _measure_attach_overhead(instance: Instance, transport: str) -> float:
+    """One worker's per-run instance acquisition cost for a transport.
+
+    Shared memory: publish + zero-copy attach + oracle compile (paid once
+    per worker per run).  Pickle: serialize + deserialize + oracle compile
+    (paid once per *chunk* on the legacy path — the per-run number shown
+    here is its lower bound).
+    """
+    if transport == "shm":
+        started = time.perf_counter()
+        handle = shm.publish_instance(instance)
+        attachment = shm.attach_instance(handle)
+        elapsed = time.perf_counter() - started
+        attachment.close()
+        shm.unpublish(handle)
+        return elapsed
+    started = time.perf_counter()
+    payload = pickle.dumps(instance)
+    clone = pickle.loads(payload)
+    compile_oracle(clone)
+    return time.perf_counter() - started
+
+
+def bench_parallel_scaling(
+    instance: Instance,
+    repeats: int,
+    workers_grid: List[int],
+) -> List[Dict[str, object]]:
+    """Batched full-gather fan-out: workers x transport grid.
+
+    Baselines are measured in-process: ``scalar_serial_s`` (compiled
+    scalar engine — the pre-PR-6 state every ``speedup`` divides by) and
+    ``serial_batched_s`` (the batched kernel without any pool).
+    """
+    scalar = PureGatherAlgorithm()
+    batched = BatchedGatherAlgorithm()
+    serial = SerialBackend(compiled=True)
+    baseline_run = run_algorithm(instance, scalar, backend=serial)
+    scalar_serial_s = best_of(
+        repeats,
+        lambda: timed(
+            lambda: run_algorithm(instance, scalar, backend=serial)
+        ),
+    )
+    serial_batched_s = best_of(
+        repeats,
+        lambda: timed(
+            lambda: run_algorithm(instance, batched, backend=serial)
+        ),
+    )
+    rows: List[Dict[str, object]] = []
+    n = instance.graph.num_nodes
+    for transport in ("shm", "pickle"):
+        attach_overhead_s = _measure_attach_overhead(instance, transport)
+        for workers in workers_grid:
+            with ProcessPoolBackend(
+                workers=workers, shared_memory=(transport == "shm")
+            ) as pool:
+                pooled = run_algorithm(instance, batched, backend=pool)
+                assert pooled.outputs == baseline_run.outputs
+                assert pooled.profiles == baseline_run.profiles
+                elapsed = best_of(
+                    repeats,
+                    lambda: timed(
+                        lambda: run_algorithm(
+                            instance, batched, backend=pool
+                        )
+                    ),
+                )
+            rows.append(
+                {
+                    "name": f"full_gather[{instance.name}]",
+                    "workers": workers,
+                    "transport": transport,
+                    "params": {"n": n, "executions": n},
+                    "time_s": elapsed,
+                    "scalar_serial_s": scalar_serial_s,
+                    "serial_batched_s": serial_batched_s,
+                    "attach_overhead_s": attach_overhead_s,
+                    "speedup": scalar_serial_s / elapsed,
+                    "speedup_vs_serial_batched": serial_batched_s / elapsed,
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# 5. fixed-instance trial batches: serial vs pool transports
+# ----------------------------------------------------------------------
+def bench_trial_batch(trials: int, repeats: int) -> List[Dict[str, object]]:
+    """A fixed-instance Monte-Carlo batch across dispatch strategies."""
+    import random
+
+    from repro.algorithms.leaf_coloring_algs import RWtoLeaf
+    from repro.graphs.generators import leaf_coloring_instance
+    from repro.problems.leaf_coloring import LeafColoring
+
+    instance = leaf_coloring_instance(5, rng=random.Random(11))
+    problem = LeafColoring()
+    factory = FixedInstanceFactory(instance)
+
+    def batch(backend) -> List[object]:
+        return backend.run_trial_batch(
+            problem, factory, RWtoLeaf(), range(trials), base_seed=7
+        )
+
+    serial = SerialBackend(compiled=True)
+    baseline = batch(serial)
+    serial_s = best_of(repeats, lambda: timed(lambda: batch(serial)))
+    rows: List[Dict[str, object]] = [
+        {
+            "name": f"trial_batch[{instance.name}]",
+            "backend": "serial",
+            "transport": None,
+            "params": {"trials": trials, "n": instance.n},
+            "time_s": serial_s,
+            "speedup": 1.0,
+        }
+    ]
+    for transport in ("shm", "pickle"):
+        with ProcessPoolBackend(
+            workers=2, shared_memory=(transport == "shm")
+        ) as pool:
+            assert batch(pool) == baseline
+            elapsed = best_of(repeats, lambda: timed(lambda: batch(pool)))
+        rows.append(
+            {
+                "name": f"trial_batch[{instance.name}]",
+                "backend": "process:2",
+                "transport": transport,
+                "params": {"trials": trials, "n": instance.n},
+                "time_s": elapsed,
+                "speedup": serial_s / elapsed,
+            }
+        )
+    return rows
+
+
+def _shm_segments() -> List[str]:
+    """``psm_*`` files in /dev/shm (empty on non-POSIX-shm hosts)."""
+    try:
+        return sorted(
+            f for f in os.listdir("/dev/shm") if f.startswith("psm_")
+        )
+    except FileNotFoundError:
+        return []
+
+
+# ----------------------------------------------------------------------
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     mode = parser.add_mutually_exclusive_group()
@@ -238,6 +493,7 @@ def main(argv: List[str] = None) -> int:
     repeats = 5 if full else 3
 
     banner("Hot-path microbenchmarks: compiled fast path vs reference")
+    shm_before = _shm_segments()
     benches: List[Dict[str, object]] = []
 
     benches.append(bench_oracle_queries(repeats, rounds=20 if full else 5))
@@ -249,10 +505,40 @@ def main(argv: List[str] = None) -> int:
     benches.append(bench_dist_maintenance(1024 if full else 384, repeats))
 
     for bench in benches:
+        extra = ""
+        if "batched_s" in bench:
+            extra = (
+                f"  batched {bench['batched_s']:.4f}s "
+                f"({bench['batched_speedup_vs_scalar']:.2f}x over scalar)"
+            )
         print(
             f"{bench['name']:<28} reference {bench['reference_s']:.4f}s  "
             f"compiled {bench['compiled_s']:.4f}s  "
-            f"speedup {bench['speedup']:.2f}x"
+            f"speedup {bench['speedup']:.2f}x{extra}"
+        )
+
+    parallel_rows = bench_parallel_scaling(
+        tree_instance(9),
+        max(2, repeats - 1),
+        workers_grid=[1, 2, 4],
+    )
+    for row in parallel_rows:
+        print(
+            f"{row['name']:<28} workers={row['workers']} "
+            f"{row['transport']:<6} {row['time_s']:.4f}s  "
+            f"speedup {row['speedup']:.2f}x "
+            f"(vs serial-batched {row['speedup_vs_serial_batched']:.2f}x, "
+            f"attach {row['attach_overhead_s'] * 1e3:.1f}ms)"
+        )
+
+    trial_rows = bench_trial_batch(
+        trials=96 if full else 32, repeats=max(2, repeats - 1)
+    )
+    for row in trial_rows:
+        transport = row["transport"] or "-"
+        print(
+            f"{row['name']:<28} {row['backend']:<10} {transport:<6} "
+            f"{row['time_s']:.4f}s  speedup {row['speedup']:.2f}x"
         )
 
     oracle_bench = benches[0]
@@ -261,7 +547,21 @@ def main(argv: List[str] = None) -> int:
         for b in benches
         if b["name"].startswith("full_gather")
     }
-    gate_ok = oracle_bench["speedup"] >= 1.0
+    parallel_2w_shm = next(
+        row["speedup"]
+        for row in parallel_rows
+        if row["workers"] == 2 and row["transport"] == "shm"
+    )
+    shm_after = _shm_segments()
+    leaked = sorted(set(shm_after) - set(shm_before))
+    gate = {
+        "query_throughput_speedup": oracle_bench["speedup"],
+        "query_throughput_ok": oracle_bench["speedup"] >= 1.0,
+        "full_gather_speedups": gather_speedups,
+        "parallel_speedup_2w_shm": parallel_2w_shm,
+        "parallel_ok": parallel_2w_shm >= 1.3,
+        "shm_leak_free": not leaked and not shm.published_segments(),
+    }
     artifact = {
         "schema": SCHEMA_NAME,
         "schema_version": SCHEMA_VERSION,
@@ -271,23 +571,32 @@ def main(argv: List[str] = None) -> int:
         "python": platform.python_version(),
         "repeats": repeats,
         "benches": benches,
-        "gate": {
-            "query_throughput_speedup": oracle_bench["speedup"],
-            "query_throughput_ok": gate_ok,
-            "full_gather_speedups": gather_speedups,
-        },
+        "parallel_scaling": parallel_rows,
+        "trial_batch": trial_rows,
+        "gate": gate,
     }
     with open(args.out, "w") as handle:
         json.dump(artifact, handle, indent=1)
         handle.write("\n")
     print(f"\nartifact -> {args.out}")
-    if not gate_ok:
+    failed = False
+    if not gate["query_throughput_ok"]:
         print(
             "FAIL: compiled oracle fell behind the reference oracle on "
             f"query throughput ({oracle_bench['speedup']:.2f}x)"
         )
-        return 1
-    return 0
+        failed = True
+    if not gate["parallel_ok"]:
+        print(
+            "FAIL: 2-worker shared-memory fan-out below the 1.3x floor "
+            f"over compiled scalar serial ({parallel_2w_shm:.2f}x)"
+        )
+        failed = True
+    if not gate["shm_leak_free"]:
+        print(f"FAIL: leaked shared-memory segments: {leaked} "
+              f"(published: {shm.published_segments()})")
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -13,6 +13,7 @@ from typing import Callable, Dict, Set
 
 from repro.graphs.labelings import Instance, Labeling
 from repro.graphs.port_graph import PortGraph
+from repro.model.batched import gather_kernel
 from repro.model.probe import ProbeAlgorithm, ProbeView
 from repro.model.views import Ball, gather_ball
 
@@ -86,3 +87,24 @@ class FullGatherAlgorithm(ProbeAlgorithm):
         local = ball_to_instance(ball, view.n)
         outputs = self._reference(local)
         return outputs[view.start]
+
+    def run_node_batch(self, oracle, nodes):
+        """Whole-run batch over the flat-array CSR kernel.
+
+        The kernel's :meth:`~repro.model.batched.CsrGatherKernel.ball`
+        replicates the scalar gather bit-for-bit (content *and*
+        insertion orders), so the reconstructed local instance — and
+        therefore the reference solve — is identical to the scalar
+        path's; only the per-query engine bookkeeping is skipped.
+        """
+        kernel = gather_kernel(oracle)
+        if kernel is None:
+            return None
+        radius = max(1, oracle.n)
+        triples = []
+        for node in nodes:
+            ball, profile = kernel.ball(node, radius)
+            local = ball_to_instance(ball, oracle.n)
+            outputs = self._reference(local)
+            triples.append((node, outputs[node], profile))
+        return triples

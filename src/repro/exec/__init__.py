@@ -9,9 +9,20 @@ runs declaratively.  See README.md ("Choosing a backend") for the guide.
 from repro.exec.backends import (
     BatchBackend,
     ExecutionBackend,
+    FixedInstanceFactory,
     ProcessPoolBackend,
     SerialBackend,
     get_backend,
+)
+from repro.exec.shm import (
+    ShmInstanceHandle,
+    ShmPublishError,
+    attach_instance,
+    attached_instance,
+    publish_instance,
+    published_segments,
+    unpublish,
+    unpublish_all,
 )
 from repro.exec.sweep import (
     InstanceFamily,
@@ -27,15 +38,24 @@ from repro.exec.sweep import (
 __all__ = [
     "BatchBackend",
     "ExecutionBackend",
+    "FixedInstanceFactory",
     "InstanceFamily",
     "ProcessPoolBackend",
     "SerialBackend",
+    "ShmInstanceHandle",
+    "ShmPublishError",
     "SweepCache",
     "SweepPoint",
     "SweepResult",
     "SweepSpec",
+    "attach_instance",
+    "attached_instance",
     "cache_from_env",
     "get_backend",
+    "publish_instance",
+    "published_segments",
     "run_sweep",
     "run_sweeps",
+    "unpublish",
+    "unpublish_all",
 ]

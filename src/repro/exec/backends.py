@@ -35,6 +35,25 @@ backend spec ``"reference"``) to run the uncompiled reference engine —
 ``StaticOracle`` plus BFS-on-demand ``DIST`` — which produces bitwise
 identical results, just slower; the property suite under ``tests/perf``
 enforces the equivalence.
+
+Two fast paths sit on top of the compiled engine (both bitwise-identical
+to the scalar serial semantics, both enforced by the equivalence suites):
+
+* **Batched flat-array kernel** — deterministic, unbudgeted runs of
+  algorithms that implement
+  :meth:`~repro.model.probe.ProbeAlgorithm.run_node_batch` (the
+  full-gather family) advance over the CSR arrays directly
+  (:mod:`repro.model.batched`) instead of through per-query
+  :class:`~repro.model.probe.ProbeView` bookkeeping.
+* **Zero-copy shared memory** — :class:`ProcessPoolBackend` publishes
+  the frozen instance once per dispatch into a
+  :mod:`multiprocessing.shared_memory` segment (:mod:`repro.exec.shm`)
+  and ships only an O(1) :class:`~repro.exec.shm.ShmInstanceHandle` plus
+  chunk indices to workers, which attach zero-copy and cache the
+  compiled oracle per process.  ``shared_memory=False`` (or the spec
+  suffix ``"process:N:pickle"``) preserves the whole-instance-per-chunk
+  pickle path bit-for-bit; the segment is unlinked in a ``finally`` on
+  every dispatch, with an ``atexit`` backstop.
 """
 
 from __future__ import annotations
@@ -44,8 +63,9 @@ import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.exec import shm as shm_layer
 from repro.model.oracle import StaticOracle, compile_oracle
 from repro.model.probe import CostProfile, ProbeAlgorithm, execute_at
 from repro.model.randomness import TapeStore
@@ -90,6 +110,19 @@ def _execute_nodes(
     distance_mode: str = "incremental",
 ) -> List[Tuple[int, object, CostProfile]]:
     """The shared inner loop: run ``algorithm`` from each node in order."""
+    if (
+        distance_mode == "incremental"
+        and max_volume is None
+        and max_queries is None
+        and not algorithm.is_randomized
+    ):
+        # Batched flat-array fast path: only for deterministic,
+        # unbudgeted runs on the compiled engine (truncation and tape
+        # semantics stay with the scalar loop below, which is also the
+        # reference path `distance_mode="reference"` always takes).
+        batched = algorithm.run_node_batch(oracle, nodes)
+        if batched is not None:
+            return batched
     tapes = TapeStore(seed) if algorithm.is_randomized else None
     out: List[Tuple[int, object, CostProfile]] = []
     for node in nodes:
@@ -127,6 +160,52 @@ def _run_chunk(payload: bytes) -> List[Tuple[int, object, CostProfile]]:
         max_queries,
         distance_mode="incremental" if compiled else "reference",
     )
+
+
+def _run_chunk_shm(payload: bytes) -> List[Tuple[int, object, CostProfile]]:
+    """Worker entry point: a chunk against a shared-memory instance.
+
+    The payload carries an O(1) :class:`~repro.exec.shm.ShmInstanceHandle`
+    instead of the pickled instance; the attachment (zero-copy CSR views
+    + compiled oracle) is cached per worker process, so every chunk after
+    a worker's first is pure dispatch.
+    """
+    (
+        handle,
+        algorithm,
+        nodes,
+        seed,
+        max_volume,
+        max_queries,
+    ) = pickle.loads(payload)
+    _, oracle = shm_layer.attached_instance(handle)
+    return _execute_nodes(
+        oracle,
+        algorithm,
+        nodes,
+        seed,
+        max_volume,
+        max_queries,
+        distance_mode="incremental",
+    )
+
+
+class FixedInstanceFactory:
+    """``instance_factory(trial) -> instance`` for a fixed instance.
+
+    Module-level and attribute-only, so it pickles into process-pool
+    workers (a lambda closing over the instance would not).  Lives here
+    (rather than the Monte-Carlo engine that popularized it) so the
+    process-pool backend can recognize fixed-instance trial batches and
+    publish the one instance to shared memory; re-exported unchanged
+    from :mod:`repro.montecarlo.engine`.
+    """
+
+    def __init__(self, instance) -> None:
+        self.instance = instance
+
+    def __call__(self, trial: int):
+        return self.instance
 
 
 def _trial_outcomes(
@@ -193,6 +272,35 @@ def _run_trials(payload: bytes) -> List[TrialOutcome]:
             max_volume,
             max_queries,
         )
+
+
+def _run_trials_shm(payload: bytes) -> List[TrialOutcome]:
+    """Worker entry point: fixed-instance trials via shared memory.
+
+    Only dispatched for :class:`FixedInstanceFactory` batches, so the one
+    attached instance (and its per-worker cached compiled oracle) serves
+    every trial of every chunk this worker sees for the run.
+    """
+    (
+        handle,
+        problem,
+        algorithm,
+        trial_indices,
+        base_seed,
+        max_volume,
+        max_queries,
+    ) = pickle.loads(payload)
+    instance, oracle = shm_layer.attached_instance(handle)
+    return _trial_outcomes(
+        _PinnedOracleBackend(oracle),
+        problem,
+        FixedInstanceFactory(instance),
+        algorithm,
+        trial_indices,
+        base_seed,
+        max_volume,
+        max_queries,
+    )
 
 
 class ExecutionBackend(abc.ABC):
@@ -426,6 +534,31 @@ class BatchBackend(SerialBackend):
         self._oracles.clear()
 
 
+class _PinnedOracleBackend(SerialBackend):
+    """Serial execution against one pre-compiled oracle (shm workers).
+
+    A worker that attached a shared-memory instance already holds its
+    compiled oracle; this backend hands that oracle to every run over
+    the attached instance instead of recompiling, and — unlike its
+    parent — does not wrap trial batches in a transient
+    :class:`BatchBackend` (the pinned oracle *is* the cache).
+    """
+
+    name = "process-shm-worker"
+
+    def __init__(self, oracle) -> None:
+        super().__init__(compiled=True)
+        self._pinned = oracle
+
+    def run_trial_batch(self, *args, **kwargs) -> List[TrialOutcome]:
+        return ExecutionBackend.run_trial_batch(self, *args, **kwargs)
+
+    def _oracle_for(self, instance):
+        if instance is self._pinned.instance:
+            return self._pinned
+        return super()._oracle_for(instance)
+
+
 class ProcessPoolBackend(ExecutionBackend):
     """Chunked fan-out of start nodes over a process pool.
 
@@ -439,6 +572,15 @@ class ProcessPoolBackend(ExecutionBackend):
     better unit of work when each trial draws a fresh instance.  If the
     work items cannot be pickled (e.g. an instance factory defined inside
     a test function), it silently falls back to the serial path.
+
+    With ``shared_memory=True`` (the default on the compiled path) the
+    instance is *published once per dispatch* to a shared-memory segment
+    and chunks carry only an O(1) handle; workers attach zero-copy and
+    cache the compiled oracle per process.  The segment is unlinked in a
+    ``finally`` whether the dispatch succeeds or a worker raises.
+    ``shared_memory=False`` preserves the instance-per-chunk pickle path
+    bit-for-bit (results are identical either way — only the transport
+    differs); the reference path (``compiled=False``) always pickles.
     """
 
     name = "process"
@@ -448,6 +590,7 @@ class ProcessPoolBackend(ExecutionBackend):
         workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
         compiled: bool = True,
+        shared_memory: bool = True,
     ) -> None:
         if workers is not None and workers < 1:
             raise ValueError("workers must be positive")
@@ -456,7 +599,12 @@ class ProcessPoolBackend(ExecutionBackend):
         self.workers = workers or os.cpu_count() or 1
         self.chunk_size = chunk_size
         self.compiled = compiled
+        self.shared_memory = shared_memory
         self._executor: Optional[ProcessPoolExecutor] = None
+        # Segments published by dispatches that have not unlinked yet;
+        # normally drained by the per-dispatch ``finally``, re-drained by
+        # close() as a backstop (shm's atexit hook is the last resort).
+        self._live_handles: Set[object] = set()
 
     # ------------------------------------------------------------------
     def run(
@@ -472,8 +620,26 @@ class ProcessPoolBackend(ExecutionBackend):
         node_list = self._resolve_nodes(instance, nodes)
         chunks = self._chunk(node_list)
         serial = self.workers == 1 or len(chunks) <= 1
+        handle = None
         payloads: List[bytes] = []
-        if not serial:
+        if not serial and self.shared_memory and self.compiled:
+            handle = self._publish(instance)
+        if handle is not None:
+            try:
+                payloads = [
+                    pickle.dumps(
+                        (handle, algorithm, chunk, seed, max_volume,
+                         max_queries)
+                    )
+                    for chunk in chunks
+                ]
+            except Exception:
+                # Unpicklable algorithm: the shm path cannot help either;
+                # drop the segment and try the legacy transport below.
+                self._unpublish(handle)
+                handle = None
+                payloads = []
+        if not serial and handle is None:
             try:
                 payloads = [
                     pickle.dumps(
@@ -497,10 +663,15 @@ class ProcessPoolBackend(ExecutionBackend):
                 distance_mode="incremental" if self.compiled else "reference",
             )
             return self._assemble(instance, algorithm, triples)
-        futures = [self._pool().submit(_run_chunk, p) for p in payloads]
-        triples: List[Tuple[int, object, CostProfile]] = []
-        for future in futures:  # submission order == original node order
-            triples.extend(future.result())
+        worker = _run_chunk if handle is None else _run_chunk_shm
+        try:
+            futures = [self._pool().submit(worker, p) for p in payloads]
+            triples: List[Tuple[int, object, CostProfile]] = []
+            for future in futures:  # submission order == original node order
+                triples.extend(future.result())
+        finally:
+            if handle is not None:
+                self._unpublish(handle)
         return self._assemble(instance, algorithm, triples)
 
     def run_trial_batch(
@@ -538,37 +709,92 @@ class ProcessPoolBackend(ExecutionBackend):
 
         if self.workers == 1 or len(chunks) <= 1:
             return _local()
-        try:
-            payloads = [
-                pickle.dumps(
-                    (
-                        problem,
-                        instance_factory,
-                        algorithm,
-                        chunk,
-                        base_seed,
-                        max_volume,
-                        max_queries,
-                        self.compiled,
+        handle = None
+        payloads: List[bytes] = []
+        if (
+            self.shared_memory
+            and self.compiled
+            and isinstance(instance_factory, FixedInstanceFactory)
+        ):
+            # Fixed-instance trial streams (the Monte-Carlo engine's
+            # common shape) share one instance across every trial:
+            # publish it once, fan out O(1) handles.
+            handle = self._publish(instance_factory.instance)
+        if handle is not None:
+            try:
+                payloads = [
+                    pickle.dumps(
+                        (
+                            handle,
+                            problem,
+                            algorithm,
+                            chunk,
+                            base_seed,
+                            max_volume,
+                            max_queries,
+                        )
                     )
-                )
-                for chunk in chunks
-            ]
-        except Exception:
-            # Unpicklable factory/problem (lambdas, local classes): the
-            # parallel path is an optimization, not a requirement.
-            return _local()
-        futures = [self._pool().submit(_run_trials, p) for p in payloads]
-        outcomes: List[TrialOutcome] = []
-        for future in futures:  # submission order == trial index order
-            outcomes.extend(future.result())
+                    for chunk in chunks
+                ]
+            except Exception:
+                self._unpublish(handle)
+                handle = None
+                payloads = []
+        if handle is None:
+            try:
+                payloads = [
+                    pickle.dumps(
+                        (
+                            problem,
+                            instance_factory,
+                            algorithm,
+                            chunk,
+                            base_seed,
+                            max_volume,
+                            max_queries,
+                            self.compiled,
+                        )
+                    )
+                    for chunk in chunks
+                ]
+            except Exception:
+                # Unpicklable factory/problem (lambdas, local classes): the
+                # parallel path is an optimization, not a requirement.
+                return _local()
+        worker = _run_trials if handle is None else _run_trials_shm
+        try:
+            futures = [self._pool().submit(worker, p) for p in payloads]
+            outcomes: List[TrialOutcome] = []
+            for future in futures:  # submission order == trial index order
+                outcomes.extend(future.result())
+        finally:
+            if handle is not None:
+                self._unpublish(handle)
         return outcomes
 
     # ------------------------------------------------------------------
     def close(self) -> None:
+        while self._live_handles:
+            self._unpublish(self._live_handles.pop())
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+
+    def _publish(self, instance):
+        """Publish ``instance`` to shared memory; ``None`` = use pickle."""
+        try:
+            handle = shm_layer.publish_instance(instance)
+        except Exception:
+            # Unshareable instance (ids outside int64, unpicklable aux,
+            # a graph that refuses to freeze): shared memory is an
+            # optimization, not a requirement.
+            return None
+        self._live_handles.add(handle)
+        return handle
+
+    def _unpublish(self, handle) -> None:
+        self._live_handles.discard(handle)
+        shm_layer.unpublish(handle)
 
     def _pool(self) -> ProcessPoolExecutor:
         if self._executor is None:
@@ -576,14 +802,24 @@ class ProcessPoolBackend(ExecutionBackend):
         return self._executor
 
     def _chunk(self, items: List[int]) -> List[List[int]]:
-        """Contiguous chunks; ~4 per worker to smooth uneven node costs."""
+        """Contiguous chunks; ~4 per worker to smooth uneven node costs.
+
+        A tiny trailing remainder (fewer than ``size // 2`` items) would
+        cost a whole dispatch round-trip for almost no work, so it is
+        merged into the previous chunk instead — the partition stays
+        contiguous and ordered, so merged results are unchanged.
+        """
         if not items:
             return []
         if self.chunk_size is not None:
             size = self.chunk_size
         else:
             size = max(1, -(-len(items) // (self.workers * 4)))
-        return [items[i : i + size] for i in range(0, len(items), size)]
+        chunks = [items[i : i + size] for i in range(0, len(items), size)]
+        if len(chunks) > 1 and len(chunks[-1]) < size // 2:
+            tail = chunks.pop()
+            chunks[-1] = chunks[-1] + tail
+        return chunks
 
 
 _DEFAULT_BACKEND = SerialBackend()
@@ -596,7 +832,9 @@ def get_backend(spec=None) -> ExecutionBackend:
     ``"process:N"`` for an N-worker pool — all of which use the compiled
     instance fast path — plus ``"reference"``, the uncompiled reference
     engine (``StaticOracle`` + BFS ``DIST``; bitwise-identical results).
-    ``None`` means the shared default :class:`SerialBackend`.
+    ``"process:N:shm"`` / ``"process:N:pickle"`` pin the pool's instance
+    transport (shared memory is the default); results are identical
+    either way.  ``None`` means the shared default :class:`SerialBackend`.
     """
     if spec is None:
         return _DEFAULT_BACKEND
@@ -611,16 +849,25 @@ def get_backend(spec=None) -> ExecutionBackend:
         if name == "batch":
             return BatchBackend()
         if name == "process":
+            count, _, transport = arg.partition(":")
+            shared = True
+            if transport == "pickle":
+                shared = False
+            elif transport not in ("", "shm"):
+                raise ValueError(
+                    f"bad transport in backend spec {spec!r} "
+                    "(expected 'process:N:shm' or 'process:N:pickle')"
+                )
             try:
-                workers = int(arg) if arg else None
+                workers = int(count) if count else None
             except ValueError:
                 raise ValueError(
                     f"bad worker count in backend spec {spec!r} "
                     "(expected 'process:N' with integer N)"
                 ) from None
-            return ProcessPoolBackend(workers=workers)
+            return ProcessPoolBackend(workers=workers, shared_memory=shared)
     raise ValueError(
         f"unknown execution backend {spec!r} "
         "(expected an ExecutionBackend, 'serial', 'reference', 'batch', "
-        "'process', or 'process:N')"
+        "'process', 'process:N', or 'process:N:shm'/'process:N:pickle')"
     )

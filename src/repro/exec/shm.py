@@ -1,0 +1,347 @@
+"""Zero-copy instance sharing for process-pool workers.
+
+The pickle fan-out path serializes the *whole instance* into every chunk
+payload, so a run with ``c`` chunks pays ``c`` serializations in the
+parent and ``c`` deserializations plus ``c`` oracle compilations across
+the workers.  But a :class:`~repro.graphs.frozen.FrozenPortGraph` is an
+immutable CSR snapshot that every worker only ever reads — the textbook
+candidate for :mod:`multiprocessing.shared_memory`:
+
+* :func:`publish_instance` freezes the instance once, copies the five
+  CSR columns (``ids`` / ``port_offsets`` / ``port_endpoints`` /
+  ``port_back_ports`` / ``degrees``) byte-for-byte into one shared
+  segment, appends a small pickled *aux* record (labeling, ``n``, name,
+  metadata — everything that is not flat graph structure), and returns a
+  :class:`ShmInstanceHandle` that pickles in O(1);
+* workers call :func:`attached_instance` with the handle: the segment is
+  mapped (not copied), the CSR columns become ``memoryview`` casts
+  straight into the shared buffer, and the rebuilt instance + compiled
+  oracle are **cached per worker process** keyed by segment name — so a
+  worker pays one attach + one oracle compilation per run, no matter how
+  many chunks it executes.
+
+Lifecycle (DESIGN.md §9.2): the publisher owns the segment.  The backend
+unlinks it in a ``finally`` as soon as the dispatch that published it
+completes (success *or* worker exception); on POSIX the mapping stays
+valid for workers that are still attached, so there is no unlink race.
+A module-level registry + ``atexit`` hook backstops interpreter-level
+failures, and :func:`unpublish_all` lets tests assert the registry is
+empty.  Workers keep a tiny LRU of attachments (old runs' segments are
+already unlinked; closing them on eviction frees the mapping) and close
+everything at interpreter exit.
+
+Python < 3.13 registers *attached* segments with the resource tracker as
+if the attacher owned them, which makes the tracker unlink shared
+segments early (and warn) when a pool worker exits; :func:`_attach`
+applies the standard unregister workaround (``track=False`` on 3.13+).
+"""
+
+from __future__ import annotations
+
+import atexit
+import pickle
+import sys
+from array import array
+from collections import OrderedDict
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, List, Tuple
+
+from repro.graphs.frozen import FrozenPortGraph
+from repro.graphs.labelings import Instance
+from repro.model.oracle import CompiledOracle, compile_oracle
+
+_WORD = 8  # every CSR cell is a signed 64-bit integer ('q')
+
+#: Segments this process has published and not yet unlinked.
+_PUBLISHED: Dict[str, shared_memory.SharedMemory] = {}
+
+#: Worker-side attachment cache (segment name -> _Attachment).  Bounded:
+#: a worker outlives many runs, each with its own segment.
+_ATTACHED: "OrderedDict[str, _Attachment]" = OrderedDict()
+_ATTACH_CAP = 4
+
+_CLEANUP_REGISTERED = False
+
+
+class ShmPublishError(RuntimeError):
+    """The instance cannot be published to shared memory.
+
+    Raised for structurally unshareable inputs (node ids outside int64,
+    an aux payload that does not pickle).  The backend treats it as
+    "use the pickle path", never as a failed run.
+    """
+
+
+@dataclass(frozen=True)
+class ShmInstanceHandle:
+    """An O(1)-pickling reference to a published instance.
+
+    Carries the segment name plus the integer shape facts needed to
+    reconstruct the column layout; everything bulky lives in the segment
+    itself.  The layout is deterministic: five ``'q'`` columns —
+    ``ids[n]``, ``offsets[n+1]``, ``endpoints[p]``, ``back_ports[p]``,
+    ``degrees[n]`` — followed by ``aux_len`` bytes of pickled aux data.
+    """
+
+    name: str
+    num_nodes: int
+    num_slots: int
+    num_edges: int
+    max_degree: int
+    aux_len: int
+
+    def column_layout(self) -> List[Tuple[int, int]]:
+        """``(byte offset, element count)`` per column, in layout order."""
+        n, p = self.num_nodes, self.num_slots
+        counts = [n, n + 1, p, p, n]
+        layout: List[Tuple[int, int]] = []
+        pos = 0
+        for count in counts:
+            layout.append((pos, count))
+            pos += count * _WORD
+        return layout
+
+    @property
+    def aux_offset(self) -> int:
+        return (3 * self.num_nodes + 1 + 2 * self.num_slots) * _WORD
+
+    @property
+    def total_size(self) -> int:
+        return self.aux_offset + self.aux_len
+
+
+def _register_cleanup() -> None:
+    global _CLEANUP_REGISTERED
+    if not _CLEANUP_REGISTERED:
+        _CLEANUP_REGISTERED = True
+        atexit.register(_cleanup_at_exit)
+
+
+def _cleanup_at_exit() -> None:
+    """Backstop: unlink published and close attached segments on exit."""
+    unpublish_all()
+    detach_all()
+
+
+def publish_instance(instance: Instance) -> ShmInstanceHandle:
+    """Copy ``instance`` into a fresh shared-memory segment.
+
+    The graph is frozen (a no-op if already frozen), its CSR columns are
+    written byte-for-byte, and the non-structural remainder (labeling,
+    advertised ``n``, name, instance + graph metadata) is pickled into
+    the aux region.  The caller owns the segment and must arrange
+    :func:`unpublish` — the backends do so in ``finally`` blocks, with
+    the ``atexit`` registry as a last resort.
+    """
+    frozen = instance.graph.freeze()
+    try:
+        ids = array("q", frozen.node_ids())
+        columns = [
+            ids,
+            array("q", frozen.port_offsets),
+            array("q", frozen.port_endpoints),
+            array("q", frozen.port_back_ports),
+            array("q", frozen.degrees),
+        ]
+        aux = pickle.dumps(
+            (
+                instance.labeling,
+                instance.n,
+                instance.name,
+                dict(instance.meta),
+                dict(frozen.meta),
+            ),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+    except Exception as exc:
+        raise ShmPublishError(
+            f"instance {instance.name!r} is not shareable: {exc}"
+        ) from exc
+    words = sum(len(col) for col in columns)
+    segment = shared_memory.SharedMemory(
+        create=True, size=max(1, words * _WORD + len(aux))
+    )
+    try:
+        pos = 0
+        for col in columns:
+            raw = col.tobytes()
+            segment.buf[pos : pos + len(raw)] = raw
+            pos += len(raw)
+        segment.buf[pos : pos + len(aux)] = aux
+    except Exception:
+        segment.close()
+        segment.unlink()
+        raise
+    _PUBLISHED[segment.name] = segment
+    _register_cleanup()
+    return ShmInstanceHandle(
+        name=segment.name,
+        num_nodes=frozen.num_nodes,
+        num_slots=len(frozen.port_endpoints),
+        num_edges=frozen.num_edges(),
+        max_degree=frozen.max_degree,
+        aux_len=len(aux),
+    )
+
+
+def unpublish(handle: ShmInstanceHandle) -> None:
+    """Unlink a published segment (idempotent)."""
+    segment = _PUBLISHED.pop(handle.name, None)
+    if segment is None:
+        return
+    segment.close()
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - already gone
+        pass
+
+
+def unpublish_all() -> None:
+    """Unlink every segment this process still has published."""
+    for name in list(_PUBLISHED):
+        segment = _PUBLISHED.pop(name)
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover
+            pass
+
+
+def published_segments() -> List[str]:
+    """Names of segments currently published and not yet unlinked."""
+    return sorted(_PUBLISHED)
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Map an existing segment without adopting ownership of it.
+
+    Pre-3.13 ``SharedMemory(name=...)`` registers the attacher with the
+    resource tracker as if it owned the segment, which would make any
+    worker's exit unlink it out from under its siblings.  Unregistering
+    afterwards is the widely-used fix, but parent and workers share one
+    tracker process keyed by name, so the unregister also erases the
+    *publisher's* registration and the eventual ``unlink()`` provokes a
+    KeyError traceback inside the tracker.  Suppressing the registration
+    during attach leaves the publisher's entry untouched instead.
+    """
+    if sys.version_info >= (3, 13):
+        return shared_memory.SharedMemory(name=name, track=False)
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+
+    def _skip_shm(rname, rtype):  # pragma: no cover - trivial shim
+        if rtype != "shared_memory":
+            original(rname, rtype)
+
+    resource_tracker.register = _skip_shm
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class _Attachment:
+    """One mapped segment and everything reconstructed from it."""
+
+    __slots__ = ("segment", "views", "instance", "oracle")
+
+    def __init__(self, handle: ShmInstanceHandle) -> None:
+        segment = _attach(handle.name)
+        self.segment = segment
+        buf = memoryview(segment.buf)
+        self.views = []
+        columns = []
+        for offset, count in handle.column_layout():
+            view = buf[offset : offset + count * _WORD].cast("q")
+            self.views.append(view)
+            columns.append(view)
+        ids_view, offsets, endpoints, back_ports, degrees = columns
+        # Node ids feed the id -> dense-index dict anyway, so they are
+        # materialized; the three big columns stay zero-copy views.
+        ids = list(ids_view)
+        aux_raw = bytes(
+            buf[handle.aux_offset : handle.aux_offset + handle.aux_len]
+        )
+        buf.release()
+        labeling, n, name, meta, graph_meta = pickle.loads(aux_raw)
+        frozen = FrozenPortGraph.from_csr(
+            max_degree=handle.max_degree,
+            ids=ids,
+            offsets=offsets,
+            endpoints=endpoints,
+            back_ports=back_ports,
+            degrees=degrees,
+            num_edges=handle.num_edges,
+            meta=graph_meta,
+        )
+        self.instance = Instance(
+            graph=frozen, labeling=labeling, n=n, name=name, meta=meta
+        )
+        self.oracle: CompiledOracle = compile_oracle(self.instance)
+
+    def close(self) -> None:
+        """Release the buffer views and unmap the segment."""
+        self.instance = None
+        self.oracle = None
+        for view in self.views:
+            view.release()
+        self.views = []
+        try:
+            self.segment.close()
+        except BufferError:  # pragma: no cover - a view escaped; leave
+            pass  # the mapping to process exit rather than crash
+
+
+def attach_instance(handle: ShmInstanceHandle) -> _Attachment:
+    """A fresh, uncached attachment (caller must ``close()`` it).
+
+    Used by benchmarks to measure attach overhead and by tests to
+    inspect round-trip fidelity; workers use :func:`attached_instance`.
+    """
+    return _Attachment(handle)
+
+
+def attached_instance(
+    handle: ShmInstanceHandle,
+) -> Tuple[Instance, CompiledOracle]:
+    """The per-process cached attachment for ``handle``.
+
+    First call per segment maps the buffer, rebuilds the instance and
+    compiles the oracle; subsequent calls (later chunks of the same run)
+    are a dict hit.  The cache is a small LRU — evicted attachments
+    belong to finished runs whose segments the publisher has already
+    unlinked, so closing them releases the last mapping.
+    """
+    record = _ATTACHED.get(handle.name)
+    if record is not None:
+        _ATTACHED.move_to_end(handle.name)
+        return record.instance, record.oracle
+    record = _Attachment(handle)
+    _ATTACHED[handle.name] = record
+    _register_cleanup()
+    while len(_ATTACHED) > _ATTACH_CAP:
+        _, evicted = _ATTACHED.popitem(last=False)
+        evicted.close()
+    return record.instance, record.oracle
+
+
+def detach_all() -> None:
+    """Close every cached attachment (worker exit / test teardown)."""
+    while _ATTACHED:
+        _, record = _ATTACHED.popitem(last=False)
+        record.close()
+
+
+__all__ = [
+    "ShmInstanceHandle",
+    "ShmPublishError",
+    "attach_instance",
+    "attached_instance",
+    "detach_all",
+    "publish_instance",
+    "published_segments",
+    "unpublish",
+    "unpublish_all",
+]

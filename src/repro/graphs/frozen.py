@@ -20,15 +20,23 @@ single port resolution.
 * ``degrees`` — per-node connected-port counts,
 
 plus an id <-> dense-index mapping (node ids are arbitrary ints; dense
-indices are ``0..n-1`` in insertion order).  All queries are O(1) list
+indices are ``0..n-1`` in insertion order).  All queries are O(1) flat
 indexing with no per-call allocation; the mutation API raises.  The query
 surface mirrors :class:`PortGraph` exactly, so oracles and algorithms can
 take either.
+
+The four CSR columns are stored as ``array('q')`` buffers (or, for a
+graph attached from a :mod:`multiprocessing.shared_memory` segment via
+:meth:`FrozenPortGraph.from_csr`, as ``memoryview`` casts straight into
+the shared buffer).  Both expose identical ``int``-per-index semantics;
+the shared-memory layer (``repro.exec.shm``) relies on the columns being
+contiguous 64-bit signed integers it can copy — or map — byte-for-byte.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from array import array
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.graphs.port_graph import (
     GraphTraversalMixin,
@@ -100,11 +108,44 @@ class FrozenPortGraph(GraphTraversalMixin):
             connected += degree
         self._ids = ids
         self._index = index
+        self.port_offsets = array("q", offsets)
+        self.port_endpoints = array("q", endpoints)
+        self.port_back_ports = array("q", back_ports)
+        self.degrees = array("q", degrees)
+        self._num_edges = connected // 2
+
+    @classmethod
+    def from_csr(
+        cls,
+        max_degree: int,
+        ids: Sequence[int],
+        offsets: Sequence[int],
+        endpoints: Sequence[int],
+        back_ports: Sequence[int],
+        degrees: Sequence[int],
+        num_edges: int,
+        meta: Optional[Dict[str, object]] = None,
+    ) -> "FrozenPortGraph":
+        """Wrap already-packed CSR columns without copying or validating.
+
+        This is the zero-copy attachment path: the column arguments may be
+        ``memoryview`` casts into a shared-memory segment (they are stored
+        as-is), so a worker process can serve queries straight out of the
+        publisher's buffer.  The caller vouches that the columns came from
+        a real :class:`FrozenPortGraph` (``repro.exec.shm`` publishes them
+        byte-for-byte); only the id -> dense-index map is rebuilt here.
+        """
+        self = cls.__new__(cls)
+        self._max_degree = max_degree
+        self.meta = dict(meta or {})
+        self._ids = list(ids)
+        self._index = {nid: i for i, nid in enumerate(self._ids)}
         self.port_offsets = offsets
         self.port_endpoints = endpoints
         self.port_back_ports = back_ports
         self.degrees = degrees
-        self._num_edges = connected // 2
+        self._num_edges = num_edges
+        return self
 
     # ------------------------------------------------------------------
     # construction API: a frozen graph refuses all of it

@@ -23,7 +23,7 @@ in ``tests/perf/test_compiled_equivalence.py``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Protocol, Tuple
+from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
 
 from repro.graphs.labelings import Instance, NodeLabel
 from repro.graphs.port_graph import PortGraphError
@@ -117,6 +117,7 @@ class CompiledOracle:
 
     def __init__(self, instance: Instance) -> None:
         self._instance = instance
+        self._kernel = None
         frozen = instance.graph.freeze()
         self._frozen = frozen
         info: Dict[int, NodeInfo] = {}
@@ -166,6 +167,51 @@ class CompiledOracle:
         if 1 <= port <= len(row):
             return row[port - 1]
         return None
+
+    # ------------------------------------------------------------------
+    # batched surface (the flat-array kernel layer, DESIGN.md §9.3)
+    # ------------------------------------------------------------------
+    def resolve_many(
+        self, queries: Iterable[Tuple[int, int]]
+    ) -> List[Optional[int]]:
+        """Resolve a whole batch of ``(node, port)`` pairs in one call.
+
+        Answers element-for-element what per-pair :meth:`resolve` calls
+        would have returned (including ``None`` for out-of-range ports
+        and :class:`PortGraphError` for unknown nodes); batch consumers
+        amortize the method dispatch over the precomputed row table.
+        """
+        resolved = self._resolved
+        out: List[Optional[int]] = []
+        append = out.append
+        for node_id, port in queries:
+            try:
+                row = resolved[node_id]
+            except KeyError:
+                raise PortGraphError(f"unknown node {node_id}") from None
+            append(row[port - 1] if 1 <= port <= len(row) else None)
+        return out
+
+    def node_info_many(self, node_ids: Sequence[int]) -> List[NodeInfo]:
+        """The :class:`NodeInfo` records for a batch of nodes."""
+        info = self._info
+        try:
+            return [info[node_id] for node_id in node_ids]
+        except KeyError as exc:
+            raise PortGraphError(f"unknown node {exc.args[0]}") from None
+
+    def gather_kernel(self):
+        """The memoized flat-array gather kernel over this oracle's CSR.
+
+        Built lazily (most oracles never batch) and shared across every
+        start node of a run, so the kernel's scratch arrays are allocated
+        once per compiled instance.
+        """
+        if self._kernel is None:
+            from repro.model.batched import CsrGatherKernel
+
+            self._kernel = CsrGatherKernel(self)
+        return self._kernel
 
 
 def compile_oracle(instance: Instance) -> CompiledOracle:

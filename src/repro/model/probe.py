@@ -395,6 +395,23 @@ class ProbeAlgorithm:
     def run(self, view: ProbeView):
         raise NotImplementedError
 
+    def run_node_batch(self, oracle, nodes):
+        """Optional batched whole-run fast path; ``None`` = unsupported.
+
+        Implementations must return, for the given start nodes in order,
+        exactly the ``(node, output, CostProfile)`` triples that per-node
+        :func:`execute_at` calls would have produced — the dispatcher
+        (``repro.exec.backends._execute_nodes``) treats the batch as a
+        drop-in replacement and the equivalence suites enforce bitwise
+        identity.  Only ever invoked for deterministic, unbudgeted runs
+        (no tape store, no volume/query truncation); gather-style
+        algorithms implement it over the flat-array CSR kernel
+        (:mod:`repro.model.batched`).  Returning ``None`` — the default,
+        and the right answer whenever ``oracle`` has no kernel — selects
+        the scalar engine.
+        """
+        return None
+
     def fallback(self, view: ProbeView):
         """Output to emit when truncated (default: the node's input color)."""
         label = view.start_info.label

@@ -36,6 +36,7 @@ from typing import Callable, Dict, List, Optional, Union
 from repro.exec.backends import (
     BatchBackend,
     ExecutionBackend,
+    FixedInstanceFactory,
     SerialBackend,
     TrialOutcome,
     get_backend,
@@ -120,18 +121,9 @@ QUICK_POLICY = TrialPolicy(
 )
 
 
-class FixedInstanceFactory:
-    """``instance_factory(trial) -> instance`` for a fixed instance.
-
-    Module-level and attribute-only, so it pickles into process-pool
-    workers (a lambda closing over the instance would not).
-    """
-
-    def __init__(self, instance) -> None:
-        self.instance = instance
-
-    def __call__(self, trial: int):
-        return self.instance
+# FixedInstanceFactory now lives in repro.exec.backends (so the process
+# pool can recognize fixed-instance batches and publish the instance to
+# shared memory); re-exported here unchanged for existing importers.
 
 
 @dataclass
@@ -250,38 +242,43 @@ def run_trials(
     if backend is not None and not isinstance(backend, ExecutionBackend):
         # A string spec ("process:4", ...) constructed a fresh backend
         # nobody else holds: close it when the run ends, or a lazily
-        # started ProcessPoolExecutor leaks into interpreter teardown.
+        # started ProcessPoolExecutor (and any published shared-memory
+        # segment) leaks into interpreter teardown.
         owned.append(engine)
-    # A plain SerialBackend wraps *each* trial batch in a transient
-    # BatchBackend, recompiling a fixed instance's oracle once per
-    # batch; holding one oracle-caching backend for the whole streaming
-    # loop compiles it once per run instead.  Results are identical
-    # (the conformance suite pins serial == batch), so this is purely
-    # an amortization.  Exact-type check on purpose: a BatchBackend
-    # (a SerialBackend subclass) already caches across calls.
-    if type(engine) is SerialBackend:
-        engine = BatchBackend(compiled=engine.compiled)
-        owned.append(engine)
-    factory = (
-        instance_or_factory
-        if callable(instance_or_factory)
-        else FixedInstanceFactory(instance_or_factory)
-    )
-    if resume is not None:
-        if resume.policy != policy or resume.base_seed != base_seed:
-            raise ValueError(
-                "resume requires the same policy and base_seed the "
-                "original run used (trial seeds would diverge otherwise)"
-            )
-        result = MonteCarloResult(policy=policy, base_seed=base_seed)
-        for outcome in resume.outcomes:
-            result.record(outcome)
-        result.elapsed = resume.elapsed
-    else:
-        result = MonteCarloResult(policy=policy, base_seed=base_seed)
-    started = time.perf_counter()
-    result.stopped = STOP_FIXED if not policy.early_stop else STOP_BUDGET
+    # The try covers everything from here on: even pre-loop failures
+    # (resume validation, a factory that raises) must close an owned
+    # pool and its shared-memory segments, not just loop exceptions.
     try:
+        # A plain SerialBackend wraps *each* trial batch in a transient
+        # BatchBackend, recompiling a fixed instance's oracle once per
+        # batch; holding one oracle-caching backend for the whole
+        # streaming loop compiles it once per run instead.  Results are
+        # identical (the conformance suite pins serial == batch), so
+        # this is purely an amortization.  Exact-type check on purpose:
+        # a BatchBackend (a SerialBackend subclass) already caches
+        # across calls.
+        if type(engine) is SerialBackend:
+            engine = BatchBackend(compiled=engine.compiled)
+            owned.append(engine)
+        factory = (
+            instance_or_factory
+            if callable(instance_or_factory)
+            else FixedInstanceFactory(instance_or_factory)
+        )
+        if resume is not None:
+            if resume.policy != policy or resume.base_seed != base_seed:
+                raise ValueError(
+                    "resume requires the same policy and base_seed the "
+                    "original run used (trial seeds would diverge otherwise)"
+                )
+            result = MonteCarloResult(policy=policy, base_seed=base_seed)
+            for outcome in resume.outcomes:
+                result.record(outcome)
+            result.elapsed = resume.elapsed
+        else:
+            result = MonteCarloResult(policy=policy, base_seed=base_seed)
+        started = time.perf_counter()
+        result.stopped = STOP_FIXED if not policy.early_stop else STOP_BUDGET
         while result.trials < policy.max_trials:
             if _should_stop(policy, result):
                 result.stopped = STOP_CONVERGED

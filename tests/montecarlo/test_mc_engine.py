@@ -268,6 +268,36 @@ class TestDispatch:
         )
         assert closed
 
+    def test_string_spec_pool_closed_on_pre_loop_exception(
+        self, monkeypatch
+    ):
+        """Even failures before the first batch must tear the pool down.
+
+        A resume-validation error fires after the backend has been
+        constructed but before any trial runs; the owned pool (and any
+        shared-memory segment it published) must still be closed.
+        """
+        import repro.exec.backends as backends
+
+        closed = []
+        original = backends.ProcessPoolBackend.close
+
+        def counting(self):
+            closed.append(self)
+            original(self)
+
+        monkeypatch.setattr(backends.ProcessPoolBackend, "close", counting)
+        stale = run_trials(
+            PROBLEM, INSTANCE, _walker(), TrialPolicy.fixed(4), base_seed=1
+        )
+        closed.clear()
+        with pytest.raises(ValueError, match="resume"):
+            run_trials(
+                PROBLEM, INSTANCE, _walker(), TrialPolicy.fixed(4),
+                base_seed=2, backend="process:2", resume=stale,
+            )
+        assert closed
+
     def test_progress_lines(self):
         lines = []
         run_trials(

@@ -150,6 +150,31 @@ class TestBackendsShareTheFastPath:
             pooled = _run(cell, instance, pool)
         _runs_match(reference, pooled)
 
+    @pytest.mark.parametrize(
+        "cell", CASES, ids=["{}@{}".format(c.algorithm.name, c.family.name)
+                            for c in CASES]
+    )
+    @pytest.mark.parametrize("shared", [True, False], ids=["shm", "pickle"])
+    def test_process_transport_matches_reference(self, cell, shared):
+        """Both pool transports are bitwise-identical to the reference.
+
+        The shared-memory path swaps the instance's transport (published
+        CSR segment + O(1) handle) but must never change results; the
+        pickle path is today's semantics verbatim.  Leak-freedom is part
+        of the contract: every dispatch unlinks its segment.
+        """
+        from repro.exec import shm
+
+        param = cell.family.quick[0]
+        instance = cell.family.instance(param)
+        reference = _run(cell, instance, REFERENCE)
+        with ProcessPoolBackend(
+            workers=2, chunk_size=2, shared_memory=shared
+        ) as pool:
+            pooled = _run(cell, instance, pool)
+            assert shm.published_segments() == []
+        _runs_match(reference, pooled)
+
     def test_batch_backend_caches_compiled_oracle(self):
         cell = CELLS[0]
         instance = cell.family.instance(cell.family.quick[0])

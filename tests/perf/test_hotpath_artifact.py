@@ -1,0 +1,86 @@
+"""The committed hot-path artifact and its schema-v1 reader shim.
+
+``bench_hotpath.json`` at the repo root is a schema-v2 artifact; older
+checkouts (PR 3-5) committed schema v1.  ``load_hotpath_artifact`` must
+read both shapes uniformly so CI scripts and notebooks never branch on
+the version themselves.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from bench_hotpath import (  # noqa: E402 - path shim above
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    load_hotpath_artifact,
+)
+
+
+def _v1_payload():
+    return {
+        "schema": SCHEMA_NAME,
+        "schema_version": 1,
+        "benches": [{"name": "oracle_queries", "speedup": 20.0}],
+        "gate": {
+            "query_throughput_speedup": 20.0,
+            "query_throughput_ok": True,
+            "full_gather_speedups": {"full_gather[line-512]": 3.0},
+        },
+    }
+
+
+class TestCommittedArtifact:
+    def test_loads_as_current_schema(self):
+        artifact = load_hotpath_artifact(REPO_ROOT / "bench_hotpath.json")
+        assert artifact["schema_version"] == SCHEMA_VERSION
+        assert "upgraded_from" not in artifact
+
+    def test_parallel_sections_present_and_gated(self):
+        artifact = load_hotpath_artifact(REPO_ROOT / "bench_hotpath.json")
+        rows = artifact["parallel_scaling"]
+        assert rows, "v2 artifact must carry parallel_scaling rows"
+        grid = {(r["workers"], r["transport"]) for r in rows}
+        assert grid == {(w, t) for w in (1, 2, 4) for t in ("shm", "pickle")}
+        gate = artifact["gate"]
+        assert gate["parallel_ok"] is True
+        assert gate["parallel_speedup_2w_shm"] >= 1.3
+        assert gate["shm_leak_free"] is True
+        assert artifact["trial_batch"]
+
+
+class TestV1Shim:
+    def test_v1_is_upgraded_in_memory(self):
+        artifact = load_hotpath_artifact(_v1_payload())
+        assert artifact["schema_version"] == SCHEMA_VERSION
+        assert artifact["upgraded_from"] == 1
+        assert artifact["parallel_scaling"] == []
+        assert artifact["trial_batch"] == []
+        gate = artifact["gate"]
+        assert gate["parallel_speedup_2w_shm"] is None
+        assert gate["parallel_ok"] is True
+        assert gate["shm_leak_free"] is True
+        # v1 content is preserved verbatim.
+        assert gate["query_throughput_speedup"] == 20.0
+        assert artifact["benches"][0]["name"] == "oracle_queries"
+
+    def test_v2_passes_through_unchanged(self):
+        payload = {
+            "schema": SCHEMA_NAME,
+            "schema_version": SCHEMA_VERSION,
+            "parallel_scaling": [{"workers": 2}],
+        }
+        assert load_hotpath_artifact(payload) is payload
+
+    def test_foreign_schema_rejected(self):
+        with pytest.raises(ValueError, match="not a"):
+            load_hotpath_artifact({"schema": "something-else"})
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ValueError, match="schema_version"):
+            load_hotpath_artifact({"schema": SCHEMA_NAME,
+                                   "schema_version": 99})
