@@ -11,12 +11,14 @@ from repro.adversary.engine import (
     Transcript,
 )
 from repro.exec.backends import (
+    BackendSpec,
     BatchBackend,
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
     TrialOutcome,
     get_backend,
+    parse_backend_spec,
 )
 from repro.montecarlo import (
     MonteCarloResult,
@@ -34,6 +36,13 @@ from repro.exec.sweep import (
 )
 from repro.graphs.labelings import Instance, Labeling, NodeLabel
 from repro.graphs.port_graph import PortGraph
+from repro.model.implicit import (
+    ImplicitOracle,
+    InstanceSource,
+    InstanceSpec,
+    as_oracle,
+    implicit_families,
+)
 from repro.model.probe import CostProfile, ProbeAlgorithm, ProbeView
 from repro.model.randomness import RandomnessModel
 from repro.model.runner import (
@@ -63,11 +72,12 @@ from repro.registry import (
     register_problem,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ADVERSARIES",
     "ALGORITHMS",
+    "BackendSpec",
     "BalancedTree",
     "BatchBackend",
     "FAMILIES",
@@ -77,8 +87,11 @@ __all__ = [
     "HHTHC",
     "HierarchicalTHC",
     "HybridTHC",
+    "ImplicitOracle",
     "Instance",
     "InstanceFamily",
+    "InstanceSource",
+    "InstanceSpec",
     "InteractiveOracle",
     "Labeling",
     "LeafColoring",
@@ -99,10 +112,13 @@ __all__ = [
     "SweepSpec",
     "TrialOutcome",
     "TrialPolicy",
+    "as_oracle",
     "estimate_success_probability",
     "get_backend",
+    "implicit_families",
     "iter_compatible",
     "load_components",
+    "parse_backend_spec",
     "register_adversary",
     "register_algorithm",
     "register_family",

@@ -30,7 +30,8 @@ from repro.adversary.base import Adversary, AdversaryRun
 from repro.adversary.engine import RecordingOracle, Transcript
 from repro.graphs.generators import disjointness_embedding
 from repro.graphs.labelings import BALANCED, Instance
-from repro.model.oracle import GraphOracle, NodeInfo, StaticOracle
+from repro.model.implicit import as_oracle
+from repro.model.oracle import GraphOracle, NodeInfo
 from repro.model.probe import ProbeAlgorithm, ProbeView
 from repro.model.randomness import (
     RandomnessContext,
@@ -76,7 +77,9 @@ class TwoPartyReferee(RecordingOracle):
 
     def __init__(self, instance: Instance, inner: Optional[GraphOracle] = None):
         super().__init__(
-            inner if inner is not None else StaticOracle(instance),
+            inner if inner is not None else as_oracle(
+                instance, mode="reference"
+            ),
             Transcript(
                 adversary="prop49/balanced-tree",
                 n=instance.n,
@@ -248,12 +251,11 @@ class Prop49Referee(Adversary):
 
     def verify(self, run: AdversaryRun, backend=None) -> bool:
         from repro.exec.backends import get_backend
-        from repro.model.oracle import CompiledOracle, StaticOracle
 
         instance = run.instance
-        if run.transcript.replay(StaticOracle(instance)):
+        if run.transcript.replay(as_oracle(instance, mode="reference")):
             return False
-        if run.transcript.replay(CompiledOracle(instance)):
+        if run.transcript.replay(as_oracle(instance, mode="compiled")):
             return False
         # The transcript alone must account for the charged bits.
         if (

@@ -37,7 +37,8 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.graphs.labelings import Instance, Labeling, NodeLabel
 from repro.graphs.port_graph import PortGraph
-from repro.model.oracle import GraphOracle, NodeInfo, StaticOracle
+from repro.model.implicit import as_oracle
+from repro.model.oracle import GraphOracle, NodeInfo
 
 
 class AdversaryEngineError(RuntimeError):
@@ -427,7 +428,7 @@ class InteractiveOracle:
             name=name,
             meta=dict(meta or {}),
         )
-        self.transcript.replay_exact(StaticOracle(instance))
+        self.transcript.replay_exact(as_oracle(instance, mode="reference"))
         self._finalized = True
         return instance
 

@@ -423,14 +423,14 @@ class Prop520Adversary(Adversary):
         )
 
     def verify(self, run: AdversaryRun, backend=None) -> bool:
-        from repro.model.oracle import CompiledOracle, StaticOracle
+        from repro.model.implicit import as_oracle
         from repro.model.runner import run_algorithm
         from repro.problems.hierarchical_thc import HierarchicalTHC
 
         instance = run.instance
-        if run.transcript.replay(StaticOracle(instance)):
+        if run.transcript.replay(as_oracle(instance, mode="reference")):
             return False
-        if run.transcript.replay(CompiledOracle(instance)):
+        if run.transcript.replay(as_oracle(instance, mode="compiled")):
             return False
         result = run_algorithm(
             instance,

@@ -114,6 +114,27 @@ def resolve_cell(
     return problem, algorithm, family
 
 
+def implicit_instance(family, param):
+    """The :class:`~repro.model.implicit.InstanceSpec` for ``--implicit``.
+
+    Shared by ``repro run`` and ``repro mc``: checks the family's
+    ``implicit`` capability (with an error naming the families that have
+    one) and validates the parameter eagerly, so bad ``--param`` values
+    fail here instead of deep inside a backend.
+    """
+    from repro.model.implicit import InstanceSpec
+
+    if not family.implicit:
+        names = ", ".join(f.name for f in FAMILIES if f.implicit)
+        raise RegistryError(
+            f"family {family.name!r} has no implicit generator "
+            f"(implicit-capable families: {names})"
+        )
+    spec = InstanceSpec(family.name, param)
+    spec.n  # builds the generator: bad params raise ValueError here
+    return spec
+
+
 # ----------------------------------------------------------------------
 # repro list
 # ----------------------------------------------------------------------
@@ -151,6 +172,7 @@ def _list_payload() -> Dict[str, List[Dict[str, object]]]:
                 "quick": [repr(p) for p in entry.quick],
                 "full": [repr(p) for p in entry.full],
                 "n_range": list(entry.n_range),
+                "implicit": entry.implicit,
                 "description": entry.description,
             }
             for entry in FAMILIES
@@ -205,10 +227,11 @@ def cmd_list(args: argparse.Namespace) -> int:
     if "families" in kinds:
         print(f"FAMILIES ({len(payload['families'])})")
         print(format_table(
-            ["name", "problems", "quick grid", "n range"],
+            ["name", "problems", "quick grid", "n range", "implicit"],
             [[f["name"], ",".join(f["problems"]),
               " ".join(f["quick"]),
-              "{}..{}".format(*f["n_range"])]
+              "{}..{}".format(*f["n_range"]),
+              "yes" if f["implicit"] else ""]
              for f in payload["families"]],
         ))
         print()
@@ -248,7 +271,12 @@ def cmd_run(args: argparse.Namespace) -> int:
     )
     seed = algorithm.seed if args.seed is None else args.seed
     try:
-        instance = family.instance(param)
+        if args.implicit:
+            instance = implicit_instance(family, param)
+        else:
+            instance = family.instance(param)
+    except RegistryError as exc:
+        return _fail(str(exc))
     except Exception as exc:  # bad --param values surface here
         return _fail(f"family {family.name!r} rejected param {param!r}: {exc}")
     started = time.perf_counter()
@@ -268,7 +296,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         "family": family.name,
         "param": repr(param),
         "instance": instance.name,
-        "n": instance.graph.num_nodes,
+        "n": instance.n,
+        "implicit": bool(args.implicit),
         "seed": seed,
         "backend": args.backend or "serial",
         "valid": report.valid,
@@ -316,7 +345,24 @@ def _spec_from_dict(entry: Dict[str, object]):
     algorithm = ALGORITHMS.get(str(entry["algorithm"]))
     grid = str(entry.get("grid", "quick"))
     params = entry.get("params")
-    if params is not None:
+    implicit = bool(entry.get("implicit", False))
+    if implicit:
+        from repro.exec.sweep import InstanceFamily
+        from repro.model.implicit import ImplicitFamilyFactory
+
+        if not family_entry.implicit:
+            names = ", ".join(f.name for f in FAMILIES if f.implicit)
+            raise ValueError(
+                f"family {family_entry.name!r} has no implicit generator "
+                f"(implicit-capable families: {names})"
+            )
+        family = InstanceFamily(
+            f"{family_entry.name}[implicit]",
+            ImplicitFamilyFactory(family_entry.name),
+            list(params) if params is not None
+            else family_entry.params(grid),
+        )
+    elif params is not None:
         from repro.exec.sweep import InstanceFamily
 
         family = InstanceFamily(
@@ -397,6 +443,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 "algorithm": args.algorithm,
                 "metric": args.metric,
                 "grid": args.grid,
+                "implicit": args.implicit,
                 **({} if args.seed is None else {"seed": args.seed}),
             })
             results = run_sweeps(
@@ -467,6 +514,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_run.add_argument("--seed", type=int, default=None)
     p_run.add_argument(
+        "--implicit", action="store_true",
+        help="serve the instance from its implicit generator "
+        "(implicit-capable families only; nodes realized on demand)",
+    )
+    p_run.add_argument(
         "--backend", help="serial | batch | process[:N] (default serial)"
     )
     p_run.add_argument("--max-volume", type=int, default=None)
@@ -488,6 +540,11 @@ def build_parser() -> argparse.ArgumentParser:
         default="volume",
     )
     p_sweep.add_argument("--grid", choices=["quick", "full"], default="quick")
+    p_sweep.add_argument(
+        "--implicit", action="store_true",
+        help="serve ad-hoc sweep instances from the family's implicit "
+        "generator (InstanceSpec per grid point, nodes on demand)",
+    )
     p_sweep.add_argument("--seed", type=int, default=None)
     p_sweep.add_argument("--backend")
     p_sweep.add_argument("--progress", action="store_true")

@@ -68,10 +68,24 @@ formal JSON-schema for the artifact ships at
 reads older artifacts forward (v3 → v4 adds an empty ``monte_carlo``
 section).
 
+Schema v5 (PR 7) added the ``implicit_scaling`` section: every
+implicit-capable family (``FamilyEntry.implicit``) is checked
+node-for-node against its materialized factory at the largest
+quick-grid parameter (NodeInfo tables and resolve responses must
+agree exactly), then probed at a giant parameter (n >= 10^7) through
+the bounded-memory :class:`~repro.model.implicit.ImplicitOracle` —
+stride-sampled node ids are checked for degree/port/back-edge
+self-consistency — and, where the family has a registered sublinear
+sweep algorithm, a volume curve is fitted across growing n.  The
+formal schema moves to ``bench-v5.schema.json``; the v4 → v5 upgrade
+adds an empty ``implicit_scaling`` section.
+
 CI's ``bench-smoke`` job runs ``repro bench --quick`` on the serial and
 ``process:2`` backends, uploads the artifact, and fails on any invalid
-cell (non-zero exit); the ``adversary-smoke`` and ``mc-smoke`` jobs
-gate the ``lower_bounds`` and ``monte_carlo`` sections the same way.
+cell (non-zero exit); the ``adversary-smoke``, ``mc-smoke``, and
+``implicit-smoke`` jobs gate the ``lower_bounds``, ``monte_carlo``,
+and ``implicit_scaling`` sections the same way (the latter under a
+peak-RSS bound).
 """
 
 from __future__ import annotations
@@ -93,8 +107,8 @@ from repro.registry import (
 )
 
 SCHEMA_NAME = "repro-bench"
-SCHEMA_VERSION = 4
-SCHEMA_DOCUMENT = Path(__file__).parent / "schemas" / "bench-v4.schema.json"
+SCHEMA_VERSION = 5
+SCHEMA_DOCUMENT = Path(__file__).parent / "schemas" / "bench-v5.schema.json"
 
 # The Monte-Carlo section's policies: the adaptive run is the shared
 # QUICK_POLICY preset (the same one `repro mc --quick` uses, by
@@ -359,14 +373,176 @@ def run_monte_carlo(
     return records
 
 
+# The implicit_scaling section's giant parameters: every entry takes
+# its family past n = 10^7 nodes, the regime no materialized factory
+# can reach (the artifact's other sections top out around 10^4).
+IMPLICIT_GIANT: Dict[str, object] = {
+    "leaf-coloring-hard": 23,  # n = 2^24 - 1 = 16,777,215
+    "balanced-tree": 23,  # n = 2^24 - 1 = 16,777,215
+    "cycle-uniform": 10_000_000,
+    "hierarchical-thc-det(2)": 3162,  # n = m(m+1) = 10,001,406
+}
+
+# How many stride-sampled node ids the giant-n probe inspects.
+IMPLICIT_PROBE_NODES = 512
+
+# Families with a registered algorithm whose volume stays sublinear at
+# giant n, swept root-only to fit the scaling curve: family ->
+# (algorithm, params, seed, start node).  LeafColoringRandomWalkSolver
+# walks root-to-leaf, so its volume curve is the paper's Θ(log n).
+IMPLICIT_CURVE = {
+    "leaf-coloring-hard": ("leaf-coloring/rw-to-leaf", (17, 20, 23), 7),
+}
+
+
+def _implicit_differential(entry) -> Dict[str, object]:
+    """Implicit generator vs materialized factory, node for node."""
+    from repro.model.implicit import ImplicitOracle, InstanceSpec
+    from repro.model.oracle import StaticOracle
+
+    param = entry.quick[-1]
+    implicit = ImplicitOracle(InstanceSpec(entry.name, param))
+    reference = StaticOracle(entry.factory(param))
+    ok = implicit.n == reference.n
+    for node in range(1, reference.n + 1):
+        if not ok:
+            break
+        want = reference.node_info(node)
+        ports = max(want.ports, default=0)
+        ok = want == implicit.node_info(node) and all(
+            implicit.resolve(node, port) == reference.resolve(node, port)
+            for port in range(0, ports + 2)
+        )
+    return {"param": repr(param), "n": reference.n, "ok": ok}
+
+
+def _implicit_probe(entry, param) -> Dict[str, object]:
+    """Self-consistency of stride-sampled nodes at a giant parameter.
+
+    Every sampled node's degree must match its connected-port list,
+    ports 0 and max+1 must resolve to nothing, and every edge must be
+    answered by a back-edge from the neighbor — the invariants the
+    materialized builders guarantee by construction, checked here in
+    the regime only the implicit generator can reach.
+    """
+    from repro.model.implicit import ImplicitOracle, InstanceSpec
+
+    started = time.perf_counter()
+    oracle = ImplicitOracle(InstanceSpec(entry.name, param))
+    n = oracle.n
+    stride = max(1, n // IMPLICIT_PROBE_NODES)
+    nodes = list(range(1, n + 1, stride))
+    if nodes[-1] != n:
+        nodes.append(n)
+
+    def consistent(node: int) -> bool:
+        info = oracle.node_info(node)
+        ports = max(info.ports, default=0)
+        if info.degree != len(info.ports):
+            return False
+        if oracle.resolve(node, 0) is not None:
+            return False
+        if oracle.resolve(node, ports + 1) is not None:
+            return False
+        for port in info.ports:
+            neighbor = oracle.resolve(node, port)
+            if neighbor is None or not 1 <= neighbor <= n:
+                return False
+            back = oracle.node_info(neighbor)
+            if all(
+                oracle.resolve(neighbor, q) != node for q in back.ports
+            ):
+                return False
+        return True
+
+    ok = all(consistent(node) for node in nodes)
+    return {
+        "n": n,
+        "nodes_checked": len(nodes),
+        "realized_nodes": oracle.realized_total,
+        "ok": ok,
+        "elapsed": time.perf_counter() - started,
+    }
+
+
+def _implicit_curve(entry) -> List[Dict[str, object]]:
+    """Root-only volume curve across growing n (where registered)."""
+    curve = IMPLICIT_CURVE.get(entry.name)
+    if curve is None:
+        return []
+    from repro.model.implicit import InstanceSpec
+    from repro.model.runner import run_algorithm
+    from repro.registry import ALGORITHMS
+
+    algo_name, params, seed = curve
+    algo = ALGORITHMS.get(algo_name)
+    points = []
+    for param in params:
+        spec = InstanceSpec(entry.name, param)
+        root = spec.meta.get("root", 1)
+        started = time.perf_counter()
+        run = run_algorithm(spec, algo.make(), seed=seed, nodes=[root])
+        points.append({
+            "param": repr(param),
+            "n": spec.n,
+            "volume": run.max_volume,
+            "elapsed": time.perf_counter() - started,
+        })
+    return points
+
+
+def run_implicit_scaling(
+    only: Optional[str] = None, progress=None
+) -> List[Dict[str, object]]:
+    """The artifact's ``implicit_scaling`` section: one record per
+    implicit-capable family (``FamilyEntry.implicit``)."""
+    from repro.registry import FAMILIES
+
+    records: List[Dict[str, object]] = []
+    for entry in FAMILIES:
+        if not entry.implicit:
+            continue
+        if only and only not in entry.name:
+            continue
+        giant = IMPLICIT_GIANT.get(entry.name, entry.quick[-1])
+        started = time.perf_counter()
+        differential = _implicit_differential(entry)
+        probe = _implicit_probe(entry, giant)
+        curve = _implicit_curve(entry)
+        record = {
+            "family": entry.name,
+            "param": repr(giant),
+            "n": probe["n"],
+            "differential": differential,
+            "probe": probe,
+            "curve": curve,
+            "volume_fit": _fit(
+                [p["n"] for p in curve], [p["volume"] for p in curve]
+            ),
+            "ok": differential["ok"] and probe["ok"],
+            "wall_time": time.perf_counter() - started,
+        }
+        records.append(record)
+        if progress is not None:
+            progress(
+                f"  implicit {record['family']}: n={record['n']:,}, "
+                f"differential {'ok' if differential['ok'] else 'FAIL'} "
+                f"@ n={differential['n']}, probed "
+                f"{probe['nodes_checked']} nodes "
+                f"({'ok' if record['ok'] else 'FAIL'})"
+            )
+    return records
+
+
 def upgrade_artifact(payload: Dict[str, object]) -> Dict[str, object]:
     """Read an older bench artifact forward to the current schema.
 
-    The only supported upgrade today is v3 → v4 (the ``monte_carlo``
-    section and its summary counters did not exist before this PR; an
-    empty section with zero totals is the faithful translation).  The
-    payload is upgraded in place and returned; current-version payloads
-    pass through untouched, anything newer than this reader is refused.
+    Supported upgrades: v3 → v4 (the ``monte_carlo`` section and its
+    summary counters did not exist before PR 5) and v4 → v5 (likewise
+    ``implicit_scaling``, PR 7) — an empty section with zero totals is
+    the faithful translation in both cases.  The payload is upgraded
+    in place and returned; current-version payloads pass through
+    untouched, anything newer than this reader is refused.
     """
     if payload.get("schema") != SCHEMA_NAME:
         raise ValueError(
@@ -393,6 +569,15 @@ def upgrade_artifact(payload: Dict[str, object]) -> Dict[str, object]:
             "trials_saved": 0,
         }
         payload["schema_version"] = 4
+    if version < 5:
+        payload["implicit_scaling"] = []
+        summary = payload.setdefault("summary", {})
+        summary["implicit_scaling"] = {
+            "families": 0,
+            "failed": 0,
+            "max_n": 0,
+        }
+        payload["schema_version"] = 5
     return payload
 
 
@@ -435,10 +620,16 @@ def cmd_bench(args: argparse.Namespace) -> int:
         # races interpreter teardown and spews atexit tracebacks).
         backend.close()
     lower_bounds = run_lower_bounds(grid, only=args.only, progress=progress)
+    implicit_scaling = (
+        []
+        if args.no_implicit
+        else run_implicit_scaling(only=args.only, progress=progress)
+    )
     elapsed = time.perf_counter() - started
     failed = [r for r in records if not r["ok"]]
     lb_failed = [r for r in lower_bounds if not r["ok"]]
     mc_failed = [r for r in monte_carlo if not r["ok"]]
+    imp_failed = [r for r in implicit_scaling if not r["ok"]]
     executions = sum(r["executions"] for r in records)
     wall_time = sum(r["wall_time"] for r in records)
     artifact = {
@@ -453,6 +644,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "cells": records,
         "lower_bounds": lower_bounds,
         "monte_carlo": monte_carlo,
+        "implicit_scaling": implicit_scaling,
         "summary": {
             "cells": len(records),
             "points": sum(len(r["points"]) for r in records),
@@ -473,6 +665,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
                     r["adaptive"]["trials"] for r in monte_carlo
                 ),
                 "trials_saved": sum(r["trials_saved"] for r in monte_carlo),
+            },
+            "implicit_scaling": {
+                "families": len(implicit_scaling),
+                "failed": len(imp_failed),
+                "max_n": max(
+                    (r["n"] for r in implicit_scaling), default=0
+                ),
             },
         },
     }
@@ -509,6 +708,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
             ] for r in monte_carlo],
         ))
         print()
+    if implicit_scaling:
+        print(format_table(
+            ["implicit", "n", "diff", "probed", "vol fit", "ok", "s"],
+            [[
+                r["family"],
+                f"{r['n']:,}",
+                "ok" if r["differential"]["ok"] else "FAIL",
+                r["probe"]["nodes_checked"],
+                r["volume_fit"] or "-",
+                "ok" if r["ok"] else "FAIL",
+                f"{r['wall_time']:.2f}",
+            ] for r in implicit_scaling],
+        ))
+        print()
     if lower_bounds:
         print(format_table(
             ["lower bound", "n", "queries fit", "expected", "ok", "s"],
@@ -529,7 +742,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         f"{len(lb_failed)} lb-failed, {len(monte_carlo)} mc cells "
         f"({mc_summary['fixed_trials']} -> "
         f"{mc_summary['adaptive_trials']} trials, "
-        f"{len(mc_failed)} mc-failed), {elapsed:.1f}s, "
+        f"{len(mc_failed)} mc-failed), {len(implicit_scaling)} implicit "
+        f"families ({len(imp_failed)} implicit-failed), {elapsed:.1f}s, "
         f"{executions} executions "
         f"(mode={grid}, backend={artifact['backend']}, "
         f"oracle={artifact['oracle']}) -> {args.out}"
@@ -553,7 +767,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
             f"{record['adaptive']['rate']:.3f}, prefix_consistent="
             f"{record['prefix_consistent']})"
         )
-    return 1 if failed or lb_failed or mc_failed else 0
+    for record in imp_failed:
+        print(
+            f"IMPLICIT FAILED: {record['family']} "
+            f"(differential ok={record['differential']['ok']}, "
+            f"probe ok={record['probe']['ok']})"
+        )
+    return 1 if failed or lb_failed or mc_failed or imp_failed else 0
 
 
 def add_bench_arguments(sub) -> None:
@@ -584,7 +804,13 @@ def add_bench_arguments(sub) -> None:
     )
     p_bench.add_argument(
         "--no-mc", action="store_true",
-        help="skip the Monte-Carlo section (schema v4 keeps an empty list)",
+        help="skip the Monte-Carlo section (the artifact keeps an "
+        "empty list)",
+    )
+    p_bench.add_argument(
+        "--no-implicit", action="store_true",
+        help="skip the implicit_scaling section (the artifact keeps "
+        "an empty list)",
     )
     p_bench.add_argument("--out", default="BENCH_repro.json")
     p_bench.add_argument(

@@ -43,7 +43,7 @@ def _policy(args: argparse.Namespace):
 
 
 def cmd_mc(args: argparse.Namespace) -> int:
-    from repro.cli import _fail, parse_param, resolve_cell
+    from repro.cli import _fail, implicit_instance, parse_param, resolve_cell
     from repro.exec.backends import get_backend
     from repro.montecarlo.engine import run_trials
 
@@ -61,7 +61,12 @@ def cmd_mc(args: argparse.Namespace) -> int:
     )
     base_seed = algorithm.seed if args.seed is None else args.seed
     try:
-        instance = family.instance(param)
+        if args.implicit:
+            instance = implicit_instance(family, param)
+        else:
+            instance = family.instance(param)
+    except RegistryError as exc:
+        return _fail(str(exc))
     except Exception as exc:  # bad --param values surface here
         return _fail(f"family {family.name!r} rejected param {param!r}: {exc}")
     def progress(line: str) -> None:
@@ -89,7 +94,8 @@ def cmd_mc(args: argparse.Namespace) -> int:
         "family": family.name,
         "param": repr(param),
         "instance": instance.name,
-        "n": instance.graph.num_nodes,
+        "n": instance.n,
+        "implicit": bool(args.implicit),
         "base_seed": base_seed,
         "backend": args.backend or "serial",
         "policy": policy.describe(),
@@ -145,6 +151,11 @@ def add_mc_arguments(sub) -> None:
         "--seed", type=int, default=None,
         help="base seed; trial i runs under base_seed + i "
         "(default: the algorithm's registered seed)",
+    )
+    p_mc.add_argument(
+        "--implicit", action="store_true",
+        help="serve the instance from its implicit generator "
+        "(implicit-capable families only)",
     )
     p_mc.add_argument(
         "--backend", help="serial | reference | batch | process[:N]"

@@ -66,15 +66,23 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.exec import shm as shm_layer
-from repro.model.oracle import StaticOracle, compile_oracle
+from repro.model.implicit import InstanceSpec, as_oracle, iter_node_ids
 from repro.model.probe import CostProfile, ProbeAlgorithm, execute_at
 from repro.model.randomness import TapeStore
 from repro.model.runner import RunResult
 
 
 def _make_oracle(instance, compiled: bool):
-    """One instance's oracle: compiled fast path or reference semantics."""
-    return compile_oracle(instance) if compiled else StaticOracle(instance)
+    """One instance source's oracle: fast path or reference semantics.
+
+    ``mode="auto"`` is the compiled table for materialized instances and
+    the lazy bounded-memory :class:`~repro.model.implicit.ImplicitOracle`
+    for an :class:`~repro.model.implicit.InstanceSpec`; the reference
+    path always gets :class:`StaticOracle` semantics (a spec is
+    materialized first — small n only, which is all the reference engine
+    can run anyway).
+    """
+    return as_oracle(instance, mode="auto" if compiled else "reference")
 
 
 @dataclass(frozen=True)
@@ -402,7 +410,9 @@ class ExecutionBackend(abc.ABC):
         self.close()
 
     def _resolve_nodes(self, instance, nodes) -> List[int]:
-        return list(instance.graph.nodes() if nodes is None else nodes)
+        if nodes is not None:
+            return list(nodes)
+        return list(iter_node_ids(instance))
 
     def _assemble(
         self,
@@ -622,7 +632,15 @@ class ProcessPoolBackend(ExecutionBackend):
         serial = self.workers == 1 or len(chunks) <= 1
         handle = None
         payloads: List[bytes] = []
-        if not serial and self.shared_memory and self.compiled:
+        if (
+            not serial
+            and self.shared_memory
+            and self.compiled
+            # An InstanceSpec is already an O(1) payload — pickling it
+            # per chunk beats publishing (there is no graph to share);
+            # each worker serves its chunk from its own ImplicitOracle.
+            and not isinstance(instance, InstanceSpec)
+        ):
             handle = self._publish(instance)
         if handle is not None:
             try:
@@ -715,6 +733,8 @@ class ProcessPoolBackend(ExecutionBackend):
             self.shared_memory
             and self.compiled
             and isinstance(instance_factory, FixedInstanceFactory)
+            # A fixed *spec* ships as its own O(1) payload (see run()).
+            and not isinstance(instance_factory.instance, InstanceSpec)
         ):
             # Fixed-instance trial streams (the Monte-Carlo engine's
             # common shape) share one instance across every trial:
@@ -824,50 +844,146 @@ class ProcessPoolBackend(ExecutionBackend):
 
 _DEFAULT_BACKEND = SerialBackend()
 
+#: The backend spec-string grammar, quoted by every parse error::
+#:
+#:     spec      := "serial" | "reference" | "batch" | "process" pool?
+#:     pool      := ":" workers? transport?
+#:     workers   := integer >= 1
+#:     transport := ":" ("shm" | "pickle")
+BACKEND_SPEC_GRAMMAR = (
+    "'serial', 'reference', 'batch', 'process', 'process:N', or "
+    "'process:N:shm'/'process:N:pickle'"
+)
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """A parsed backend spec string — the value form of the grammar.
+
+    ``kind`` is one of ``serial`` / ``reference`` / ``batch`` /
+    ``process``; ``workers`` and ``transport`` (``"shm"`` or
+    ``"pickle"``) apply only to ``process``.  ``str()`` renders the
+    canonical spec string, and ``parse_backend_spec(str(spec)) == spec``
+    for every valid value; :meth:`make` builds the backend it names.
+    """
+
+    kind: str
+    workers: Optional[int] = None
+    transport: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("serial", "reference", "batch", "process"):
+            raise ValueError(
+                f"unknown backend kind {self.kind!r} "
+                f"(expected {BACKEND_SPEC_GRAMMAR})"
+            )
+        if self.kind != "process":
+            if self.workers is not None or self.transport is not None:
+                raise ValueError(
+                    f"backend kind {self.kind!r} takes no workers or "
+                    "transport (only 'process' does)"
+                )
+            return
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be positive")
+        if self.transport not in (None, "shm", "pickle"):
+            raise ValueError(
+                f"unknown transport {self.transport!r} "
+                "(expected 'shm' or 'pickle')"
+            )
+
+    def __str__(self) -> str:
+        if self.kind != "process":
+            return self.kind
+        spec = "process"
+        if self.workers is not None or self.transport is not None:
+            spec += f":{self.workers if self.workers is not None else ''}"
+        if self.transport is not None:
+            spec += f":{self.transport}"
+        return spec
+
+    def make(self) -> ExecutionBackend:
+        """Construct the backend this spec names (a fresh instance)."""
+        if self.kind == "serial":
+            return SerialBackend()
+        if self.kind == "reference":
+            return SerialBackend(compiled=False)
+        if self.kind == "batch":
+            return BatchBackend()
+        return ProcessPoolBackend(
+            workers=self.workers,
+            shared_memory=self.transport != "pickle",
+        )
+
+
+def parse_backend_spec(spec: str) -> BackendSpec:
+    """Parse a backend spec string into a :class:`BackendSpec`.
+
+    The grammar is ``'serial' | 'reference' | 'batch' |
+    'process[:N[:shm|:pickle]]'`` (:data:`BACKEND_SPEC_GRAMMAR`); every
+    rejection is a ``ValueError`` naming the offending spec and the
+    grammar.  ``str()`` of the returned value round-trips to the
+    canonical spec string.
+    """
+    if not isinstance(spec, str):
+        raise TypeError(
+            f"backend spec must be a string, got {type(spec).__name__}"
+        )
+    name, sep, arg = spec.partition(":")
+    if name == "process":
+        count, _, transport = arg.partition(":")
+        if transport not in ("", "shm", "pickle"):
+            raise ValueError(
+                f"bad transport in backend spec {spec!r} "
+                "(expected 'process:N:shm' or 'process:N:pickle')"
+            )
+        try:
+            workers = int(count) if count else None
+        except ValueError:
+            raise ValueError(
+                f"bad worker count in backend spec {spec!r} "
+                "(expected 'process:N' with integer N)"
+            ) from None
+        if workers is not None and workers < 1:
+            raise ValueError(
+                f"bad worker count in backend spec {spec!r} "
+                "(expected 'process:N' with integer N)"
+            )
+        return BackendSpec("process", workers, transport or None)
+    if name in ("serial", "reference", "batch"):
+        if sep:
+            raise ValueError(
+                f"backend {name!r} takes no arguments in spec {spec!r} "
+                f"(the grammar is {BACKEND_SPEC_GRAMMAR})"
+            )
+        return BackendSpec(name)
+    raise ValueError(
+        f"unknown execution backend {spec!r} "
+        f"(expected {BACKEND_SPEC_GRAMMAR})"
+    )
+
 
 def get_backend(spec=None) -> ExecutionBackend:
-    """Resolve a backend argument: instance, name string, or ``None``.
+    """Resolve a backend argument: instance, spec string, or ``None``.
 
-    Accepted strings: ``"serial"``, ``"batch"``, ``"process"``, and
-    ``"process:N"`` for an N-worker pool — all of which use the compiled
-    instance fast path — plus ``"reference"``, the uncompiled reference
-    engine (``StaticOracle`` + BFS ``DIST``; bitwise-identical results).
-    ``"process:N:shm"`` / ``"process:N:pickle"`` pin the pool's instance
-    transport (shared memory is the default); results are identical
-    either way.  ``None`` means the shared default :class:`SerialBackend`.
+    Spec strings follow :func:`parse_backend_spec`'s grammar: ``"serial"``,
+    ``"batch"``, ``"process"``, and ``"process:N"`` for an N-worker pool —
+    all of which use the compiled instance fast path — plus
+    ``"reference"``, the uncompiled reference engine (``StaticOracle`` +
+    BFS ``DIST``; bitwise-identical results).  ``"process:N:shm"`` /
+    ``"process:N:pickle"`` pin the pool's instance transport (shared
+    memory is the default); results are identical either way.  ``None``
+    means the shared default :class:`SerialBackend`.
     """
     if spec is None:
         return _DEFAULT_BACKEND
     if isinstance(spec, ExecutionBackend):
         return spec
+    if isinstance(spec, BackendSpec):
+        return spec.make()
     if isinstance(spec, str):
-        name, _, arg = spec.partition(":")
-        if name == "serial":
-            return SerialBackend()
-        if name == "reference":
-            return SerialBackend(compiled=False)
-        if name == "batch":
-            return BatchBackend()
-        if name == "process":
-            count, _, transport = arg.partition(":")
-            shared = True
-            if transport == "pickle":
-                shared = False
-            elif transport not in ("", "shm"):
-                raise ValueError(
-                    f"bad transport in backend spec {spec!r} "
-                    "(expected 'process:N:shm' or 'process:N:pickle')"
-                )
-            try:
-                workers = int(count) if count else None
-            except ValueError:
-                raise ValueError(
-                    f"bad worker count in backend spec {spec!r} "
-                    "(expected 'process:N' with integer N)"
-                ) from None
-            return ProcessPoolBackend(workers=workers, shared_memory=shared)
+        return parse_backend_spec(spec).make()
     raise ValueError(
         f"unknown execution backend {spec!r} "
-        "(expected an ExecutionBackend, 'serial', 'reference', 'batch', "
-        "'process', 'process:N', or 'process:N:shm'/'process:N:pickle')"
+        f"(expected an ExecutionBackend, {BACKEND_SPEC_GRAMMAR})"
     )

@@ -49,7 +49,8 @@ from typing import Dict, List, Tuple
 
 from repro.graphs.frozen import FrozenPortGraph
 from repro.graphs.labelings import Instance
-from repro.model.oracle import CompiledOracle, compile_oracle
+from repro.model.implicit import as_oracle
+from repro.model.oracle import CompiledOracle
 
 _WORD = 8  # every CSR cell is a signed 64-bit integer ('q')
 
@@ -279,7 +280,9 @@ class _Attachment:
         self.instance = Instance(
             graph=frozen, labeling=labeling, n=n, name=name, meta=meta
         )
-        self.oracle: CompiledOracle = compile_oracle(self.instance)
+        self.oracle: CompiledOracle = as_oracle(
+            self.instance, mode="compiled"
+        )
 
     def close(self) -> None:
         """Release the buffer views and unmap the segment."""

@@ -377,7 +377,9 @@ def run_sweep(
         started = time.perf_counter()
         cost, detail = spec.measure_point_detailed(instance, param, backend)
         elapsed = time.perf_counter() - started
-        n = instance.graph.num_nodes
+        # .n, not .graph.num_nodes: implicit InstanceSpec points have no
+        # graph — their size is a closed-form property of the spec.
+        n = instance.n
         result.points.append(
             SweepPoint(
                 param=param, n=n, cost=cost, elapsed=elapsed, detail=detail

@@ -31,6 +31,7 @@ from repro.graphs.generators import (
     random_tree_instance,
     relay_instance,
 )
+from repro.model.implicit import det_backbone_color
 from repro.registry import register_family
 
 
@@ -52,6 +53,7 @@ def leaf_coloring_family(depth: int):
     quick=(3, 4, 5),
     full=(4, 5, 6, 7, 8),
     n_range=(15, 511),
+    implicit=True,  # heap ids + one chi0 coin: pure function of id
     description="Proposition 3.12 promise instances: unanimous leaves.",
 )
 def leaf_coloring_hard_family(depth: int):
@@ -64,6 +66,7 @@ def leaf_coloring_hard_family(depth: int):
     quick=(3, 4, 5),
     full=(3, 4, 5, 6, 7, 8),
     n_range=(15, 511),
+    implicit=True,  # the compatible labeling draws no randomness
     description="Globally compatible BalancedTree instances (Def 4.2).",
 )
 def balanced_tree_family(depth: int):
@@ -82,6 +85,23 @@ def hierarchical_thc_2_family(backbone_length: int):
     return hierarchical_thc_instance(
         2, backbone_length, rng=random.Random(backbone_length)
     )
+
+
+@register_family(
+    "hierarchical-thc-det(2)",
+    problems=("constant", "degree-parity"),
+    quick=(3, 4, 6),
+    full=(8, 16, 32),
+    n_range=(12, 1056),
+    implicit=True,  # colors are per-id CRC32 hashes, not an RNG stream
+    description="H-THC(2) gadget with hash-deterministic backbone colors.",
+)
+def hierarchical_thc_det_2_family(backbone_length: int):
+    instance = hierarchical_thc_instance(2, backbone_length)
+    for node_id in instance.graph.nodes():
+        instance.labeling[node_id].color = det_backbone_color(node_id)
+    instance.name = f"hierarchical-thc-det-k2-m{backbone_length}"
+    return instance
 
 
 @register_family(
@@ -135,6 +155,19 @@ def hh_thc_2_3_family(shape):
 )
 def cycle_family(n: int):
     return cycle_instance(n, rng=random.Random(n))
+
+
+@register_family(
+    "cycle-uniform",
+    problems=("constant", "degree-parity"),
+    quick=(8, 16),
+    full=(64, 1024, 65536),
+    n_range=(8, 65536),
+    implicit=True,  # sequential ids: neighbor_at is modular arithmetic
+    description="Cycles with sequential IDs (the implicit giant-n cycle).",
+)
+def cycle_uniform_family(n: int):
+    return cycle_instance(n, shuffle_ids=False)
 
 
 @register_family(

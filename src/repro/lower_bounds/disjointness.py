@@ -4,9 +4,19 @@ The bespoke charging oracle that used to live here was folded into the
 unified interactive-adversary engine (a recording oracle plus a
 transcript-auditable bit charge); see
 :mod:`repro.adversary.disjointness` and :mod:`repro.adversary.engine`.
+Importing this module warns; import the new location directly.
 """
 
-from repro.adversary.disjointness import (  # noqa: F401
+import warnings
+
+warnings.warn(
+    "repro.lower_bounds.disjointness is deprecated; import "
+    "repro.adversary.disjointness instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from repro.adversary.disjointness import (  # noqa: E402,F401
     Prop49Referee,
     TwoPartyReferee,
     TwoPartyRun,

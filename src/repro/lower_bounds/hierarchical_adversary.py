@@ -3,9 +3,19 @@
 The bespoke lazy-oracle implementation that used to live here was folded
 into the unified interactive-adversary engine; see
 :mod:`repro.adversary.hierarchical` and :mod:`repro.adversary.engine`.
+Importing this module warns; import the new location directly.
 """
 
-from repro.adversary.hierarchical import (  # noqa: F401
+import warnings
+
+warnings.warn(
+    "repro.lower_bounds.hierarchical_adversary is deprecated; import "
+    "repro.adversary.hierarchical instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from repro.adversary.hierarchical import (  # noqa: E402,F401
     AdversarialTHCOracle,
     Prop520Adversary,
     THCAdversaryOutcome,

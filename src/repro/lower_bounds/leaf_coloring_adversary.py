@@ -3,9 +3,19 @@
 The bespoke lazy-oracle implementation that used to live here was folded
 into the unified interactive-adversary engine; see
 :mod:`repro.adversary.leaf_coloring` and :mod:`repro.adversary.engine`.
+Importing this module warns; import the new location directly.
 """
 
-from repro.adversary.leaf_coloring import (  # noqa: F401
+import warnings
+
+warnings.warn(
+    "repro.lower_bounds.leaf_coloring_adversary is deprecated; import "
+    "repro.adversary.leaf_coloring instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from repro.adversary.leaf_coloring import (  # noqa: E402,F401
     AdversarialTreeOracle,
     AdversaryOutcome,
     Prop313Adversary,

@@ -20,7 +20,8 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.graphs.labelings import Instance
-from repro.model.oracle import NodeInfo, StaticOracle
+from repro.model.implicit import as_oracle
+from repro.model.oracle import NodeInfo
 
 
 class CongestError(RuntimeError):
@@ -96,7 +97,7 @@ def run_congest(
     """
     if bandwidth < 1:
         raise CongestError("bandwidth must be >= 1")
-    oracle = StaticOracle(instance)
+    oracle = as_oracle(instance, mode="reference")
     graph = instance.graph
     nodes = list(graph.nodes())
     n = instance.n

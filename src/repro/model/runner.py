@@ -16,11 +16,60 @@ backends are drop-in and produce bitwise-identical results — see
 from __future__ import annotations
 
 import statistics
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
-from repro.graphs.labelings import Instance
+from repro.graphs.frozen import FrozenPortGraph
+from repro.graphs.labelings import Instance, Labeling
+from repro.graphs.port_graph import PortGraph
+from repro.model.implicit import (
+    MATERIALIZE_LIMIT,
+    InstanceSource,
+    InstanceSpec,
+)
 from repro.model.probe import CostProfile, ProbeAlgorithm
+
+
+def _coerce_source(source) -> InstanceSource:
+    """Back-compat shim: normalize legacy instance arguments.
+
+    The public signatures take an :data:`~repro.model.implicit.InstanceSource`
+    (``Instance | InstanceSpec``).  Two concrete-object call styles that
+    predate the :func:`~repro.model.implicit.as_oracle` front door are
+    still accepted with a :class:`DeprecationWarning`:
+
+    * a pre-built oracle (``StaticOracle``/``CompiledOracle``) — callers
+      used to freeze-then-attach by hand; the oracle's instance is
+      unwrapped and the backend rebuilds the right oracle itself;
+    * a bare ``PortGraph``/``FrozenPortGraph`` — wrapped into an
+      unlabeled :class:`~repro.graphs.labelings.Instance`.
+    """
+    if isinstance(source, (Instance, InstanceSpec)):
+        return source
+    if isinstance(source, (FrozenPortGraph, PortGraph)):
+        warnings.warn(
+            "passing a bare graph to the runner is deprecated; wrap it "
+            "in an Instance (or pass it through as_oracle)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return Instance(graph=source, labeling=Labeling())
+    inner = getattr(source, "instance", None)
+    if (
+        inner is not None
+        and hasattr(source, "node_info")
+        and hasattr(source, "resolve")
+    ):
+        warnings.warn(
+            "passing a pre-built oracle to the runner is deprecated; "
+            "pass the Instance (or InstanceSpec) and let the backend "
+            "build the oracle via as_oracle",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return inner
+    return source
 
 
 @dataclass
@@ -68,7 +117,7 @@ class RunResult:
 
 
 def run_algorithm(
-    instance: Instance,
+    instance: InstanceSource,
     algorithm: ProbeAlgorithm,
     seed: int = 0,
     nodes: Optional[Iterable[int]] = None,
@@ -78,15 +127,19 @@ def run_algorithm(
 ) -> RunResult:
     """Execute ``algorithm`` from every node (or the given subset).
 
+    ``instance`` is an :data:`~repro.model.implicit.InstanceSource`: a
+    materialized :class:`~repro.graphs.labelings.Instance` or an
+    :class:`~repro.model.implicit.InstanceSpec` naming an implicit
+    family (giant n; pass an explicit ``nodes=`` selection there).
     ``backend`` selects the execution strategy (an
-    :class:`~repro.exec.backends.ExecutionBackend`, a name like
+    :class:`~repro.exec.backends.ExecutionBackend`, a spec string like
     ``"process:4"``, or ``None`` for serial); all backends return
     identical results for identical seeds.
     """
     from repro.exec.backends import get_backend
 
     return get_backend(backend).run(
-        instance,
+        _coerce_source(instance),
         algorithm,
         nodes,
         seed=seed,
@@ -114,23 +167,40 @@ class SolveReport:
 
 def solve_and_check(
     problem,
-    instance: Instance,
+    instance: InstanceSource,
     algorithm: ProbeAlgorithm,
     seed: int = 0,
     max_volume: Optional[int] = None,
     max_queries: Optional[int] = None,
     backend=None,
 ) -> SolveReport:
-    """Run the algorithm on the full instance and verify its output."""
+    """Run the algorithm on the full instance and verify its output.
+
+    Problem checkers are whole-graph passes, so an
+    :class:`~repro.model.implicit.InstanceSpec` is materialized for the
+    validation step — which bounds this entry point to materializable
+    sizes.  Giant-n specs belong in :func:`run_algorithm` (cost
+    measurement over explicit node selections), not here.
+    """
+    source = _coerce_source(instance)
+    if isinstance(source, InstanceSpec) and source.n > MATERIALIZE_LIMIT:
+        raise ValueError(
+            f"solve_and_check validates against the whole graph and "
+            f"cannot check {source!r} (n={source.n} > "
+            f"{MATERIALIZE_LIMIT}); use run_algorithm with an "
+            "explicit node selection for giant-n cost measurements"
+        )
     run = run_algorithm(
-        instance,
+        source,
         algorithm,
         seed=seed,
         max_volume=max_volume,
         max_queries=max_queries,
         backend=backend,
     )
-    violations = problem.validate(instance, run.outputs)
+    if isinstance(source, InstanceSpec):
+        source = source.materialize()
+    violations = problem.validate(source, run.outputs)
     return SolveReport(run=run, valid=not violations, violations=violations)
 
 

@@ -3,7 +3,7 @@
 The second construction: an LCL with R-DIST = D-DIST = Θ(log n) but
 R-VOL = D-VOL = Θ(n) (Theorem 4.5) — the volume lower bound holding *even
 for randomized algorithms*, proved by embedding set disjointness
-(Proposition 4.9, reproduced in :mod:`repro.lower_bounds.disjointness`).
+(Proposition 4.9, reproduced in :mod:`repro.adversary.disjointness`).
 
 **Input:** a balanced tree labeling — a colored tree labeling plus lateral
 left/right-neighbor ports LN/RN.

@@ -98,7 +98,12 @@ class FamilyEntry:
     ``problems`` lists every registered problem the generated instances
     are valid inputs for; ``quick``/``full`` are the parameter grids used
     by CI smoke runs and the paper-table benches; ``n_range`` documents
-    the approximate instance sizes the full grid spans.
+    the approximate instance sizes the full grid spans.  ``implicit``
+    declares that the family also has an implicit generator in
+    :mod:`repro.model.implicit` — node neighborhoods are pure functions
+    of the node id, so an :class:`~repro.model.implicit.InstanceSpec`
+    naming this family can be served at giant n without materializing
+    the graph (the differential suite pins generator == factory).
     """
 
     name: str
@@ -107,6 +112,7 @@ class FamilyEntry:
     quick: Tuple[object, ...]
     full: Tuple[object, ...]
     n_range: Tuple[int, int] = (0, 0)
+    implicit: bool = False
     description: str = ""
 
     def params(self, grid: str = "quick") -> Tuple[object, ...]:
@@ -278,9 +284,16 @@ def register_family(
     quick: Sequence[object],
     full: Sequence[object],
     n_range: Tuple[int, int] = (0, 0),
+    implicit: bool = False,
     description: str = "",
 ) -> Callable[[Callable], Callable]:
-    """Function decorator: register ``factory(param) -> Instance``."""
+    """Function decorator: register ``factory(param) -> Instance``.
+
+    Pass ``implicit=True`` only for families with a matching implicit
+    generator registered in :mod:`repro.model.implicit` (the capability
+    the giant-n :class:`~repro.model.implicit.InstanceSpec` path keys
+    on); the differential suite cross-checks the two registries.
+    """
 
     def decorate(factory: Callable) -> Callable:
         FAMILIES.add(
@@ -291,6 +304,7 @@ def register_family(
                 quick=tuple(quick),
                 full=tuple(full),
                 n_range=n_range,
+                implicit=implicit,
                 description=description or _first_docline(factory),
             )
         )

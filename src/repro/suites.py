@@ -332,6 +332,46 @@ def fig2_volume_landscape() -> List[SweepSpec]:
 
 
 # ----------------------------------------------------------------------
+# Implicit giant-n scaling (PR 7): the R-VOL curve far beyond any
+# materializable size, served by InstanceSpec + ImplicitOracle
+# ----------------------------------------------------------------------
+def _implicit_leaf_coloring_hard(depth: int):
+    from repro.model.implicit import InstanceSpec
+
+    return InstanceSpec("leaf-coloring-hard", depth)
+
+
+@suite(
+    "implicit/scaling",
+    "Implicit giant-n — LeafColoring R-VOL at n up to 2^24-1 "
+    "(InstanceSpec: nodes synthesized on demand, bounded memory)",
+    notes=(
+        "  (no instance is materialized: each point ships an O(1) "
+        "InstanceSpec and realizes only the O(log n) nodes the walk "
+        "touches; the implicit-smoke CI job gates peak RSS < 512 MB)",
+    ),
+)
+def implicit_scaling() -> List[SweepSpec]:
+    family = InstanceFamily(
+        "leaf-coloring-hard[implicit]",
+        _implicit_leaf_coloring_hard,
+        [17, 20, 23],  # n = 2^(d+1)-1: 262143, 2097151, 16777215
+    )
+    return [
+        SweepSpec(
+            "LeafColoring R-VOL (implicit)",
+            "Θ(log n)",
+            family,
+            "volume",
+            _algo("leaf-coloring/rw-to-leaf"),
+            nodes=root_only,
+            seed=7,
+            candidates=VOL_CANDIDATES,
+        ),
+    ]
+
+
+# ----------------------------------------------------------------------
 # Monte Carlo — streaming success-probability estimation (PR 5)
 # ----------------------------------------------------------------------
 def _problem(name: str) -> Callable:

@@ -1,11 +1,14 @@
-"""Golden-artifact schema v4: JSON-schema validation + v3→v4 reader shim.
+"""Golden-artifact schema v5: JSON-schema validation + reader shims.
 
 The committed ``BENCH_repro.json`` at the repo root is the golden
 artifact: it must validate against the formal JSON-schema document that
-ships with the CLI (``repro/cli/schemas/bench-v4.schema.json``), and it
-must document the PR-5 acceptance criterion — adaptive early stopping
+ships with the CLI (``repro/cli/schemas/bench-v5.schema.json``), it
+must document the PR-5 acceptance criterion (adaptive early stopping
 reaching the same verdicts as the fixed-count runs on every registry
-cell while executing strictly fewer total trials.
+cell while executing strictly fewer total trials), and — new in v5 —
+the PR-7 criterion: every implicit-capable family checked against its
+materialized factory and probed past n = 10^7 through the
+bounded-memory implicit oracle.
 """
 
 import json
@@ -54,7 +57,7 @@ class TestSchemaDocument:
 class TestGoldenArtifact:
     def test_golden_artifact_validates(self, schema, golden):
         jsonschema.validate(golden, schema)
-        assert golden["schema_version"] == 4
+        assert golden["schema_version"] == 5
         assert golden["mode"] == "quick"
 
     def test_monte_carlo_section_covers_every_cell(self, golden):
@@ -95,6 +98,30 @@ class TestGoldenArtifact:
             r["adaptive"]["trials"] for r in golden["monte_carlo"]
         )
 
+    def test_implicit_scaling_covers_every_implicit_family(self, golden):
+        from repro.registry import FAMILIES, load_components
+
+        load_components()
+        implicit = {e.name for e in FAMILIES if e.implicit}
+        assert implicit, "registry must declare implicit families"
+        assert {r["family"] for r in golden["implicit_scaling"]} == implicit
+
+    def test_implicit_scaling_acceptance_criterion(self, golden):
+        """Every family differential-checked and probed past n = 10^7."""
+        assert golden["implicit_scaling"]
+        for record in golden["implicit_scaling"]:
+            assert record["ok"] is True
+            assert record["differential"]["ok"] is True
+            assert record["probe"]["ok"] is True
+            assert record["n"] >= 10_000_000
+        summary = golden["summary"]["implicit_scaling"]
+        assert summary["families"] == len(golden["implicit_scaling"])
+        assert summary["failed"] == 0
+        assert summary["max_n"] == max(
+            r["n"] for r in golden["implicit_scaling"]
+        )
+        assert summary["max_n"] >= 10_000_000
+
 
 class TestFreshArtifact:
     def test_fresh_quick_artifact_validates(self, tmp_path, schema, capsys):
@@ -111,16 +138,39 @@ class TestFreshArtifact:
             )
             assert record["fixed"]["stopped"] == "fixed"
 
-    def test_no_mc_flag_keeps_schema_valid(self, tmp_path, schema, capsys):
+    def test_only_filter_applies_to_implicit_section(
+        self, tmp_path, schema, capsys
+    ):
+        out = tmp_path / "bench.json"
+        assert main([
+            "bench", "--quick", "--only", "cycle-uniform", "--no-mc",
+            "--out", str(out),
+        ]) == 0
+        artifact = json.loads(out.read_text())
+        jsonschema.validate(artifact, schema)
+        assert [
+            r["family"] for r in artifact["implicit_scaling"]
+        ] == ["cycle-uniform"]
+        record = artifact["implicit_scaling"][0]
+        assert record["ok"] is True
+        assert record["n"] >= 10_000_000
+
+    def test_no_flags_keep_schema_valid(self, tmp_path, schema, capsys):
         out = tmp_path / "bench.json"
         assert main([
             "bench", "--quick", "--only", "constant", "--no-mc",
-            "--out", str(out),
+            "--no-implicit", "--out", str(out),
         ]) == 0
         artifact = json.loads(out.read_text())
         jsonschema.validate(artifact, schema)
         assert artifact["monte_carlo"] == []
         assert artifact["summary"]["monte_carlo"]["cells"] == 0
+        assert artifact["implicit_scaling"] == []
+        assert artifact["summary"]["implicit_scaling"] == {
+            "families": 0,
+            "failed": 0,
+            "max_n": 0,
+        }
 
 
 def _minimal_v3():
@@ -149,10 +199,24 @@ def _minimal_v3():
     }
 
 
+def _minimal_v4():
+    payload = _minimal_v3()
+    payload["schema_version"] = 4
+    payload["monte_carlo"] = []
+    payload["summary"]["monte_carlo"] = {
+        "cells": 0,
+        "failed": 0,
+        "fixed_trials": 0,
+        "adaptive_trials": 0,
+        "trials_saved": 0,
+    }
+    return payload
+
+
 class TestUpgradeShim:
-    def test_v3_upgrades_to_v4(self, schema):
+    def test_v3_upgrades_to_v5(self, schema):
         upgraded = upgrade_artifact(_minimal_v3())
-        assert upgraded["schema_version"] == 4
+        assert upgraded["schema_version"] == 5
         assert upgraded["monte_carlo"] == []
         assert upgraded["summary"]["monte_carlo"] == {
             "cells": 0,
@@ -161,9 +225,26 @@ class TestUpgradeShim:
             "adaptive_trials": 0,
             "trials_saved": 0,
         }
+        assert upgraded["implicit_scaling"] == []
+        assert upgraded["summary"]["implicit_scaling"] == {
+            "families": 0,
+            "failed": 0,
+            "max_n": 0,
+        }
         jsonschema.validate(upgraded, schema)
 
-    def test_v4_passes_through_untouched(self, golden):
+    def test_v4_upgrades_to_v5(self, schema):
+        upgraded = upgrade_artifact(_minimal_v4())
+        assert upgraded["schema_version"] == 5
+        assert upgraded["implicit_scaling"] == []
+        assert upgraded["summary"]["implicit_scaling"] == {
+            "families": 0,
+            "failed": 0,
+            "max_n": 0,
+        }
+        jsonschema.validate(upgraded, schema)
+
+    def test_v5_passes_through_untouched(self, golden):
         import copy
 
         payload = copy.deepcopy(golden)
@@ -173,8 +254,9 @@ class TestUpgradeShim:
         path = tmp_path / "old.json"
         path.write_text(json.dumps(_minimal_v3()))
         artifact = load_artifact(path)
-        assert artifact["schema_version"] == 4
+        assert artifact["schema_version"] == 5
         assert artifact["monte_carlo"] == []
+        assert artifact["implicit_scaling"] == []
 
     def test_rejects_foreign_and_future_payloads(self):
         with pytest.raises(ValueError, match="not a repro-bench"):

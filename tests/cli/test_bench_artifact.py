@@ -144,7 +144,7 @@ class TestArtifact:
         artifact = json.loads(out.read_text())
         assert artifact["schema"] == SCHEMA_NAME
         assert artifact["schema_version"] == SCHEMA_VERSION
-        assert artifact["schema_version"] == 4
+        assert artifact["schema_version"] == 5
         assert artifact["mode"] == "quick"
         assert artifact["backend"] == "serial"
         assert artifact["oracle"] == "compiled"
@@ -210,6 +210,17 @@ class TestArtifact:
             assert record["trials_saved"] == (
                 record["fixed"]["trials"] - record["adaptive"]["trials"]
             )
+        # Schema v5: --only leaf-coloring also matches the implicit
+        # leaf-coloring-hard family, so the implicit_scaling section
+        # must carry its differential + giant-probe record.
+        implicit_scaling = artifact["implicit_scaling"]
+        assert [r["family"] for r in implicit_scaling] == [
+            "leaf-coloring-hard"
+        ]
+        for record in implicit_scaling:
+            assert record["ok"] is True
+            assert record["differential"]["ok"] is True
+            assert record["probe"]["ok"] is True
         summary = artifact["summary"]
         assert summary["cells"] == len(artifact["cells"])
         assert summary["failed"] == 0
@@ -217,6 +228,10 @@ class TestArtifact:
         assert summary["lower_bounds_failed"] == 0
         assert summary["monte_carlo"]["cells"] == len(monte_carlo)
         assert summary["monte_carlo"]["failed"] == 0
+        assert summary["implicit_scaling"]["families"] == len(
+            implicit_scaling
+        )
+        assert summary["implicit_scaling"]["failed"] == 0
         assert summary["executions"] == sum(
             c["executions"] for c in artifact["cells"]
         )

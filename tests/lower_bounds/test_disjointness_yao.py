@@ -3,7 +3,7 @@
 import random
 
 from repro.algorithms.balanced_tree_algs import BalancedTreeFullGather
-from repro.lower_bounds.disjointness import (
+from repro.adversary.disjointness import (
     communication_cost_of_query_plan,
     simulate_two_party,
 )

@@ -7,7 +7,7 @@ from repro.algorithms.hierarchical_algs import (
     RecursiveHTHC,
     WaypointHTHC,
 )
-from repro.lower_bounds.hierarchical_adversary import (
+from repro.adversary.hierarchical import (
     AdversarialTHCOracle,
     duel_hierarchical,
 )

@@ -7,7 +7,7 @@ from repro.algorithms.leaf_coloring_algs import (
     LeafColoringFullGather,
     RWtoLeaf,
 )
-from repro.lower_bounds.leaf_coloring_adversary import (
+from repro.adversary.leaf_coloring import (
     AdversarialTreeOracle,
     duel_leaf_coloring,
 )

@@ -228,13 +228,13 @@ class TestDispatch:
         import repro.exec.backends as backends
 
         calls = []
-        real = backends.compile_oracle
+        real = backends.as_oracle
 
-        def counting(instance):
+        def counting(instance, mode="auto"):
             calls.append(instance)
-            return real(instance)
+            return real(instance, mode=mode)
 
-        monkeypatch.setattr(backends, "compile_oracle", counting)
+        monkeypatch.setattr(backends, "as_oracle", counting)
         run_trials(
             PROBLEM,
             INSTANCE,
