@@ -20,7 +20,11 @@ stacked on top of them:
   the shared-memory and pickle transports, including the one-off
   publish+attach overhead the shared-memory path pays;
 * ``trial_batch`` — a fixed-instance Monte-Carlo trial batch on the
-  serial backend vs both process-pool transports.
+  serial backend vs both process-pool transports;
+* ``fault_recovery`` — the cost of the PR 8 supervision layer: the same
+  pooled workload with supervision off vs on (gated: < 5% overhead when
+  nothing fails) and the wall-time of recovering from one injected
+  worker kill, cross-checked bitwise against the serial run.
 
 Speedup conventions: every row's ``speedup`` is measured against the
 *compiled scalar serial* run of the same workload (the pre-PR-6 state of
@@ -72,7 +76,7 @@ from repro.model.runner import run_algorithm
 from repro.model.views import gather_ball
 
 SCHEMA_NAME = "repro-bench-hotpath"
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 def load_hotpath_artifact(source) -> Dict[str, object]:
@@ -80,9 +84,11 @@ def load_hotpath_artifact(source) -> Dict[str, object]:
 
     ``source`` is a path or an already-parsed dict.  Version 1 artifacts
     (PR 3-5) predate the ``parallel_scaling`` / ``trial_batch`` sections
-    and the parallel gate keys; the shim fills those with empty/None
-    values and stamps ``upgraded_from`` so v2 consumers (CI scripts,
-    analysis notebooks) can read any committed artifact uniformly.
+    and the parallel gate keys; version 2 (PR 6-7) predates the
+    ``fault_recovery`` section and its supervision gate keys.  The shim
+    fills the missing pieces with empty/None values and stamps
+    ``upgraded_from`` so v3 consumers (CI scripts, analysis notebooks)
+    can read any committed artifact uniformly.
     """
     if isinstance(source, dict):
         artifact = source
@@ -94,18 +100,23 @@ def load_hotpath_artifact(source) -> Dict[str, object]:
     version = artifact.get("schema_version")
     if version == SCHEMA_VERSION:
         return artifact
-    if version != 1:
+    if version not in (1, 2):
         raise ValueError(f"unsupported {SCHEMA_NAME} schema_version "
                          f"{version!r}")
     artifact = dict(artifact)
     artifact["schema_version"] = SCHEMA_VERSION
-    artifact["upgraded_from"] = 1
-    artifact.setdefault("parallel_scaling", [])
-    artifact.setdefault("trial_batch", [])
+    artifact["upgraded_from"] = version
     gate = dict(artifact.get("gate", {}))
-    gate.setdefault("parallel_speedup_2w_shm", None)
-    gate.setdefault("parallel_ok", True)  # nothing measured => nothing failed
-    gate.setdefault("shm_leak_free", True)
+    if version == 1:
+        artifact.setdefault("parallel_scaling", [])
+        artifact.setdefault("trial_batch", [])
+        gate.setdefault("parallel_speedup_2w_shm", None)
+        gate.setdefault("parallel_ok", True)  # nothing measured =>
+        gate.setdefault("shm_leak_free", True)  # nothing failed
+    artifact.setdefault("fault_recovery", None)
+    gate.setdefault("supervision_overhead", None)
+    gate.setdefault("supervision_ok", True)
+    gate.setdefault("fault_recovery_ok", True)
     artifact["gate"] = gate
     return artifact
 
@@ -466,6 +477,108 @@ def bench_trial_batch(trials: int, repeats: int) -> List[Dict[str, object]]:
     return rows
 
 
+# ----------------------------------------------------------------------
+# 6. fault tolerance: supervision overhead + one-kill recovery
+# ----------------------------------------------------------------------
+def bench_fault_recovery(repeats: int) -> Dict[str, object]:
+    """What supervision costs when nothing fails, and when one thing does.
+
+    The supervised dispatch loop (per-chunk timeouts, failure
+    classification, retry bookkeeping) wraps every pooled run since
+    PR 8, so its no-fault overhead is gated below 5% of the
+    unsupervised path on the same workload.  The recovery row then
+    injects exactly one ``kill-worker`` fault and reports the wall-time
+    of detecting the dead pool, respawning it, and re-dispatching only
+    the lost chunks — cross-checked bitwise against the serial run.
+    """
+    import random
+
+    from repro.algorithms.leaf_coloring_algs import RWtoLeaf
+    from repro.faults.plan import FaultInjector, FaultPlan
+    from repro.faults.retry import RetryPolicy
+    from repro.graphs.generators import leaf_coloring_instance
+
+    # Big enough that a run takes tens of milliseconds: the overhead
+    # gate compares two wall-times whose difference is microseconds of
+    # bookkeeping per chunk, so short runs drown it in dispatch noise.
+    instance = leaf_coloring_instance(9, rng=random.Random(11))
+    algorithm = RWtoLeaf()
+    repeats = max(5, repeats)
+    serial_run = run_algorithm(instance, algorithm, seed=7)
+
+    def pooled(supervised: bool, injector=None):
+        return ProcessPoolBackend(
+            workers=2,
+            shared_memory=True,
+            supervised=supervised,
+            fault_injector=injector,
+            retry=RetryPolicy(base_delay=0.01, max_delay=0.05),
+        )
+
+    with pooled(supervised=False) as pool:
+        baseline = run_algorithm(instance, algorithm, seed=7, backend=pool)
+        assert baseline.outputs == serial_run.outputs
+        unsupervised_s = best_of(
+            repeats,
+            lambda: timed(
+                lambda: run_algorithm(
+                    instance, algorithm, seed=7, backend=pool
+                )
+            ),
+        )
+    with pooled(supervised=True) as pool:
+        clean = run_algorithm(instance, algorithm, seed=7, backend=pool)
+        assert clean.outputs == serial_run.outputs
+        assert len(pool.fault_log) == 0
+        supervised_s = best_of(
+            repeats,
+            lambda: timed(
+                lambda: run_algorithm(
+                    instance, algorithm, seed=7, backend=pool
+                )
+            ),
+        )
+    overhead = supervised_s / unsupervised_s - 1.0
+
+    # One injected worker kill on the first dispatch of the first chunk:
+    # the pool breaks, the supervisor respawns it and re-runs only what
+    # was lost.  A fresh backend per repeat so every measurement pays
+    # the kill (the injector budget is per-backend-lifetime).
+    one_kill = FaultPlan(
+        seed=1, kinds=("kill-worker",), rate=1.0, max_faults=1,
+        max_attempt=0,
+    )
+
+    def killed_run() -> Dict[str, object]:
+        with pooled(
+            supervised=True, injector=FaultInjector(one_kill)
+        ) as pool:
+            result = run_algorithm(
+                instance, algorithm, seed=7, backend=pool
+            )
+            return result, len(pool.fault_log)
+
+    result, events = killed_run()
+    recovery_equal = (
+        result.outputs == serial_run.outputs
+        and result.profiles == serial_run.profiles
+    )
+    recovery_s = best_of(
+        max(2, repeats - 1), lambda: timed(killed_run)
+    )
+    return {
+        "name": f"fault_recovery[{instance.name}]",
+        "params": {"n": instance.n, "workers": 2, "transport": "shm"},
+        "unsupervised_s": unsupervised_s,
+        "supervised_s": supervised_s,
+        "supervision_overhead": overhead,
+        "recovery_s": recovery_s,
+        "recovery_fault_events": events,
+        "recovery_equal": recovery_equal,
+        "plan": one_kill.describe(),
+    }
+
+
 def _shm_segments() -> List[str]:
     """``psm_*`` files in /dev/shm (empty on non-POSIX-shm hosts)."""
     try:
@@ -541,6 +654,16 @@ def main(argv: List[str] = None) -> int:
             f"{row['time_s']:.4f}s  speedup {row['speedup']:.2f}x"
         )
 
+    fault_recovery = bench_fault_recovery(max(2, repeats - 1))
+    print(
+        f"{fault_recovery['name']:<28} supervised "
+        f"{fault_recovery['supervised_s']:.4f}s vs unsupervised "
+        f"{fault_recovery['unsupervised_s']:.4f}s "
+        f"(overhead {fault_recovery['supervision_overhead'] * 100:+.1f}%)  "
+        f"1-kill recovery {fault_recovery['recovery_s']:.4f}s "
+        f"equal={fault_recovery['recovery_equal']}"
+    )
+
     oracle_bench = benches[0]
     gather_speedups = {
         b["name"]: b["speedup"]
@@ -561,6 +684,9 @@ def main(argv: List[str] = None) -> int:
         "parallel_speedup_2w_shm": parallel_2w_shm,
         "parallel_ok": parallel_2w_shm >= 1.3,
         "shm_leak_free": not leaked and not shm.published_segments(),
+        "supervision_overhead": fault_recovery["supervision_overhead"],
+        "supervision_ok": fault_recovery["supervision_overhead"] < 0.05,
+        "fault_recovery_ok": bool(fault_recovery["recovery_equal"]),
     }
     artifact = {
         "schema": SCHEMA_NAME,
@@ -573,6 +699,7 @@ def main(argv: List[str] = None) -> int:
         "benches": benches,
         "parallel_scaling": parallel_rows,
         "trial_batch": trial_rows,
+        "fault_recovery": fault_recovery,
         "gate": gate,
     }
     with open(args.out, "w") as handle:
@@ -595,6 +722,19 @@ def main(argv: List[str] = None) -> int:
     if not gate["shm_leak_free"]:
         print(f"FAIL: leaked shared-memory segments: {leaked} "
               f"(published: {shm.published_segments()})")
+        failed = True
+    if not gate["supervision_ok"]:
+        print(
+            "FAIL: supervised dispatch costs "
+            f"{gate['supervision_overhead'] * 100:.1f}% over the "
+            "unsupervised path on a fault-free run (gate: < 5%)"
+        )
+        failed = True
+    if not gate["fault_recovery_ok"]:
+        print(
+            "FAIL: the run recovered from an injected worker kill with "
+            "outputs that differ from the serial baseline"
+        )
         failed = True
     return 1 if failed else 0
 

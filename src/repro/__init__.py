@@ -20,6 +20,14 @@ from repro.exec.backends import (
     get_backend,
     parse_backend_spec,
 )
+from repro.faults import (
+    ChaosReport,
+    FaultLog,
+    FaultPlan,
+    Journal,
+    RetryPolicy,
+    run_chaos,
+)
 from repro.montecarlo import (
     MonteCarloResult,
     TrialPolicy,
@@ -72,7 +80,7 @@ from repro.registry import (
     register_problem,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "ADVERSARIES",
@@ -80,7 +88,10 @@ __all__ = [
     "BackendSpec",
     "BalancedTree",
     "BatchBackend",
+    "ChaosReport",
     "FAMILIES",
+    "FaultLog",
+    "FaultPlan",
     "PROBLEMS",
     "CostProfile",
     "ExecutionBackend",
@@ -93,6 +104,7 @@ __all__ = [
     "InstanceSource",
     "InstanceSpec",
     "InteractiveOracle",
+    "Journal",
     "Labeling",
     "LeafColoring",
     "MonteCarloResult",
@@ -103,6 +115,7 @@ __all__ = [
     "ProcessPoolBackend",
     "RandomnessModel",
     "RecordingOracle",
+    "RetryPolicy",
     "RunResult",
     "SerialBackend",
     "Transcript",
@@ -124,6 +137,7 @@ __all__ = [
     "register_family",
     "register_problem",
     "run_algorithm",
+    "run_chaos",
     "run_sweep",
     "run_sweeps",
     "run_trials",

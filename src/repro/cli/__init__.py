@@ -403,6 +403,7 @@ def _sweep_results_payload(results) -> List[Dict[str, object]]:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.exec.sweep import cache_from_env, run_sweeps
+    from repro.faults.journal import JournalError
     from repro.suites import run_suite
 
     load_components()
@@ -413,6 +414,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         return _fail(
             "--seed only applies to ad-hoc --family/--algorithm sweeps; "
             "named suites and spec-file entries pin their own seeds"
+        )
+    if args.journal and args.suites:
+        return _fail(
+            "--journal applies to --spec-file and ad-hoc "
+            "--family/--algorithm sweeps (named suites manage their own "
+            "execution); point it at one of those"
         )
     results = []
     try:
@@ -432,7 +439,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 raise ValueError("spec file must hold a JSON list of specs")
             specs = [_spec_from_dict(e) for e in entries]
             results = run_sweeps(
-                specs, args.backend, cache=cache, progress=progress
+                specs, args.backend, cache=cache, progress=progress,
+                journal=args.journal,
             )
             if printer is not None:
                 for result in results:
@@ -447,7 +455,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 **({} if args.seed is None else {"seed": args.seed}),
             })
             results = run_sweeps(
-                [spec], args.backend, cache=cache, progress=progress
+                [spec], args.backend, cache=cache, progress=progress,
+                journal=args.journal,
             )
             if printer is not None:
                 for result in results:
@@ -457,7 +466,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 "nothing to sweep: give suite names, --spec-file, or "
                 "--family with --algorithm (see `repro list` for names)"
             )
-    except (RegistryError, ValueError, OSError) as exc:
+    except (RegistryError, ValueError, OSError, JournalError) as exc:
         return _fail(str(exc))
     if args.json:
         print(json.dumps(_sweep_results_payload(results), indent=2))
@@ -470,6 +479,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 def build_parser() -> argparse.ArgumentParser:
     from repro.cli.adversary import add_adversary_arguments
     from repro.cli.bench import add_bench_arguments
+    from repro.cli.chaos import add_chaos_arguments
     from repro.cli.mc import add_mc_arguments
 
     parser = argparse.ArgumentParser(
@@ -547,12 +557,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument("--seed", type=int, default=None)
     p_sweep.add_argument("--backend")
+    p_sweep.add_argument(
+        "--journal", metavar="PATH", default=None,
+        help="crash-safe JSONL journal: completed grid points are "
+        "appended durably and restored (not re-measured) when the same "
+        "sweep batch resumes after an interruption",
+    )
     p_sweep.add_argument("--progress", action="store_true")
     p_sweep.add_argument("--json", action="store_true")
     p_sweep.set_defaults(func=cmd_sweep)
 
     add_mc_arguments(sub)
     add_adversary_arguments(sub)
+    add_chaos_arguments(sub)
     add_bench_arguments(sub)
     return parser
 

@@ -73,6 +73,8 @@ def cmd_mc(args: argparse.Namespace) -> int:
         # stderr on purpose: --progress must not corrupt --json output.
         print(line, file=sys.stderr)
 
+    from repro.faults.journal import JournalError
+
     try:
         result = run_trials(
             problem.make(),
@@ -81,8 +83,11 @@ def cmd_mc(args: argparse.Namespace) -> int:
             policy,
             base_seed=base_seed,
             backend=backend,
+            journal=args.journal,
             progress=progress if args.progress else None,
         )
+    except JournalError as exc:
+        return _fail(str(exc))
     finally:
         # Release pool resources promptly (a leaked ProcessPoolExecutor
         # races interpreter teardown and spews atexit tracebacks).
@@ -101,6 +106,8 @@ def cmd_mc(args: argparse.Namespace) -> int:
         "policy": policy.describe(),
         **result.to_payload(),
     }
+    if result.fault_log is not None:
+        payload["faults"] = result.fault_log.to_payload()
     if args.json:
         print(json.dumps(payload, indent=2))
     else:
@@ -193,6 +200,12 @@ def add_mc_arguments(sub) -> None:
     p_mc.add_argument(
         "--gate", type=float, default=None,
         help="exit 1 if the estimated rate falls below this",
+    )
+    p_mc.add_argument(
+        "--journal", metavar="PATH", default=None,
+        help="crash-safe JSONL journal: completed trials are appended "
+        "durably and replayed (not re-run) when the same spec resumes "
+        "after an interruption",
     )
     p_mc.add_argument("--progress", action="store_true")
     p_mc.add_argument("--json", action="store_true")

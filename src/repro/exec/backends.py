@@ -54,6 +54,17 @@ to the scalar serial semantics, both enforced by the equivalence suites):
   suffix ``"process:N:pickle"``) preserves the whole-instance-per-chunk
   pickle path bit-for-bit; the segment is unlinked in a ``finally`` on
   every dispatch, with an ``atexit`` backstop.
+
+Fault tolerance: :class:`ProcessPoolBackend` dispatches are *supervised*
+by default — per-chunk timeouts, worker-crash detection, and a
+:class:`~repro.faults.retry.RetryPolicy` that re-dispatches only the
+lost chunks, degrading each chunk along the documented chain
+shm → pickle transport → serial in-process when retries keep failing.
+Because every chunk outcome is a pure function of its seeds, a run that
+survived faults is bitwise-identical to the fault-free run; what
+happened is recorded in the structured
+:class:`~repro.faults.retry.FaultLog` attached to the result.  See
+DESIGN.md §11 for the fault model and the determinism argument.
 """
 
 from __future__ import annotations
@@ -61,11 +72,18 @@ from __future__ import annotations
 import abc
 import os
 import pickle
+import time
+import warnings
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.exec import shm as shm_layer
+from repro.faults.plan import ShmAttachError, wrap_payload
+from repro.faults.retry import FaultEvent, FaultLog, RetryPolicy
 from repro.model.implicit import InstanceSpec, as_oracle, iter_node_ids
 from repro.model.probe import CostProfile, ProbeAlgorithm, execute_at
 from repro.model.randomness import TapeStore
@@ -522,8 +540,9 @@ class BatchBackend(SerialBackend):
         self._max_cached = max_cached
         # id() keys are only stable while the object lives; the oracle
         # holds a strong reference to its instance, keeping the id valid
-        # for as long as the entry is cached.
-        self._oracles: "dict[int, object]" = {}
+        # for as long as the entry is cached.  Ordered least- to
+        # most-recently *used*: hits re-rank, eviction pops the front.
+        self._oracles: "OrderedDict[int, object]" = OrderedDict()
 
     def run_trial_batch(self, *args, **kwargs) -> List[TrialOutcome]:
         # This backend already amortizes repeated instances itself; the
@@ -533,11 +552,17 @@ class BatchBackend(SerialBackend):
     def _oracle_for(self, instance):
         key = id(instance)
         oracle = self._oracles.get(key)
-        if oracle is None or oracle.instance is not instance:
-            oracle = _make_oracle(instance, self.compiled)
-            if len(self._oracles) >= self._max_cached:
-                self._oracles.pop(next(iter(self._oracles)))
-            self._oracles[key] = oracle
+        if oracle is not None and oracle.instance is instance:
+            self._oracles.move_to_end(key)
+            return oracle
+        oracle = _make_oracle(instance, self.compiled)
+        if key in self._oracles:
+            # A dead instance's id was reused: the stale entry must go
+            # regardless of capacity.
+            del self._oracles[key]
+        elif len(self._oracles) >= self._max_cached:
+            self._oracles.popitem(last=False)
+        self._oracles[key] = oracle
         return oracle
 
     def close(self) -> None:
@@ -569,8 +594,41 @@ class _PinnedOracleBackend(SerialBackend):
         return super()._oracle_for(instance)
 
 
+#: Fault kinds the injector may apply per transport (shm-only kinds make
+#: no sense on the pickle transport; publish faults are applied at the
+#: publish step, not per chunk).
+_PICKLE_FAULTS = (
+    "kill-worker",
+    "delay-chunk",
+    "transient-oserror",
+    "corrupt-payload",
+)
+_SHM_FAULTS = _PICKLE_FAULTS + ("shm-attach-fail",)
+
+# "shm unavailable" should be one actionable warning per process, not a
+# crash and not a silent slowdown.
+_SHM_FALLBACK_WARNED = False
+
+
+def _warn_shm_fallback(exc: Exception) -> None:
+    global _SHM_FALLBACK_WARNED
+    if _SHM_FALLBACK_WARNED:
+        return
+    _SHM_FALLBACK_WARNED = True
+    warnings.warn(
+        "shared-memory transport unavailable "
+        f"({type(exc).__name__}: {exc}); falling back to the pickle "
+        "transport for this and future dispatches needing it. Results "
+        "are identical, only slower; pass shared_memory=False (spec "
+        "'process:N:pickle') to silence this, or free /dev/shm space "
+        "to restore the zero-copy path.",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
 class ProcessPoolBackend(ExecutionBackend):
-    """Chunked fan-out of start nodes over a process pool.
+    """Chunked fan-out of start nodes over a supervised process pool.
 
     The node list is split into contiguous chunks, each chunk runs the
     plain serial loop in a worker, and the chunk results are merged back
@@ -591,6 +649,27 @@ class ProcessPoolBackend(ExecutionBackend):
     ``shared_memory=False`` preserves the instance-per-chunk pickle path
     bit-for-bit (results are identical either way — only the transport
     differs); the reference path (``compiled=False``) always pickles.
+
+    Supervision (``supervised=True``, the default): each dispatch tracks
+    its chunks individually, detects crashed workers
+    (``BrokenProcessPool``), hung chunks (``timeout`` seconds per chunk,
+    off by default), and corrupt payloads, and re-dispatches *only the
+    lost chunks* under ``retry`` (a :class:`~repro.faults.retry.RetryPolicy`;
+    backoff jitter is seeded from the dispatch seed, so reruns wait the
+    exact same schedule).  A chunk that keeps failing degrades
+    shm → pickle transport → serial in-process; the serial stage always
+    completes or raises the chunk's real exception.  Worker *application*
+    errors skip straight to serial after ``retry.app_attempts`` tries —
+    they are usually deterministic, and serial reproduces the real
+    traceback.  Every handled failure is recorded in :attr:`fault_log`
+    (a snapshot rides on each :class:`~repro.model.runner.RunResult`).
+    ``supervised=False`` restores the bare gather loop (no timeouts, no
+    retries, first worker exception propagates) — the zero-overhead
+    baseline the bench suite compares against.
+
+    ``fault_injector`` (a :class:`~repro.faults.plan.FaultInjector`) is
+    the chaos-harness hook: ``None`` (the default) costs one ``is None``
+    check per chunk dispatch.
     """
 
     name = "process"
@@ -601,20 +680,214 @@ class ProcessPoolBackend(ExecutionBackend):
         chunk_size: Optional[int] = None,
         compiled: bool = True,
         shared_memory: bool = True,
+        timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        supervised: bool = True,
+        fault_injector=None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ValueError("workers must be positive")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be positive")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive (or None for no limit)")
         self.workers = workers or os.cpu_count() or 1
         self.chunk_size = chunk_size
         self.compiled = compiled
         self.shared_memory = shared_memory
+        self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.supervised = supervised
+        #: Everything supervision handled over this backend's lifetime;
+        #: per-dispatch snapshots ride on the results themselves.
+        self.fault_log = FaultLog()
+        self._injector = fault_injector
+        self._dispatches = 0
         self._executor: Optional[ProcessPoolExecutor] = None
         # Segments published by dispatches that have not unlinked yet;
         # normally drained by the per-dispatch ``finally``, re-drained by
         # close() as a backstop (shm's atexit hook is the last resort).
         self._live_handles: Set[object] = set()
+
+    # ------------------------------------------------------------------
+    # Supervision: classify → retry → degrade (shm → pickle → serial)
+    # ------------------------------------------------------------------
+    def _reset_pool(self) -> None:
+        """Tear down a broken/hung pool so the next round gets a fresh one."""
+        executor, self._executor = self._executor, None
+        if executor is None:
+            return
+        processes = list(getattr(executor, "_processes", {}).values())
+        for proc in processes:
+            try:
+                proc.terminate()
+            except Exception:
+                pass
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+        for proc in processes:
+            try:
+                proc.join(timeout=1.0)
+            except Exception:
+                pass
+
+    def _dispatch_supervised(
+        self,
+        scope: str,
+        chunks: List[list],
+        transport: str,
+        payloads: List[bytes],
+        workers_map: Dict[str, Callable[[bytes], list]],
+        pickle_payload: Callable[[list], bytes],
+        serial_chunk: Callable[[list], list],
+        seed: int,
+    ) -> List[list]:
+        """Run every chunk to completion; return per-chunk results in order.
+
+        The loop is round-based: submit all pending chunks, gather with
+        the per-chunk timeout, classify each failure, decide retry vs
+        degrade, reset the pool once per round if it broke, sleep the
+        round's largest due backoff, repeat.  A chunk on the ``serial``
+        stage executes in-process at the top of the next round — it
+        either completes or raises the chunk's real exception to the
+        caller (the dispatch's ``finally`` still unpublishes).
+        """
+        retry = self.retry
+        injector = self._injector
+        count = len(chunks)
+        results: List[Optional[list]] = [None] * count
+        transports = [transport] * count
+        blobs: List[bytes] = list(payloads)
+        tries = [0] * count  # lifetime dispatch count: fault/backoff coordinate
+        stage_tries = [0] * count  # tries on the current transport stage
+        app_tries = [0] * count  # worker application errors seen
+        pending = list(range(count))
+        while pending:
+            for idx in pending:
+                if transports[idx] == "serial":
+                    results[idx] = serial_chunk(chunks[idx])
+            pending = [i for i in pending if transports[i] != "serial"]
+            if not pending:
+                break
+            submitted: List[Tuple[int, object]] = []
+            failures: List[Tuple[int, str, str]] = []  # (chunk, kind, detail)
+            broken = False
+            for idx in pending:
+                worker = workers_map[transports[idx]]
+                blob = blobs[idx]
+                if injector is not None:
+                    allowed = (
+                        _SHM_FAULTS
+                        if transports[idx] == "shm"
+                        else _PICKLE_FAULTS
+                    )
+                    fault = injector.fault_for(scope, idx, tries[idx], allowed)
+                    if fault is not None:
+                        self.fault_log.record(
+                            FaultEvent(
+                                f"injected:{fault}",
+                                scope,
+                                idx,
+                                tries[idx],
+                                "injected",
+                            )
+                        )
+                        worker, blob = wrap_payload(
+                            fault, injector.plan, worker, blob
+                        )
+                try:
+                    future = self._pool().submit(worker, blob)
+                except (BrokenProcessPool, RuntimeError) as exc:
+                    broken = True
+                    failures.append((idx, "worker-crash", f"submit: {exc}"))
+                    continue
+                submitted.append((idx, future))
+            timed_out = False
+            for idx, future in submitted:
+                # After the first timeout the round is lost anyway: poll
+                # the rest briefly to salvage chunks that did finish.
+                wait = 0.05 if timed_out else self.timeout
+                try:
+                    results[idx] = future.result(timeout=wait)
+                except FuturesTimeout:
+                    timed_out = True
+                    broken = True
+                    future.cancel()
+                    failures.append(
+                        (idx, "timeout", f"chunk exceeded {self.timeout:g}s")
+                    )
+                except BrokenProcessPool as exc:
+                    broken = True
+                    failures.append((idx, "worker-crash", str(exc)))
+                except (pickle.UnpicklingError, EOFError) as exc:
+                    failures.append(
+                        (
+                            idx,
+                            "corrupt-payload",
+                            f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+                except Exception as exc:
+                    if transports[idx] == "shm" and isinstance(
+                        exc, (ShmAttachError, FileNotFoundError)
+                    ):
+                        kind = "shm-attach"
+                    else:
+                        kind = "chunk-error"
+                    failures.append(
+                        (idx, kind, f"{type(exc).__name__}: {exc}")
+                    )
+            if broken:
+                self._reset_pool()
+            pending = []
+            round_delay = 0.0
+            for idx, kind, detail in failures:
+                attempt = tries[idx]
+                tries[idx] += 1
+                stage_tries[idx] += 1
+                action = "retry"
+                if kind == "chunk-error":
+                    # Application errors are usually deterministic: after
+                    # app_attempts tries, reproduce the real exception
+                    # serially instead of burning the full retry budget.
+                    app_tries[idx] += 1
+                    if app_tries[idx] >= retry.app_attempts:
+                        action = "degrade:serial"
+                if kind == "shm-attach":
+                    # The segment is gone for every future attempt too.
+                    action = "degrade:pickle"
+                elif (
+                    action == "retry"
+                    and stage_tries[idx] >= retry.max_attempts
+                ):
+                    action = (
+                        "degrade:pickle"
+                        if transports[idx] == "shm"
+                        else "degrade:serial"
+                    )
+                if action == "degrade:pickle":
+                    transports[idx] = "pickle"
+                    stage_tries[idx] = 0
+                    try:
+                        blobs[idx] = pickle_payload(chunks[idx])
+                    except Exception:
+                        action = "degrade:serial"
+                if action == "degrade:serial":
+                    transports[idx] = "serial"
+                self.fault_log.record(
+                    FaultEvent(kind, scope, idx, attempt, action, detail)
+                )
+                if action == "retry":
+                    round_delay = max(
+                        round_delay,
+                        retry.delay(f"{seed}:{scope}:{idx}", attempt),
+                    )
+                pending.append(idx)
+            if round_delay > 0:
+                time.sleep(round_delay)
+        return results
 
     # ------------------------------------------------------------------
     def run(
@@ -630,6 +903,9 @@ class ProcessPoolBackend(ExecutionBackend):
         node_list = self._resolve_nodes(instance, nodes)
         chunks = self._chunk(node_list)
         serial = self.workers == 1 or len(chunks) <= 1
+        self._dispatches += 1
+        scope = f"run:{self._dispatches}"
+        mark = len(self.fault_log)
         handle = None
         payloads: List[bytes] = []
         if (
@@ -641,7 +917,7 @@ class ProcessPoolBackend(ExecutionBackend):
             # each worker serves its chunk from its own ImplicitOracle.
             and not isinstance(instance, InstanceSpec)
         ):
-            handle = self._publish(instance)
+            handle = self._publish(instance, scope)
         if handle is not None:
             try:
                 payloads = [
@@ -681,16 +957,54 @@ class ProcessPoolBackend(ExecutionBackend):
                 distance_mode="incremental" if self.compiled else "reference",
             )
             return self._assemble(instance, algorithm, triples)
-        worker = _run_chunk if handle is None else _run_chunk_shm
+
+        def _pickle_payload(chunk: list) -> bytes:
+            return pickle.dumps(
+                (instance, algorithm, chunk, seed, max_volume,
+                 max_queries, self.compiled)
+            )
+
+        oracle_cache: list = []
+
+        def _serial_chunk(chunk: list) -> list:
+            if not oracle_cache:
+                oracle_cache.append(_make_oracle(instance, self.compiled))
+            return _execute_nodes(
+                oracle_cache[0],
+                algorithm,
+                chunk,
+                seed,
+                max_volume,
+                max_queries,
+                distance_mode="incremental" if self.compiled else "reference",
+            )
+
         try:
-            futures = [self._pool().submit(worker, p) for p in payloads]
-            triples: List[Tuple[int, object, CostProfile]] = []
-            for future in futures:  # submission order == original node order
-                triples.extend(future.result())
+            if self.supervised:
+                chunk_results = self._dispatch_supervised(
+                    scope,
+                    chunks,
+                    "pickle" if handle is None else "shm",
+                    payloads,
+                    {"shm": _run_chunk_shm, "pickle": _run_chunk},
+                    _pickle_payload,
+                    _serial_chunk,
+                    seed,
+                )
+            else:
+                worker = _run_chunk if handle is None else _run_chunk_shm
+                futures = [self._pool().submit(worker, p) for p in payloads]
+                # submission order == original node order
+                chunk_results = [future.result() for future in futures]
         finally:
             if handle is not None:
                 self._unpublish(handle)
-        return self._assemble(instance, algorithm, triples)
+        triples = [t for chunk in chunk_results for t in chunk]
+        result = self._assemble(instance, algorithm, triples)
+        events = self.fault_log.since(mark)
+        if events:
+            result.fault_log = events
+        return result
 
     def run_trial_batch(
         self,
@@ -727,6 +1041,8 @@ class ProcessPoolBackend(ExecutionBackend):
 
         if self.workers == 1 or len(chunks) <= 1:
             return _local()
+        self._dispatches += 1
+        scope = f"trials:{self._dispatches}"
         handle = None
         payloads: List[bytes] = []
         if (
@@ -739,7 +1055,7 @@ class ProcessPoolBackend(ExecutionBackend):
             # Fixed-instance trial streams (the Monte-Carlo engine's
             # common shape) share one instance across every trial:
             # publish it once, fan out O(1) handles.
-            handle = self._publish(instance_factory.instance)
+            handle = self._publish(instance_factory.instance, scope)
         if handle is not None:
             try:
                 payloads = [
@@ -781,15 +1097,56 @@ class ProcessPoolBackend(ExecutionBackend):
                 # Unpicklable factory/problem (lambdas, local classes): the
                 # parallel path is an optimization, not a requirement.
                 return _local()
-        worker = _run_trials if handle is None else _run_trials_shm
+        def _pickle_payload(chunk: list) -> bytes:
+            return pickle.dumps(
+                (
+                    problem,
+                    instance_factory,
+                    algorithm,
+                    chunk,
+                    base_seed,
+                    max_volume,
+                    max_queries,
+                    self.compiled,
+                )
+            )
+
+        def _serial_chunk(chunk: list) -> List[TrialOutcome]:
+            with BatchBackend(compiled=self.compiled) as batch:
+                return _trial_outcomes(
+                    batch,
+                    problem,
+                    instance_factory,
+                    algorithm,
+                    chunk,
+                    base_seed,
+                    max_volume,
+                    max_queries,
+                )
+
         try:
-            futures = [self._pool().submit(worker, p) for p in payloads]
-            outcomes: List[TrialOutcome] = []
-            for future in futures:  # submission order == trial index order
-                outcomes.extend(future.result())
+            if self.supervised:
+                chunk_results = self._dispatch_supervised(
+                    scope,
+                    chunks,
+                    "pickle" if handle is None else "shm",
+                    payloads,
+                    {"shm": _run_trials_shm, "pickle": _run_trials},
+                    _pickle_payload,
+                    _serial_chunk,
+                    base_seed,
+                )
+            else:
+                worker = _run_trials if handle is None else _run_trials_shm
+                futures = [self._pool().submit(worker, p) for p in payloads]
+                # submission order == trial index order
+                chunk_results = [future.result() for future in futures]
         finally:
             if handle is not None:
                 self._unpublish(handle)
+        outcomes: List[TrialOutcome] = []
+        for chunk in chunk_results:
+            outcomes.extend(chunk)
         return outcomes
 
     # ------------------------------------------------------------------
@@ -800,10 +1157,42 @@ class ProcessPoolBackend(ExecutionBackend):
             self._executor.shutdown(wait=True)
             self._executor = None
 
-    def _publish(self, instance):
+    def _publish(self, instance, scope: str = "publish"):
         """Publish ``instance`` to shared memory; ``None`` = use pickle."""
+        if self._injector is not None:
+            fault = self._injector.fault_for(
+                scope, -1, 0, allowed=("shm-publish-fail",)
+            )
+            if fault is not None:
+                self.fault_log.record(
+                    FaultEvent(
+                        "injected:shm-publish-fail", scope, -1, 0, "injected"
+                    )
+                )
+                self.fault_log.record(
+                    FaultEvent(
+                        "shm-publish",
+                        scope,
+                        -1,
+                        0,
+                        "fallback:pickle",
+                        "injected publish failure",
+                    )
+                )
+                return None
         try:
             handle = shm_layer.publish_instance(instance)
+        except shm_layer.ShmPublishError as exc:
+            # /dev/shm missing, full, or too small for the instance:
+            # results are identical over pickle, so degrade — but say so
+            # (once per process), because the slowdown is actionable.
+            _warn_shm_fallback(exc)
+            self.fault_log.record(
+                FaultEvent(
+                    "shm-publish", scope, -1, 0, "fallback:pickle", str(exc)
+                )
+            )
+            return None
         except Exception:
             # Unshareable instance (ids outside int64, unpicklable aux,
             # a graph that refuses to freeze): shared memory is an

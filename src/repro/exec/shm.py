@@ -41,6 +41,7 @@ from __future__ import annotations
 import atexit
 import pickle
 import sys
+import threading
 from array import array
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -54,8 +55,13 @@ from repro.model.oracle import CompiledOracle
 
 _WORD = 8  # every CSR cell is a signed 64-bit integer ('q')
 
-#: Segments this process has published and not yet unlinked.
+#: Segments this process has published and not yet unlinked.  The lock
+#: makes publish/unpublish safe against concurrent failure paths (a
+#: dispatch ``finally``, ``close()``'s drain, and the atexit backstop
+#: can race when a supervised retry tears a pool down mid-dispatch);
+#: each segment is still closed+unlinked exactly once.
 _PUBLISHED: Dict[str, shared_memory.SharedMemory] = {}
+_PUBLISH_LOCK = threading.Lock()
 
 #: Worker-side attachment cache (segment name -> _Attachment).  Bounded:
 #: a worker outlives many runs, each with its own segment.
@@ -69,8 +75,11 @@ class ShmPublishError(RuntimeError):
     """The instance cannot be published to shared memory.
 
     Raised for structurally unshareable inputs (node ids outside int64,
-    an aux payload that does not pickle).  The backend treats it as
-    "use the pickle path", never as a failed run.
+    an aux payload that does not pickle) and for an unavailable or
+    exhausted shared-memory filesystem (``/dev/shm`` missing, full, or
+    too small for the instance).  The backend treats it as "use the
+    pickle path" — with one actionable warning for the filesystem case —
+    never as a failed run.
     """
 
 
@@ -160,9 +169,16 @@ def publish_instance(instance: Instance) -> ShmInstanceHandle:
             f"instance {instance.name!r} is not shareable: {exc}"
         ) from exc
     words = sum(len(col) for col in columns)
-    segment = shared_memory.SharedMemory(
-        create=True, size=max(1, words * _WORD + len(aux))
-    )
+    size = max(1, words * _WORD + len(aux))
+    try:
+        segment = shared_memory.SharedMemory(create=True, size=size)
+    except OSError as exc:
+        # /dev/shm missing (minimal containers), full, or quota-limited:
+        # shared memory is unavailable, not the instance unshareable.
+        raise ShmPublishError(
+            f"cannot create a {size}-byte shared-memory segment for "
+            f"instance {instance.name!r}: {exc}"
+        ) from exc
     try:
         pos = 0
         for col in columns:
@@ -172,9 +188,13 @@ def publish_instance(instance: Instance) -> ShmInstanceHandle:
         segment.buf[pos : pos + len(aux)] = aux
     except Exception:
         segment.close()
-        segment.unlink()
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
         raise
-    _PUBLISHED[segment.name] = segment
+    with _PUBLISH_LOCK:
+        _PUBLISHED[segment.name] = segment
     _register_cleanup()
     return ShmInstanceHandle(
         name=segment.name,
@@ -186,27 +206,39 @@ def publish_instance(instance: Instance) -> ShmInstanceHandle:
     )
 
 
-def unpublish(handle: ShmInstanceHandle) -> None:
-    """Unlink a published segment (idempotent)."""
-    segment = _PUBLISHED.pop(handle.name, None)
-    if segment is None:
-        return
-    segment.close()
+def _retire(segment: shared_memory.SharedMemory) -> None:
+    """Close and unlink one segment, tolerating every already-gone case."""
+    try:
+        segment.close()
+    except Exception:  # pragma: no cover - close is best-effort
+        pass
     try:
         segment.unlink()
     except FileNotFoundError:  # pragma: no cover - already gone
         pass
 
 
+def unpublish(handle: ShmInstanceHandle) -> None:
+    """Unlink a published segment (idempotent, concurrency-safe).
+
+    The atomic pop under the registry lock guarantees each segment is
+    retired exactly once even when a dispatch ``finally``, a backend
+    ``close()``, and the atexit backstop all race to unpublish it.
+    """
+    with _PUBLISH_LOCK:
+        segment = _PUBLISHED.pop(handle.name, None)
+    if segment is None:
+        return
+    _retire(segment)
+
+
 def unpublish_all() -> None:
     """Unlink every segment this process still has published."""
-    for name in list(_PUBLISHED):
-        segment = _PUBLISHED.pop(name)
-        segment.close()
-        try:
-            segment.unlink()
-        except FileNotFoundError:  # pragma: no cover
-            pass
+    with _PUBLISH_LOCK:
+        segments = list(_PUBLISHED.values())
+        _PUBLISHED.clear()
+    for segment in segments:
+        _retire(segment)
 
 
 def published_segments() -> List[str]:
@@ -246,9 +278,10 @@ def _attach(name: str) -> shared_memory.SharedMemory:
 class _Attachment:
     """One mapped segment and everything reconstructed from it."""
 
-    __slots__ = ("segment", "views", "instance", "oracle")
+    __slots__ = ("segment", "views", "instance", "oracle", "_closed")
 
     def __init__(self, handle: ShmInstanceHandle) -> None:
+        self._closed = False
         segment = _attach(handle.name)
         self.segment = segment
         buf = memoryview(segment.buf)
@@ -285,11 +318,22 @@ class _Attachment:
         )
 
     def close(self) -> None:
-        """Release the buffer views and unmap the segment."""
+        """Release the buffer views and unmap the segment (idempotent).
+
+        LRU eviction, :func:`detach_all`, and the atexit backstop can
+        each reach the same attachment on a failing worker's way down;
+        only the first call does any work.
+        """
+        if self._closed:
+            return
+        self._closed = True
         self.instance = None
         self.oracle = None
         for view in self.views:
-            view.release()
+            try:
+                view.release()
+            except Exception:  # pragma: no cover - already released
+                pass
         self.views = []
         try:
             self.segment.close()

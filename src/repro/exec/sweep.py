@@ -36,6 +36,7 @@ from repro.analysis.complexity_fit import (
     format_sweep_row,
 )
 from repro.exec.backends import ExecutionBackend, get_backend
+from repro.faults.journal import Journal
 
 
 class InstanceFamily:
@@ -356,13 +357,53 @@ def _jsonify(obj):
     return json.loads(json.dumps(obj))
 
 
+def sweep_journal_key(specs: Sequence[SweepSpec]) -> str:
+    """The spec hash binding a journal to one batch of sweeps.
+
+    Hashes every spec's :meth:`~SweepSpec.cache_key` in order, so the
+    same journal file refuses a different sweep batch loudly instead of
+    silently skipping the wrong points.
+    """
+    blob = json.dumps([spec.cache_key() for spec in specs]).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def open_sweep_journal(path, specs: Sequence[SweepSpec]) -> Journal:
+    """Open (or resume) the journal for a batch of sweeps."""
+    meta = {
+        "sweeps": [
+            {"label": spec.label, "spec": spec.cache_key()} for spec in specs
+        ]
+    }
+    return Journal(path, sweep_journal_key(specs), meta=meta)
+
+
+def _journal_points(journal: Journal) -> Dict[Tuple[str, int], Dict]:
+    """Completed ``(spec hash, grid index) -> record`` from the journal."""
+    done: Dict[Tuple[str, int], Dict] = {}
+    for record in journal.records:
+        if record.get("kind") != "point":
+            continue
+        done.setdefault((record["spec"], int(record["index"])), record)
+    return done
+
+
 def run_sweep(
     spec: SweepSpec,
     backend=None,
     cache: Optional[SweepCache] = None,
     progress: Optional[Callable[[str], None]] = None,
+    journal: Optional[Journal] = None,
 ) -> SweepResult:
-    """Execute one sweep (or load it from the cache)."""
+    """Execute one sweep (or load it from the cache).
+
+    With ``journal`` (an open :class:`~repro.faults.journal.Journal`,
+    usually from :func:`open_sweep_journal`), each completed grid point
+    is appended durably and points already journaled are restored
+    instead of re-measured — a killed campaign continues where it died.
+    Every point is a deterministic run, so a restored point is bitwise
+    what re-measuring would produce.
+    """
     backend = get_backend(backend)
     if cache is not None:
         hit = cache.load(spec)
@@ -370,9 +411,28 @@ def run_sweep(
             if progress is not None:
                 progress(f"[{spec.label}] loaded {len(hit.points)} cached points")
             return hit
+    done = _journal_points(journal) if journal is not None else {}
+    spec_key = spec.cache_key() if journal is not None else ""
     result = SweepResult(spec=spec)
     total = len(spec.family.params)
     for index, param in enumerate(spec.family.params, start=1):
+        replayed = done.get((spec_key, index - 1))
+        if replayed is not None:
+            result.points.append(
+                SweepPoint(
+                    param=param,
+                    n=int(replayed["n"]),
+                    cost=float(replayed["cost"]),
+                    elapsed=float(replayed.get("elapsed", 0.0)),
+                    detail=replayed.get("detail"),
+                )
+            )
+            if progress is not None:
+                progress(
+                    f"[{spec.label}] {index}/{total}: journaled point "
+                    f"restored (n={result.points[-1].n})"
+                )
+            continue
         instance = spec.family.instance(param)
         started = time.perf_counter()
         cost, detail = spec.measure_point_detailed(instance, param, backend)
@@ -385,6 +445,19 @@ def run_sweep(
                 param=param, n=n, cost=cost, elapsed=elapsed, detail=detail
             )
         )
+        if journal is not None:
+            journal.append(
+                {
+                    "kind": "point",
+                    "spec": spec_key,
+                    "index": index - 1,
+                    "param": repr(param),
+                    "n": n,
+                    "cost": cost,
+                    "elapsed": elapsed,
+                    "detail": detail,
+                }
+            )
         if progress is not None:
             progress(
                 f"[{spec.label}] {index}/{total}: n={n} "
@@ -401,6 +474,7 @@ def run_sweeps(
     backend=None,
     cache: Optional[SweepCache] = None,
     progress: Optional[Callable[[str], None]] = None,
+    journal=None,
 ) -> List[SweepResult]:
     """Execute a batch of sweeps on one backend, in order.
 
@@ -409,11 +483,32 @@ def run_sweeps(
     it as executed (as the summary used to) overstated the work done and
     made "N sweeps executed" unusable as a progress signal on warm
     caches.
+
+    ``journal`` is a path (or an open :class:`~repro.faults.journal.Journal`)
+    shared by the whole batch: completed grid points are appended
+    durably, and a re-run of the same batch restores them instead of
+    re-measuring (``repro sweep --journal``).  A journal written for a
+    different batch is refused with
+    :class:`~repro.faults.journal.JournalKeyError`.
     """
     backend = get_backend(backend)
-    results = [
-        run_sweep(s, backend, cache=cache, progress=progress) for s in specs
-    ]
+    specs = list(specs)
+    jour: Optional[Journal] = None
+    owned_journal = False
+    if journal is not None:
+        if isinstance(journal, Journal):
+            jour = journal
+        else:
+            jour = open_sweep_journal(journal, specs)
+            owned_journal = True
+    try:
+        results = [
+            run_sweep(s, backend, cache=cache, progress=progress, journal=jour)
+            for s in specs
+        ]
+    finally:
+        if owned_journal and jour is not None:
+            jour.close()
     if progress is not None:
         cached = sum(1 for r in results if r.from_cache)
         progress(

@@ -1,0 +1,180 @@
+"""Crash-safe append-only journals for long campaign runs.
+
+A journaled run appends one JSON line per *completed unit of work* — a
+Monte-Carlo trial outcome, a sweep grid point — and fsyncs at batch
+boundaries, so a ``kill -9`` (or power loss) can lose at most the batch
+in flight.  Because every unit is a pure function of its seeds (trial
+``i`` always runs under ``base_seed + i``; a sweep point is a
+deterministic run), replaying the journal and continuing from the next
+index reproduces the uninterrupted run *bitwise* — resume never needs
+to trust partial state beyond "these units completed".
+
+Format (one JSON document per line, UTF-8, ``\\n``-terminated)::
+
+    {"journal": "repro-journal/1", "key": "<16-hex spec hash>", ...}
+    {"kind": "trial", "trial": 0, "seed": 7, "valid": true, ...}
+    {"kind": "point", "spec": "<hash>", "index": 0, "cost": 12.0, ...}
+
+The header binds the file to the run's *spec hash* (problem, instance,
+algorithm, policy, seed, budgets): opening an existing journal with a
+different key raises :class:`JournalKeyError` — resuming someone else's
+campaign silently would corrupt both.  A torn final line (the crash
+wrote half a record) is detected and ignored; everything before it is
+intact because records are only appended.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+MAGIC = "repro-journal/1"
+
+
+class JournalError(RuntimeError):
+    """The journal file is unusable (bad magic, unreadable header)."""
+
+
+class JournalKeyError(JournalError):
+    """The journal belongs to a different run spec.
+
+    The message names both keys and the journal path: the actionable
+    fixes are "point --journal at a fresh path" or "re-run the exact
+    spec the journal was created for".
+    """
+
+
+class Journal:
+    """One append-only JSONL journal bound to a spec key.
+
+    ``records`` holds every intact record replayed from disk at open
+    time (header excluded); :meth:`append` / :meth:`append_many` add new
+    ones durably.  The file handle stays open in append mode for the
+    journal's lifetime; :meth:`close` is idempotent.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        key: str,
+        meta: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.path = Path(path)
+        self.key = key
+        self.records: List[Dict[str, object]] = []
+        self._handle: Optional[io.TextIOWrapper] = None
+        header_ok = False
+        if self.path.exists() and self.path.stat().st_size > 0:
+            header_ok = self._replay()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        if not header_ok:
+            self._write_line(
+                {"journal": MAGIC, "key": key, "meta": meta or {}}
+            )
+            self.sync()
+
+    # ------------------------------------------------------------------
+    def _replay(self) -> bool:
+        """Load intact records; drop a torn tail.  True if header stood.
+
+        A crash mid-append leaves a torn final line (no terminator, or
+        garbage JSON); every earlier line was fully written + newline
+        before any later one started, so only the tail can be damaged.
+        The file is *truncated* back to the last intact line — appending
+        after a torn tail without truncating would weld the new record
+        onto the dangling bytes and corrupt it too.
+        """
+        raw = self.path.read_bytes()
+        good_end = 0  # byte offset one past the last intact line
+        parsed: List[Dict[str, object]] = []
+        start = 0
+        while start < len(raw):
+            newline = raw.find(b"\n", start)
+            if newline < 0:
+                break  # unterminated tail: the crash interrupted a write
+            line = raw[start:newline]
+            try:
+                record = json.loads(line.decode("utf-8"))
+                if not isinstance(record, dict):
+                    raise ValueError("not a record object")
+            except (ValueError, UnicodeDecodeError):
+                if newline == len(raw) - 1:
+                    break  # torn tail that still got its newline
+                raise JournalError(
+                    f"journal {self.path} is corrupt mid-file at byte "
+                    f"{start} (not just a torn tail); refusing to guess"
+                ) from None
+            parsed.append(record)
+            start = good_end = newline + 1
+        if good_end < len(raw):
+            with open(self.path, "r+b") as handle:
+                handle.truncate(good_end)
+        if not parsed:
+            return False  # only a torn header survived: start fresh
+        header = parsed[0]
+        if header.get("journal") != MAGIC:
+            raise JournalError(
+                f"{self.path} is not a {MAGIC} journal "
+                f"(header: {header!r})"
+            )
+        if header.get("key") != self.key:
+            raise JournalKeyError(
+                f"journal {self.path} was written for spec key "
+                f"{header.get('key')!r}, not {self.key!r}; use a fresh "
+                "--journal path for a different run, or re-run the "
+                "original spec to resume this one"
+            )
+        self.records = parsed[1:]
+        return True
+
+    def _write_line(self, record: Dict[str, object]) -> None:
+        assert self._handle is not None
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    # ------------------------------------------------------------------
+    def append(self, record: Dict[str, object], sync: bool = True) -> None:
+        """Durably append one record (fsync unless ``sync=False``)."""
+        self._write_line(record)
+        self.records.append(record)
+        if sync:
+            self.sync()
+
+    def append_many(self, records) -> None:
+        """Append a batch with a single flush+fsync at the end."""
+        wrote = False
+        for record in records:
+            self._write_line(record)
+            self.records.append(record)
+            wrote = True
+        if wrote:
+            self.sync()
+
+    def sync(self) -> None:
+        """Flush buffered lines and fsync the file to disk."""
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self.sync()
+            finally:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+__all__ = ["Journal", "JournalError", "JournalKeyError", "MAGIC"]

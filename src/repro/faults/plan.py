@@ -1,0 +1,259 @@
+"""Deterministic fault plans: seeded schedules of injectable failures.
+
+The supervision layer (``ProcessPoolBackend``'s retry/degradation loop)
+is only trustworthy if its recovery paths are *exercised*, and they are
+only testable if the failures that trigger them are reproducible.  A
+:class:`FaultPlan` is therefore a pure value: a seed plus a fault-kind
+menu, an injection rate, and a total budget.  Whether a given dispatch
+unit is faulted — and with which kind — is a pure function of
+``(plan, scope, unit, attempt)`` drawn from a string-seeded RNG, so two
+runs of the same plan against the same workload inject byte-identical
+fault schedules, and a chaos run can be compared bitwise against its
+fault-free twin.
+
+Injection sites (all decided in the *parent*, so the schedule never
+depends on worker scheduling):
+
+* ``kill-worker`` — the worker executing the chunk calls ``os._exit``
+  mid-chunk, breaking the pool (``BrokenProcessPool``);
+* ``delay-chunk`` — the worker sleeps ``delay_s`` before executing,
+  tripping the per-chunk timeout when one is configured;
+* ``transient-oserror`` — the worker raises ``OSError`` before
+  executing (a transient infrastructure error; a retry succeeds);
+* ``corrupt-payload`` — the parent truncates the pickled chunk payload,
+  so the worker fails to unpickle it;
+* ``shm-attach-fail`` — the worker refuses to attach the shared-memory
+  segment (as if it vanished), forcing the pickle-transport fallback;
+* ``shm-publish-fail`` — the parent's publish step fails, forcing the
+  whole dispatch onto the pickle transport.
+
+Worker-side kinds travel as a tiny *directive* prepended to the chunk
+payload and interpreted by :func:`faulted_worker`; parent-side kinds are
+applied directly by the backend.  When no plan is active the backend's
+only cost is one ``is None`` check per dispatch — the hook is
+zero-overhead when off.
+
+A :class:`FaultInjector` wraps a plan for one backend's lifetime: it
+enforces the total fault budget (consumed in deterministic dispatch
+order) and records every injected fault.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import random
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+#: Every injectable fault kind, in documentation order.
+FAULT_KINDS = (
+    "kill-worker",
+    "delay-chunk",
+    "transient-oserror",
+    "corrupt-payload",
+    "shm-attach-fail",
+    "shm-publish-fail",
+)
+
+#: Kinds that ride into the worker as a directive (the rest are
+#: applied parent-side by the backend).
+WORKER_KINDS = (
+    "kill-worker",
+    "delay-chunk",
+    "transient-oserror",
+    "shm-attach-fail",
+)
+
+
+class ShmAttachError(RuntimeError):
+    """A worker could not attach the published shared-memory segment.
+
+    Raised for real by a vanished segment (``FileNotFoundError`` maps to
+    it) and injected by the ``shm-attach-fail`` fault; the supervisor
+    degrades the affected chunk to the pickle transport either way.
+    """
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, bounded schedule of injectable faults.
+
+    ``rate`` is the per-(unit, attempt) injection probability; ``kinds``
+    the menu a firing fault is drawn from (uniformly); ``max_faults``
+    the total budget across the plan's lifetime (consumed in dispatch
+    order); ``delay_s`` how long a ``delay-chunk`` fault sleeps;
+    ``max_attempt`` the last attempt index faults may fire on (letting
+    plans that should eventually succeed stop interfering with retries).
+    """
+
+    seed: int = 0
+    kinds: Tuple[str, ...] = FAULT_KINDS
+    rate: float = 0.25
+    max_faults: int = 4
+    delay_s: float = 1.5
+    max_attempt: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.kinds:
+            raise ValueError("a fault plan needs at least one fault kind")
+        unknown = [k for k in self.kinds if k not in FAULT_KINDS]
+        if unknown:
+            raise ValueError(
+                f"unknown fault kinds {unknown!r} "
+                f"(expected a subset of {list(FAULT_KINDS)})"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        if self.max_faults < 0:
+            raise ValueError("max_faults must be >= 0")
+        if self.delay_s < 0:
+            raise ValueError("delay_s must be >= 0")
+        if self.max_attempt < 0:
+            raise ValueError("max_attempt must be >= 0")
+
+    def draw(self, scope: str, unit: int, attempt: int) -> Optional[str]:
+        """The fault (if any) scheduled for one dispatch of one unit.
+
+        A pure function of the arguments: the RNG is seeded from the
+        plan seed plus the full coordinate, so the schedule is
+        independent of wall clock, completion order, and process
+        identity.  Budget enforcement lives in :class:`FaultInjector`.
+        """
+        if attempt > self.max_attempt:
+            return None
+        rng = random.Random(
+            f"repro-fault:{self.seed}:{scope}:{unit}:{attempt}"
+        )
+        if rng.random() >= self.rate:
+            return None
+        return self.kinds[rng.randrange(len(self.kinds))]
+
+    def describe(self) -> dict:
+        """A stable JSON-able descriptor (chaos reports, artifacts)."""
+        return {
+            "seed": self.seed,
+            "kinds": list(self.kinds),
+            "rate": self.rate,
+            "max_faults": self.max_faults,
+            "delay_s": self.delay_s,
+            "max_attempt": self.max_attempt,
+        }
+
+
+@dataclass
+class InjectedFault:
+    """One fault the injector actually fired."""
+
+    kind: str
+    scope: str
+    unit: int
+    attempt: int
+
+
+class FaultInjector:
+    """A plan activated for one backend: budget state + fired log.
+
+    The backend asks :meth:`fault_for` once per (chunk, attempt) it
+    dispatches; the injector applies the plan's pure schedule, consumes
+    the budget in that deterministic query order, and records what
+    fired.  ``allowed`` filters the plan's menu per dispatch context
+    (e.g. shm kinds only make sense on the shm transport).
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.fired: List[InjectedFault] = []
+
+    @property
+    def remaining(self) -> int:
+        return max(0, self.plan.max_faults - len(self.fired))
+
+    def fault_for(
+        self,
+        scope: str,
+        unit: int,
+        attempt: int,
+        allowed: Optional[Sequence[str]] = None,
+    ) -> Optional[str]:
+        """The fault to inject for this dispatch, consuming budget."""
+        if self.remaining == 0:
+            return None
+        kind = self.plan.draw(scope, unit, attempt)
+        if kind is None:
+            return None
+        if allowed is not None and kind not in allowed:
+            return None
+        self.fired.append(InjectedFault(kind, scope, unit, attempt))
+        return kind
+
+
+# ----------------------------------------------------------------------
+# Worker-side directive transport
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultDirective:
+    """The worker-side half of an injected fault (pickled per chunk)."""
+
+    kind: str
+    delay_s: float = 0.0
+
+
+def apply_directive(directive: FaultDirective) -> None:
+    """Execute one directive inside a worker process."""
+    if directive.kind == "kill-worker":
+        # A hard exit, not an exception: the point is to break the pool
+        # the way an OOM-kill or segfault would.
+        os._exit(23)
+    if directive.kind == "delay-chunk":
+        time.sleep(directive.delay_s)
+        return
+    if directive.kind == "transient-oserror":
+        raise OSError("injected transient I/O error")
+    if directive.kind == "shm-attach-fail":
+        raise ShmAttachError("injected shared-memory attach failure")
+    raise ValueError(f"unknown fault directive {directive.kind!r}")
+
+
+def faulted_worker(payload: bytes):
+    """Worker entry point wrapping another worker with a directive.
+
+    The payload is ``pickle((directive, inner_worker, inner_payload))``;
+    the directive runs first (and may never return), then the wrapped
+    worker runs unchanged — so a surviving faulted chunk produces
+    exactly the bytes the clean dispatch would have.
+    """
+    directive, inner, inner_payload = pickle.loads(payload)
+    apply_directive(directive)
+    return inner(inner_payload)
+
+
+def wrap_payload(kind: str, plan: FaultPlan, worker, payload: bytes):
+    """Parent-side helper: apply ``kind`` to one chunk dispatch.
+
+    Returns ``(worker, payload)`` — either the originals (no-op), a
+    truncated payload (``corrupt-payload``; guaranteed to fail
+    unpickling in the worker), or the :func:`faulted_worker` wrapper
+    carrying a directive.
+    """
+    if kind == "corrupt-payload":
+        return worker, payload[: max(1, len(payload) - 16)]
+    if kind in WORKER_KINDS:
+        directive = FaultDirective(kind, delay_s=plan.delay_s)
+        return faulted_worker, pickle.dumps((directive, worker, payload))
+    return worker, payload
+
+
+__all__ = [
+    "FAULT_KINDS",
+    "WORKER_KINDS",
+    "FaultDirective",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedFault",
+    "ShmAttachError",
+    "apply_directive",
+    "faulted_worker",
+    "wrap_payload",
+]

@@ -1,0 +1,155 @@
+"""Retry policies and the structured fault log.
+
+The supervisor re-dispatches only the *lost* chunks of a run — chunk
+outcomes are pure functions of ``(chunk nodes, seed)``, so a re-executed
+chunk is bitwise-identical to the one that was lost and retrying is
+semantically invisible.  :class:`RetryPolicy` bounds how hard it tries
+and how long it waits; :class:`FaultLog` records what happened so a run
+that survived faults says so instead of pretending nothing happened.
+
+Backoff determinism: the jitter for ``(key, attempt)`` is drawn from a
+string-seeded RNG that includes the dispatch seed, so re-running a
+failed campaign reproduces the exact same delay schedule — chaos tests
+can assert on wall-clock ordering without racing a global RNG.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry a lost unit, and how long to wait.
+
+    ``max_attempts`` is the per-transport-stage budget: a chunk may run
+    up to ``max_attempts`` times on its starting transport and, after a
+    degradation, up to ``max_attempts`` more on the next one (the chain
+    is shm → pickle → serial in-process; serial always completes or
+    raises the real error).  ``app_attempts`` caps retries of *worker
+    application errors* (an exception the chunk itself raised) — those
+    are usually deterministic, so after ``app_attempts`` total tries the
+    chunk goes straight to the serial stage, which reproduces the real
+    exception for the caller instead of burning the full retry budget.
+
+    Delays follow ``base_delay * backoff**attempt`` capped at
+    ``max_delay``, scaled by a deterministic jitter factor in
+    ``[1 - jitter, 1]`` drawn from the (seed-bearing) key.
+    """
+
+    max_attempts: int = 3
+    app_attempts: int = 2
+    base_delay: float = 0.05
+    backoff: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.app_attempts < 1:
+            raise ValueError("app_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1.0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay(self, key: str, attempt: int) -> float:
+        """The backoff before re-dispatching ``key``'s attempt ``attempt``."""
+        raw = min(self.max_delay, self.base_delay * self.backoff**attempt)
+        if self.jitter == 0.0 or raw == 0.0:
+            return raw
+        rng = random.Random(f"repro-retry:{key}:{attempt}")
+        return raw * (1.0 - self.jitter * rng.random())
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "max_attempts": self.max_attempts,
+            "app_attempts": self.app_attempts,
+            "base_delay": self.base_delay,
+            "backoff": self.backoff,
+            "max_delay": self.max_delay,
+            "jitter": self.jitter,
+        }
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One observed failure (or injected fault) and the action taken.
+
+    ``kind`` classifies what was observed (``worker-crash``,
+    ``timeout``, ``chunk-error``, ``shm-attach``, ``shm-publish``,
+    ``corrupt-payload``, or ``injected:<fault>``); ``action`` what the
+    supervisor did about it (``retry``, ``degrade:pickle``,
+    ``degrade:serial``, ``fallback:pickle``, ``injected``).  ``scope``
+    names the dispatch (``run:3`` / ``trials:1``), ``unit`` the chunk
+    index within it, ``attempt`` which try observed the failure.
+    """
+
+    kind: str
+    scope: str
+    unit: int
+    attempt: int
+    action: str
+    detail: str = ""
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "scope": self.scope,
+            "unit": self.unit,
+            "attempt": self.attempt,
+            "action": self.action,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class FaultLog:
+    """An append-only record of everything the supervisor handled.
+
+    Attached (as a snapshot slice) to :class:`~repro.model.runner.RunResult`
+    and :class:`~repro.montecarlo.engine.MonteCarloResult` so fault
+    recovery is visible in results and artifacts, never silent.
+    """
+
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def record(self, event: FaultEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def since(self, mark: int) -> "FaultLog":
+        """A snapshot of the events recorded after ``mark``."""
+        return FaultLog(list(self.events[mark:]))
+
+    def counts(self) -> Dict[str, int]:
+        """Event totals by kind (the summary line chaos reports print)."""
+        out: Dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    def to_payload(self) -> List[Dict[str, object]]:
+        return [event.to_payload() for event in self.events]
+
+    def summary(self) -> str:
+        if not self.events:
+            return "no faults"
+        parts = [f"{kind} x{n}" for kind, n in sorted(self.counts().items())]
+        return ", ".join(parts)
+
+
+__all__ = ["FaultEvent", "FaultLog", "RetryPolicy"]

@@ -86,6 +86,12 @@ class RunResult:
     instance: str
     outputs: Dict[int, object] = field(default_factory=dict)
     profiles: Dict[int, CostProfile] = field(default_factory=dict)
+    # Set by supervised backends when this run survived handled faults
+    # (a repro.faults.retry.FaultLog snapshot).  Excluded from equality:
+    # a recovered run IS the fault-free run, bit for bit.
+    fault_log: Optional[object] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def max_volume(self) -> int:

@@ -20,6 +20,16 @@ fresh online statistics (all of which are deterministic, including the
 quantile sketch) and continues at the next trial index, producing a result
 bitwise identical to an uninterrupted run.
 
+``journal=`` is the crash-safe sibling of ``resume=``: completed trials
+are appended to an on-disk JSONL journal (:mod:`repro.faults.journal`)
+at every batch boundary, and re-running the exact same spec with the
+same journal path replays the intact prefix and continues without
+re-executing finished work — surviving ``kill -9`` where ``resume=``
+needs the previous in-memory result.  The journal is keyed by a hash of
+the run spec (problem, instance source, algorithm, policy, seeds,
+budgets), so resuming a different run against the same file fails loudly
+instead of mixing streams.
+
 With ``early_stop=False`` the engine executes exactly ``max_trials``
 trials — the same solve-and-check calls, seeds, and tape draws as the
 legacy fixed-count ``success_probability`` path; the differential
@@ -29,8 +39,11 @@ every registry cell and every backend.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import time
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
 
 from repro.exec.backends import (
@@ -41,6 +54,7 @@ from repro.exec.backends import (
     TrialOutcome,
     get_backend,
 )
+from repro.faults.journal import Journal
 from repro.montecarlo.stats import METHODS, QuantileSketch, SuccessStats
 
 #: Stopping reasons recorded in results and bench artifacts.
@@ -145,6 +159,10 @@ class MonteCarloResult:
     volume_sketch: QuantileSketch = None  # type: ignore[assignment]
     distance_sketch: QuantileSketch = None  # type: ignore[assignment]
     queries_sketch: QuantileSketch = None  # type: ignore[assignment]
+    # Set when a supervised backend recovered from faults during this
+    # run (a repro.faults.retry.FaultLog snapshot).  Excluded from
+    # equality: a recovered run IS the fault-free run, bit for bit.
+    fault_log: Optional[object] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.stats is None:
@@ -215,6 +233,107 @@ def _should_stop(policy: TrialPolicy, result: MonteCarloResult) -> bool:
     )
 
 
+def _source_key(instance_or_factory) -> str:
+    """A stable name for the instance source (part of the journal key)."""
+    from repro.model.implicit import InstanceSpec
+
+    if isinstance(instance_or_factory, FixedInstanceFactory):
+        return _source_key(instance_or_factory.instance)
+    if isinstance(instance_or_factory, InstanceSpec):
+        return (
+            f"spec:{instance_or_factory.family}:"
+            f"{instance_or_factory.param!r}"
+        )
+    name = getattr(instance_or_factory, "name", None)
+    n = getattr(instance_or_factory, "n", None)
+    if name is not None and n is not None:
+        return f"instance:{name}:{n}"
+    qual = getattr(
+        instance_or_factory,
+        "__qualname__",
+        type(instance_or_factory).__qualname__,
+    )
+    return f"factory:{qual}"
+
+
+def trial_journal_key(
+    problem,
+    instance_or_factory,
+    algorithm,
+    policy: TrialPolicy,
+    base_seed: int,
+    max_volume: Optional[int],
+    max_queries: Optional[int],
+) -> "tuple[str, Dict[str, object]]":
+    """``(spec hash, header meta)`` binding a journal to one run spec.
+
+    Everything that changes any trial's seed or verdict is in the hash;
+    the meta rides in the journal header for human inspection only.
+    """
+    meta = {
+        "problem": type(problem).__name__,
+        "source": _source_key(instance_or_factory),
+        "algorithm": getattr(algorithm, "name", type(algorithm).__name__),
+        "policy": policy.describe(),
+        "base_seed": base_seed,
+        "max_volume": max_volume,
+        "max_queries": max_queries,
+    }
+    blob = json.dumps(meta, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:16], meta
+
+
+def _outcome_record(outcome: TrialOutcome) -> Dict[str, object]:
+    return {
+        "kind": "trial",
+        "trial": outcome.trial,
+        "seed": outcome.seed,
+        "valid": outcome.valid,
+        "max_volume": outcome.max_volume,
+        "max_distance": outcome.max_distance,
+        "max_queries": outcome.max_queries,
+        "random_bits": outcome.random_bits,
+    }
+
+
+def _replay_journal(journal: Journal, policy: TrialPolicy) -> List[TrialOutcome]:
+    """The journal's intact contiguous prefix, batch-aligned.
+
+    Duplicated trial indices keep their first record (a crash between
+    append and fsync can re-journal a re-executed trial; both records
+    are identical anyway).  The prefix stops at the first gap and is
+    then truncated to a multiple of ``policy.batch_size`` so the resumed
+    run re-evaluates its stop conditions at exactly the batch boundaries
+    the uninterrupted run would have used — the dropped tail re-executes
+    bitwise-identically.
+    """
+    by_trial: Dict[int, TrialOutcome] = {}
+    for record in journal.records:
+        if record.get("kind") != "trial":
+            continue
+        trial = int(record["trial"])
+        if trial in by_trial:
+            continue
+        by_trial[trial] = TrialOutcome(
+            trial=trial,
+            seed=int(record["seed"]),
+            valid=bool(record["valid"]),
+            max_volume=int(record["max_volume"]),
+            max_distance=int(record["max_distance"]),
+            max_queries=int(record["max_queries"]),
+            random_bits=int(record["random_bits"]),
+        )
+    prefix: List[TrialOutcome] = []
+    while len(prefix) in by_trial:
+        prefix.append(by_trial[len(prefix)])
+    if len(prefix) >= policy.max_trials:
+        # A completed run's final batch may be shorter than batch_size;
+        # nothing is left to execute, so keep every recorded trial.
+        return prefix[: policy.max_trials]
+    keep = (len(prefix) // policy.batch_size) * policy.batch_size
+    return prefix[:keep]
+
+
 def run_trials(
     problem,
     instance_or_factory,
@@ -226,6 +345,7 @@ def run_trials(
     max_volume: Optional[int] = None,
     max_queries: Optional[int] = None,
     resume: Optional[MonteCarloResult] = None,
+    journal: Union[Journal, str, Path, None] = None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> MonteCarloResult:
     """Stream solve-and-check trials until the policy says stop.
@@ -236,7 +356,20 @@ def run_trials(
     hard distribution.  ``resume`` continues a previously returned result
     from its next trial index — the combined run is bitwise identical to
     an uninterrupted one (see the module docstring).
+
+    ``journal`` (a path or an open :class:`~repro.faults.journal.Journal`)
+    makes the run crash-safe: completed trials are appended durably at
+    batch boundaries, the journal's intact prefix is replayed instead of
+    re-executed on the next run of the same spec, and a key mismatch
+    (different spec, same file) raises
+    :class:`~repro.faults.journal.JournalKeyError`.  Mutually exclusive
+    with ``resume`` (a journal *is* a durable resume point).
     """
+    if resume is not None and journal is not None:
+        raise ValueError(
+            "pass either resume= (in-memory) or journal= (on-disk), "
+            "not both — the journal already replays completed trials"
+        )
     engine = get_backend(backend)
     owned: List[ExecutionBackend] = []
     if backend is not None and not isinstance(backend, ExecutionBackend):
@@ -245,6 +378,8 @@ def run_trials(
         # started ProcessPoolExecutor (and any published shared-memory
         # segment) leaks into interpreter teardown.
         owned.append(engine)
+    jour: Optional[Journal] = None
+    owned_journal = False
     # The try covers everything from here on: even pre-loop failures
     # (resume validation, a factory that raises) must close an owned
     # pool and its shared-memory segments, not just loop exceptions.
@@ -277,7 +412,33 @@ def run_trials(
             result.elapsed = resume.elapsed
         else:
             result = MonteCarloResult(policy=policy, base_seed=base_seed)
+        if journal is not None:
+            if isinstance(journal, Journal):
+                jour = journal
+            else:
+                key, meta = trial_journal_key(
+                    problem,
+                    instance_or_factory,
+                    algorithm,
+                    policy,
+                    base_seed,
+                    max_volume,
+                    max_queries,
+                )
+                jour = Journal(journal, key, meta=meta)
+                owned_journal = True
+            replayed = _replay_journal(jour, policy)
+            for outcome in replayed:
+                result.record(outcome)
+            if replayed and progress is not None:
+                progress(
+                    f"  journal: replayed {len(replayed)} completed "
+                    f"trial{'s' if len(replayed) != 1 else ''} from "
+                    f"{jour.path}"
+                )
         started = time.perf_counter()
+        backend_log = getattr(engine, "fault_log", None)
+        log_mark = len(backend_log) if backend_log is not None else 0
         result.stopped = STOP_FIXED if not policy.early_stop else STOP_BUDGET
         while result.trials < policy.max_trials:
             if _should_stop(policy, result):
@@ -298,6 +459,12 @@ def run_trials(
             )
             for outcome in outcomes:
                 result.record(outcome)
+            if jour is not None:
+                # One durable append (single fsync) per completed batch:
+                # a crash can lose at most the batch in flight.
+                jour.append_many(
+                    _outcome_record(outcome) for outcome in outcomes
+                )
             if progress is not None:
                 low, high = result.interval()
                 progress(
@@ -309,9 +476,13 @@ def run_trials(
                 # Converged exactly at the budget boundary: still a
                 # genuine convergence, not a budget exhaustion.
                 result.stopped = STOP_CONVERGED
+        if backend_log is not None and len(backend_log) > log_mark:
+            result.fault_log = backend_log.since(log_mark)
     finally:
         for held in owned:
             held.close()
+        if owned_journal and jour is not None:
+            jour.close()
     result.elapsed += time.perf_counter() - started
     return result
 
@@ -343,4 +514,5 @@ __all__ = [
     "TrialPolicy",
     "estimate_success_probability",
     "run_trials",
+    "trial_journal_key",
 ]

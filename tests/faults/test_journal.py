@@ -1,0 +1,290 @@
+"""Crash-safe journals: durability, torn tails, and exact resume.
+
+The contract under test: a run interrupted at *any* byte boundary
+resumes from its journal and produces a result bitwise identical to the
+uninterrupted run — completed trials replay from disk instead of
+re-executing, torn tails are truncated (never welded onto), and a
+journal bound to a different spec is refused loudly.
+"""
+
+import json
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.algorithms.leaf_coloring_algs import RWtoLeaf
+from repro.exec.sweep import (
+    InstanceFamily,
+    SweepSpec,
+    open_sweep_journal,
+    run_sweeps,
+    sweep_journal_key,
+)
+from repro.faults.journal import (
+    MAGIC,
+    Journal,
+    JournalError,
+    JournalKeyError,
+)
+from repro.graphs.generators import leaf_coloring_instance
+from repro.montecarlo.engine import (
+    TrialPolicy,
+    run_trials,
+    trial_journal_key,
+)
+from repro.problems.leaf_coloring import LeafColoring
+
+
+class TestJournalFile:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path, "k1", meta={"x": 1}) as jour:
+            jour.append({"kind": "trial", "trial": 0})
+            jour.append_many(
+                [{"kind": "trial", "trial": i} for i in (1, 2)]
+            )
+        reopened = Journal(path, "k1")
+        assert [r["trial"] for r in reopened.records] == [0, 1, 2]
+        reopened.close()
+
+    def test_header_written_once(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        Journal(path, "k1").close()
+        Journal(path, "k1").close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["journal"] == MAGIC
+
+    def test_key_mismatch_refused(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        Journal(path, "k1").close()
+        with pytest.raises(JournalKeyError):
+            Journal(path, "k2")
+
+    def test_torn_tail_truncated_then_appendable(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path, "k1") as jour:
+            jour.append({"kind": "trial", "trial": 0})
+            jour.append({"kind": "trial", "trial": 1})
+        intact_size = path.stat().st_size
+        with open(path, "ab") as handle:
+            handle.write(b'{"kind": "trial", "tri')  # crash mid-write
+        jour = Journal(path, "k1")
+        assert [r["trial"] for r in jour.records] == [0, 1]
+        assert path.stat().st_size == intact_size  # tail physically gone
+        jour.append({"kind": "trial", "trial": 2})
+        jour.close()
+        final = Journal(path, "k1")
+        assert [r["trial"] for r in final.records] == [0, 1, 2]
+        final.close()
+
+    def test_mid_file_corruption_refused(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path, "k1") as jour:
+            jour.append({"kind": "trial", "trial": 0})
+        raw = path.read_bytes().replace(b'"trial": 0', b"garbage!!!")
+        path.write_bytes(raw + b'{"kind": "trial", "trial": 1}\n')
+        with pytest.raises(JournalError):
+            Journal(path, "k1")
+
+    def test_close_idempotent(self, tmp_path):
+        jour = Journal(tmp_path / "j.jsonl", "k1")
+        jour.close()
+        jour.close()
+
+
+def _instance():
+    return leaf_coloring_instance(3, rng=random.Random(5))
+
+
+POLICY = TrialPolicy(
+    min_trials=8, max_trials=24, batch_size=8, early_stop=False
+)
+
+
+def _run(journal=None, resume=None, policy=POLICY):
+    return run_trials(
+        LeafColoring(),
+        _instance(),
+        RWtoLeaf(),
+        policy,
+        base_seed=17,
+        journal=journal,
+        resume=resume,
+    )
+
+
+class TestTrialJournal:
+    def test_key_binds_full_spec(self):
+        key1, meta = trial_journal_key(
+            LeafColoring(), _instance(), RWtoLeaf(), POLICY, 17, None, None
+        )
+        key2, _ = trial_journal_key(
+            LeafColoring(), _instance(), RWtoLeaf(), POLICY, 18, None, None
+        )
+        assert key1 != key2  # base_seed is part of the identity
+        assert meta["base_seed"] == 17
+
+    def test_journaled_equals_plain(self, tmp_path):
+        plain = _run()
+        journaled = _run(journal=tmp_path / "mc.jsonl")
+        assert journaled.outcomes == plain.outcomes
+        assert journaled.rate == plain.rate
+
+    def test_resume_replays_instead_of_rerunning(self, tmp_path):
+        path = tmp_path / "mc.jsonl"
+        full = _run(journal=path)
+        before = path.stat().st_size
+        again = _run(journal=path)
+        # Nothing re-executed → nothing re-journaled.
+        assert path.stat().st_size == before
+        assert again.outcomes == full.outcomes
+
+    def test_resume_after_partial_run(self, tmp_path):
+        path = tmp_path / "mc.jsonl"
+        full = _run(journal=path)
+        # Simulate a crash after the first batch: keep the header plus
+        # 8 trial records, drop the rest (exactly what a dead process
+        # leaves behind — every completed batch was fsynced).
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text("".join(lines[:9]))
+        key, _ = trial_journal_key(
+            LeafColoring(), _instance(), RWtoLeaf(), POLICY, 17, None, None
+        )
+        probe = Journal(path, key)
+        assert len(probe.records) == 8
+        probe.close()
+        # Resuming completes the remaining trials and the union is
+        # bitwise identical to the uninterrupted run.
+        resumed = _run(journal=path)
+        assert resumed.outcomes == full.outcomes
+
+    def test_journal_and_resume_are_exclusive(self, tmp_path):
+        partial = _run()
+        with pytest.raises(ValueError):
+            _run(journal=tmp_path / "mc.jsonl", resume=partial)
+
+    def test_wrong_spec_refused(self, tmp_path):
+        path = tmp_path / "mc.jsonl"
+        _run(journal=path)
+        with pytest.raises(JournalKeyError):
+            run_trials(
+                LeafColoring(),
+                _instance(),
+                RWtoLeaf(),
+                POLICY,
+                base_seed=99,  # different spec, same file
+                journal=path,
+            )
+
+
+_KILL_SCRIPT = """
+import os, random, sys
+from repro.algorithms.leaf_coloring_algs import RWtoLeaf
+from repro.exec.backends import BatchBackend
+from repro.graphs.generators import leaf_coloring_instance
+from repro.montecarlo.engine import TrialPolicy, run_trials
+from repro.problems.leaf_coloring import LeafColoring
+
+class DyingBackend(BatchBackend):
+    batches = 0
+    def run_trial_batch(self, *args, **kwargs):
+        if DyingBackend.batches == 2:
+            os._exit(9)  # SIGKILL-grade: no atexit, no finally, no flush
+        DyingBackend.batches += 1
+        return super().run_trial_batch(*args, **kwargs)
+
+policy = TrialPolicy(min_trials=8, max_trials=24, batch_size=8,
+                     early_stop=False)
+run_trials(
+    LeafColoring(),
+    leaf_coloring_instance(3, rng=random.Random(5)),
+    RWtoLeaf(),
+    policy,
+    base_seed=17,
+    backend=DyingBackend(),
+    journal=sys.argv[1],
+)
+"""
+
+
+class TestKillMinusNine:
+    def test_resume_survives_hard_kill(self, tmp_path):
+        """kill -9 mid-run → resume → bitwise-identical final result."""
+        path = tmp_path / "mc.jsonl"
+        src = Path(__file__).resolve().parents[2] / "src"
+        proc = subprocess.run(
+            [sys.executable, "-c", _KILL_SCRIPT, str(path)],
+            env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"},
+            capture_output=True,
+            timeout=120,
+        )
+        assert proc.returncode == 9, proc.stderr.decode()
+        resumed = _run(journal=path)
+        baseline = _run()
+        assert resumed.outcomes == baseline.outcomes
+        assert resumed.trials == baseline.trials
+
+
+def _leaf_family():
+    return InstanceFamily(
+        "leaf-coloring",
+        lambda d: leaf_coloring_instance(d, rng=random.Random(d)),
+        (3, 4),
+    )
+
+
+def _specs():
+    return [
+        SweepSpec(
+            "leaf-volume",
+            "Θ(n)",
+            _leaf_family(),
+            metric="volume",
+            algorithm_factory=RWtoLeaf,
+            seed=3,
+        )
+    ]
+
+
+class TestSweepJournal:
+    def test_points_restored_not_remeasured(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        first = run_sweeps(_specs(), journal=path)
+        lines_after_first = path.read_text().count("\n")
+        progress = []
+        second = run_sweeps(_specs(), journal=path, progress=progress.append)
+        assert path.read_text().count("\n") == lines_after_first
+        assert any("journal" in line for line in progress)
+        assert [p.cost for p in second[0].points] == [
+            p.cost for p in first[0].points
+        ]
+
+    def test_key_rejects_different_batch(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        run_sweeps(_specs(), journal=path)
+        other = [
+            SweepSpec(
+                "leaf-volume",
+                "Θ(n)",
+                _leaf_family(),
+                metric="volume",
+                algorithm_factory=RWtoLeaf,
+                seed=4,  # different seed → different cache_key
+            )
+        ]
+        assert sweep_journal_key(other) != sweep_journal_key(_specs())
+        with pytest.raises(JournalKeyError):
+            run_sweeps(other, journal=path)
+
+    def test_open_sweep_journal_meta(self, tmp_path):
+        specs = _specs()
+        jour = open_sweep_journal(tmp_path / "sweep.jsonl", specs)
+        jour.close()
+        header = json.loads(
+            (tmp_path / "sweep.jsonl").read_text().splitlines()[0]
+        )
+        assert header["meta"]["sweeps"][0]["label"] == "leaf-volume"

@@ -1,0 +1,238 @@
+"""Fault plans, injector budget, retry backoff, and the fault log.
+
+The load-bearing property: a :class:`FaultPlan` is a *pure value*.
+``draw(scope, unit, attempt)`` depends only on its arguments and the
+plan fields — never on wall clock, call order, or process identity — so
+a failing chaos seed replays the exact same fault schedule anywhere.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.plan import (
+    FAULT_KINDS,
+    WORKER_KINDS,
+    FaultDirective,
+    FaultInjector,
+    FaultPlan,
+    ShmAttachError,
+    apply_directive,
+    faulted_worker,
+    wrap_payload,
+)
+from repro.faults.retry import FaultEvent, FaultLog, RetryPolicy
+
+
+class TestFaultPlan:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        unit=st.integers(min_value=-1, max_value=64),
+        attempt=st.integers(min_value=0, max_value=2),
+    )
+    def test_draw_is_pure(self, seed, unit, attempt):
+        plan = FaultPlan(seed=seed, rate=0.5)
+        first = plan.draw("run:1", unit, attempt)
+        # A fresh, field-identical plan gives the same answer — no
+        # hidden state accumulates across draws.
+        again = FaultPlan(seed=seed, rate=0.5).draw("run:1", unit, attempt)
+        assert first == again
+        assert first is None or first in FAULT_KINDS
+
+    def test_draw_independent_of_query_order(self):
+        plan = FaultPlan(seed=7, rate=0.9)
+        coords = [("run:1", u, a) for u in range(8) for a in range(3)]
+        forward = [plan.draw(*c) for c in coords]
+        backward = [plan.draw(*c) for c in reversed(coords)]
+        assert forward == list(reversed(backward))
+
+    def test_rate_bounds(self):
+        never = FaultPlan(seed=1, rate=0.0)
+        always = FaultPlan(seed=1, rate=1.0)
+        for unit in range(32):
+            assert never.draw("s", unit, 0) is None
+            assert always.draw("s", unit, 0) in FAULT_KINDS
+
+    def test_max_attempt_silences_late_retries(self):
+        plan = FaultPlan(seed=3, rate=1.0, max_attempt=1)
+        assert plan.draw("s", 0, 1) in FAULT_KINDS
+        assert plan.draw("s", 0, 2) is None
+
+    def test_scope_and_seed_decorrelate_schedules(self):
+        # Not a proof, but across 64 units two schedules that agreed
+        # everywhere would mean the coordinates are being ignored.
+        a = [FaultPlan(seed=5, rate=0.5).draw("run:1", u, 0) for u in range(64)]
+        b = [FaultPlan(seed=6, rate=0.5).draw("run:1", u, 0) for u in range(64)]
+        c = [FaultPlan(seed=5, rate=0.5).draw("run:2", u, 0) for u in range(64)]
+        assert a != b
+        assert a != c
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kinds": ()},
+            {"kinds": ("segfault",)},
+            {"rate": -0.1},
+            {"rate": 1.5},
+            {"max_faults": -1},
+            {"delay_s": -1.0},
+            {"max_attempt": -1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultPlan(**kwargs)
+
+    def test_describe_round_trips(self):
+        plan = FaultPlan(seed=9, rate=0.75, max_faults=2)
+        desc = plan.describe()
+        assert FaultPlan(
+            seed=desc["seed"],
+            kinds=tuple(desc["kinds"]),
+            rate=desc["rate"],
+            max_faults=desc["max_faults"],
+            delay_s=desc["delay_s"],
+            max_attempt=desc["max_attempt"],
+        ) == plan
+
+
+class TestFaultInjector:
+    def test_budget_consumed_in_query_order(self):
+        plan = FaultPlan(seed=2, rate=1.0, max_faults=3)
+        injector = FaultInjector(plan)
+        fired = [injector.fault_for("s", u, 0) for u in range(10)]
+        assert [f is not None for f in fired] == [True] * 3 + [False] * 7
+        assert injector.remaining == 0
+        assert [(f.scope, f.unit, f.attempt) for f in injector.fired] == [
+            ("s", 0, 0),
+            ("s", 1, 0),
+            ("s", 2, 0),
+        ]
+
+    def test_allowed_filter_preserves_budget(self):
+        plan = FaultPlan(seed=2, rate=1.0, max_faults=2)
+        injector = FaultInjector(plan)
+        # Filtering everything out must not consume the budget...
+        for unit in range(5):
+            assert injector.fault_for("s", unit, 0, allowed=()) is None
+        assert injector.remaining == 2
+        # ...so the unfiltered queries still get their faults.
+        assert injector.fault_for("s", 0, 0) is not None
+
+    def test_zero_budget_never_fires(self):
+        injector = FaultInjector(FaultPlan(seed=2, rate=1.0, max_faults=0))
+        assert injector.fault_for("s", 0, 0) is None
+        assert injector.fired == []
+
+
+def _echo_worker(payload):
+    return pickle.loads(payload)
+
+
+class TestWorkerDirectives:
+    def test_corrupt_payload_truncates(self):
+        plan = FaultPlan(seed=0)
+        payload = pickle.dumps(list(range(100)))
+        worker, mangled = wrap_payload("corrupt-payload", plan, _echo_worker, payload)
+        assert worker is _echo_worker
+        assert len(mangled) < len(payload)
+        with pytest.raises(Exception):  # UnpicklingError / EOFError
+            pickle.loads(mangled)
+
+    def test_noop_kind_passes_through(self):
+        plan = FaultPlan(seed=0)
+        payload = pickle.dumps("x")
+        assert wrap_payload("no-such-kind", plan, _echo_worker, payload) == (
+            _echo_worker,
+            payload,
+        )
+
+    def test_delay_directive_then_identical_result(self):
+        plan = FaultPlan(seed=0, delay_s=0.0)
+        payload = pickle.dumps([1, 2, 3])
+        worker, wrapped = wrap_payload("delay-chunk", plan, _echo_worker, payload)
+        assert worker is faulted_worker
+        assert worker(wrapped) == [1, 2, 3]
+
+    def test_transient_oserror_directive(self):
+        plan = FaultPlan(seed=0)
+        worker, wrapped = wrap_payload(
+            "transient-oserror", plan, _echo_worker, pickle.dumps("x")
+        )
+        with pytest.raises(OSError):
+            worker(wrapped)
+
+    def test_shm_attach_directive(self):
+        with pytest.raises(ShmAttachError):
+            apply_directive(FaultDirective("shm-attach-fail"))
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(ValueError):
+            apply_directive(FaultDirective("segfault"))
+
+    def test_worker_kinds_are_fault_kinds(self):
+        assert set(WORKER_KINDS) <= set(FAULT_KINDS)
+        assert "corrupt-payload" in FAULT_KINDS
+
+
+class TestRetryPolicy:
+    def test_delay_is_deterministic(self):
+        policy = RetryPolicy()
+        assert policy.delay("0:run:1:3", 2) == policy.delay("0:run:1:3", 2)
+
+    @settings(max_examples=25, deadline=None)
+    @given(attempt=st.integers(min_value=0, max_value=10))
+    def test_delay_within_jittered_envelope(self, attempt):
+        policy = RetryPolicy(
+            base_delay=0.05, backoff=2.0, max_delay=2.0, jitter=0.5
+        )
+        raw = min(2.0, 0.05 * 2.0**attempt)
+        d = policy.delay("k", attempt)
+        assert raw * 0.5 <= d <= raw
+
+    def test_zero_jitter_is_exact_exponential(self):
+        policy = RetryPolicy(base_delay=0.1, backoff=3.0, jitter=0.0)
+        assert policy.delay("k", 0) == 0.1
+        assert policy.delay("k", 1) == pytest.approx(0.3)
+        assert policy.delay("k", 10) == policy.max_delay
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"app_attempts": 0},
+            {"base_delay": -1.0},
+            {"backoff": 0.5},
+            {"jitter": 1.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestFaultLog:
+    def test_record_since_counts(self):
+        log = FaultLog()
+        assert not log
+        log.record(FaultEvent("worker-crash", "run:1", 0, 0, "retry"))
+        mark = len(log)
+        log.record(FaultEvent("timeout", "run:1", 1, 0, "retry"))
+        log.record(FaultEvent("timeout", "run:1", 1, 1, "degrade:pickle"))
+        assert len(log) == 3
+        tail = log.since(mark)
+        assert len(tail) == 2
+        assert all(e.kind == "timeout" for e in tail)
+        assert log.counts() == {"timeout": 2, "worker-crash": 1}
+        assert "timeout x2" in log.summary()
+
+    def test_event_payload(self):
+        event = FaultEvent("timeout", "run:1", 3, 1, "retry", detail="5s")
+        payload = event.to_payload()
+        assert payload["kind"] == "timeout"
+        assert payload["unit"] == 3
+        assert payload["action"] == "retry"
+        assert payload["detail"] == "5s"

@@ -1,9 +1,10 @@
-"""The committed hot-path artifact and its schema-v1 reader shim.
+"""The committed hot-path artifact and its schema reader shims.
 
-``bench_hotpath.json`` at the repo root is a schema-v2 artifact; older
-checkouts (PR 3-5) committed schema v1.  ``load_hotpath_artifact`` must
-read both shapes uniformly so CI scripts and notebooks never branch on
-the version themselves.
+``bench_hotpath.json`` at the repo root is a schema-v3 artifact; older
+checkouts committed schema v1 (PR 3-5, no parallel sections) or v2
+(PR 6-7, no ``fault_recovery`` section).  ``load_hotpath_artifact``
+must read all three shapes uniformly so CI scripts and notebooks never
+branch on the version themselves.
 """
 
 import sys
@@ -52,6 +53,17 @@ class TestCommittedArtifact:
         assert gate["shm_leak_free"] is True
         assert artifact["trial_batch"]
 
+    def test_fault_recovery_section_present_and_gated(self):
+        artifact = load_hotpath_artifact(REPO_ROOT / "bench_hotpath.json")
+        section = artifact["fault_recovery"]
+        assert section["recovery_equal"] is True
+        assert section["recovery_fault_events"] > 0
+        assert section["supervised_s"] > 0
+        gate = artifact["gate"]
+        assert gate["supervision_ok"] is True
+        assert gate["supervision_overhead"] < 0.05
+        assert gate["fault_recovery_ok"] is True
+
 
 class TestV1Shim:
     def test_v1_is_upgraded_in_memory(self):
@@ -64,11 +76,33 @@ class TestV1Shim:
         assert gate["parallel_speedup_2w_shm"] is None
         assert gate["parallel_ok"] is True
         assert gate["shm_leak_free"] is True
+        assert artifact["fault_recovery"] is None
+        assert gate["supervision_overhead"] is None
+        assert gate["supervision_ok"] is True
         # v1 content is preserved verbatim.
         assert gate["query_throughput_speedup"] == 20.0
         assert artifact["benches"][0]["name"] == "oracle_queries"
 
-    def test_v2_passes_through_unchanged(self):
+    def test_v2_is_upgraded_in_memory(self):
+        payload = {
+            "schema": SCHEMA_NAME,
+            "schema_version": 2,
+            "parallel_scaling": [{"workers": 2}],
+            "trial_batch": [{"backend": "serial"}],
+            "gate": {"parallel_ok": True, "shm_leak_free": True},
+        }
+        artifact = load_hotpath_artifact(payload)
+        assert artifact["schema_version"] == SCHEMA_VERSION
+        assert artifact["upgraded_from"] == 2
+        assert artifact["fault_recovery"] is None
+        gate = artifact["gate"]
+        assert gate["supervision_ok"] is True
+        assert gate["fault_recovery_ok"] is True
+        # v2 content is preserved verbatim.
+        assert artifact["parallel_scaling"] == [{"workers": 2}]
+        assert gate["parallel_ok"] is True
+
+    def test_current_version_passes_through_unchanged(self):
         payload = {
             "schema": SCHEMA_NAME,
             "schema_version": SCHEMA_VERSION,
