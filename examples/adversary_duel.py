@@ -18,7 +18,7 @@ from repro.adversary.hierarchical import duel_hierarchical
 from repro.adversary.leaf_coloring import duel_leaf_coloring
 from repro.algorithms.hierarchical_algs import RecursiveHTHC
 from repro.lower_bounds.yao_experiments import HorizonLimitedLeafColoring
-from repro.model.oracle import CompiledOracle
+from repro.model.implicit import as_oracle
 
 
 def main() -> None:
@@ -31,7 +31,7 @@ def main() -> None:
           f"leaves {outcome.instance.meta['chi1']!r}")
     print(f"defeated: {outcome.defeated}")
     print(f"final instance size: {outcome.instance.graph.num_nodes}")
-    divergences = outcome.transcript.replay(CompiledOracle(outcome.instance))
+    divergences = outcome.transcript.replay(as_oracle(outcome.instance))
     print(f"transcript: {len(outcome.transcript)} events, "
           f"{len(divergences)} divergences on compiled replay")
 

@@ -10,6 +10,10 @@ from repro.adversary.engine import (
     RecordingOracle,
     Transcript,
 )
+from repro.corpus import (
+    InstanceCorpus,
+    ResultStore,
+)
 from repro.exec.backends import (
     BackendSpec,
     BatchBackend,
@@ -80,7 +84,7 @@ from repro.registry import (
     register_problem,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "ADVERSARIES",
@@ -100,6 +104,7 @@ __all__ = [
     "HybridTHC",
     "ImplicitOracle",
     "Instance",
+    "InstanceCorpus",
     "InstanceFamily",
     "InstanceSource",
     "InstanceSpec",
@@ -115,6 +120,7 @@ __all__ = [
     "ProcessPoolBackend",
     "RandomnessModel",
     "RecordingOracle",
+    "ResultStore",
     "RetryPolicy",
     "RunResult",
     "SerialBackend",

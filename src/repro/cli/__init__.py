@@ -397,17 +397,20 @@ def _sweep_results_payload(results) -> List[Dict[str, object]]:
             "fit": fitted.best,
             "multiplier": fitted.multiplier,
             "from_cache": result.from_cache,
+            "from_store": result.from_store,
         })
     return payload
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.corpus import ResultStore, ResultStoreError
     from repro.exec.sweep import cache_from_env, run_sweeps
     from repro.faults.journal import JournalError
     from repro.suites import run_suite
 
     load_components()
     cache = cache_from_env()
+    store = ResultStore(args.store) if args.store else None
     progress = print if args.progress else None
     printer = None if args.json else print
     if args.seed is not None and not (args.family and args.algorithm):
@@ -431,6 +434,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                     cache=cache,
                     progress=progress,
                     printer=printer,
+                    store=store,
                 ))
         elif args.spec_file:
             with open(args.spec_file) as handle:
@@ -440,7 +444,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             specs = [_spec_from_dict(e) for e in entries]
             results = run_sweeps(
                 specs, args.backend, cache=cache, progress=progress,
-                journal=args.journal,
+                journal=args.journal, store=store,
             )
             if printer is not None:
                 for result in results:
@@ -456,7 +460,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             })
             results = run_sweeps(
                 [spec], args.backend, cache=cache, progress=progress,
-                journal=args.journal,
+                journal=args.journal, store=store,
             )
             if printer is not None:
                 for result in results:
@@ -466,7 +470,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 "nothing to sweep: give suite names, --spec-file, or "
                 "--family with --algorithm (see `repro list` for names)"
             )
-    except (RegistryError, ValueError, OSError, JournalError) as exc:
+    except (
+        RegistryError, ValueError, OSError, JournalError, ResultStoreError,
+    ) as exc:
         return _fail(str(exc))
     if args.json:
         print(json.dumps(_sweep_results_payload(results), indent=2))
@@ -480,6 +486,7 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.cli.adversary import add_adversary_arguments
     from repro.cli.bench import add_bench_arguments
     from repro.cli.chaos import add_chaos_arguments
+    from repro.cli.corpus import add_corpus_arguments
     from repro.cli.mc import add_mc_arguments
 
     parser = argparse.ArgumentParser(
@@ -563,6 +570,12 @@ def build_parser() -> argparse.ArgumentParser:
         "appended durably and restored (not re-measured) when the same "
         "sweep batch resumes after an interruption",
     )
+    p_sweep.add_argument(
+        "--store", metavar="PATH", default=None,
+        help="sqlite result store: every executed point is appended, "
+        "and points already recorded for the same spec hash are served "
+        "from it instead of re-executing",
+    )
     p_sweep.add_argument("--progress", action="store_true")
     p_sweep.add_argument("--json", action="store_true")
     p_sweep.set_defaults(func=cmd_sweep)
@@ -571,6 +584,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_adversary_arguments(sub)
     add_chaos_arguments(sub)
     add_bench_arguments(sub)
+    add_corpus_arguments(sub)
     return parser
 
 

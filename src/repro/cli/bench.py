@@ -80,6 +80,12 @@ sweep algorithm, a volume curve is fitted across growing n.  The
 formal schema moves to ``bench-v5.schema.json``; the v4 → v5 upgrade
 adds an empty ``implicit_scaling`` section.
 
+PR 9 added the optional ``summary.corpus`` counters (still schema v5 —
+the field is additive): under ``--corpus DIR`` each matrix cell's
+instances load from the content-addressed corpus where present, and
+the artifact records the hit/miss split (``root`` is null when no
+corpus was given).
+
 CI's ``bench-smoke`` job runs ``repro bench --quick`` on the serial and
 ``process:2`` backends, uploads the artifact, and fails on any invalid
 cell (non-zero exit); the ``adversary-smoke``, ``mc-smoke``, and
@@ -146,12 +152,35 @@ def _fit(ns: List[int], costs: List[float]) -> Optional[str]:
     return fit_growth(ns, costs).best
 
 
+def _corpus_family(corpus, entry, grid: str, counters: Dict[str, int]):
+    """An :class:`InstanceFamily` served from a corpus where possible.
+
+    Grid points present in the corpus load from disk (a *hit*); absent
+    points fall back to the registered factory (a *miss*) — the cell
+    runs either way, the counters just record the provenance split for
+    ``summary.corpus``.
+    """
+    from repro.exec.sweep import InstanceFamily
+
+    def factory(param):
+        instance = corpus.get(entry.name, param)
+        if instance is not None:
+            counters["hits"] += 1
+            return instance
+        counters["misses"] += 1
+        return entry.factory(param)
+
+    return InstanceFamily(entry.name, factory, entry.params(grid))
+
+
 def run_cell(
     cell: MatrixCell,
     grid: str,
     backend,
     seed: Optional[int] = None,
     progress=None,
+    corpus=None,
+    corpus_counters: Optional[Dict[str, int]] = None,
 ) -> Dict[str, object]:
     """Solve-and-check one matrix cell over its parameter grid."""
     from repro.exec.sweep import SweepSpec, run_sweep
@@ -183,10 +212,15 @@ def run_cell(
         })
         return float(report.run.max_volume)
 
+    family = (
+        cell.family.instance_family(grid)
+        if corpus is None
+        else _corpus_family(corpus, cell.family, grid, corpus_counters)
+    )
     spec = SweepSpec(
         label=f"{cell.algorithm.name} @ {cell.family.name}",
         claimed="-",
-        family=cell.family.instance_family(grid),
+        family=family,
         measure=measure,
     )
     result = run_sweep(spec, backend, progress=progress)
@@ -601,11 +635,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(json.dumps([list(c.key) for c in cells], indent=2))
         return 0
     backend = get_backend(args.backend)
+    corpus = None
+    corpus_counters = {"hits": 0, "misses": 0}
+    if args.corpus:
+        from repro.corpus import InstanceCorpus
+
+        corpus = InstanceCorpus(args.corpus)
     progress = print if args.progress else None
     started = time.perf_counter()
     try:
         records = [
-            run_cell(cell, grid, backend, seed=args.seed, progress=progress)
+            run_cell(
+                cell, grid, backend, seed=args.seed, progress=progress,
+                corpus=corpus, corpus_counters=corpus_counters,
+            )
             for cell in cells
         ]
         monte_carlo = (
@@ -673,6 +716,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
                     (r["n"] for r in implicit_scaling), default=0
                 ),
             },
+            "corpus": {
+                "root": str(corpus.root) if corpus is not None else None,
+                "hits": corpus_counters["hits"],
+                "misses": corpus_counters["misses"],
+            },
         },
     }
     with open(args.out, "w") as handle:
@@ -735,6 +783,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
             ] for r in lower_bounds],
         ))
         print()
+    if corpus is not None:
+        print(
+            f"corpus {corpus.root}: {corpus_counters['hits']} instance "
+            f"loads served, {corpus_counters['misses']} generated fresh"
+        )
     mc_summary = artifact["summary"]["monte_carlo"]
     print(
         f"{len(records)} cells, {artifact['summary']['points']} points, "
@@ -811,6 +864,11 @@ def add_bench_arguments(sub) -> None:
         "--no-implicit", action="store_true",
         help="skip the implicit_scaling section (the artifact keeps "
         "an empty list)",
+    )
+    p_bench.add_argument(
+        "--corpus", metavar="DIR", default=None,
+        help="serve cell instances from this content-addressed corpus "
+        "where present (summary.corpus records the hit/miss split)",
     )
     p_bench.add_argument("--out", default="BENCH_repro.json")
     p_bench.add_argument(

@@ -73,6 +73,7 @@ def cmd_mc(args: argparse.Namespace) -> int:
         # stderr on purpose: --progress must not corrupt --json output.
         print(line, file=sys.stderr)
 
+    from repro.corpus import ResultStore, ResultStoreError
     from repro.faults.journal import JournalError
 
     try:
@@ -84,9 +85,10 @@ def cmd_mc(args: argparse.Namespace) -> int:
             base_seed=base_seed,
             backend=backend,
             journal=args.journal,
+            store=ResultStore(args.store) if args.store else None,
             progress=progress if args.progress else None,
         )
-    except JournalError as exc:
+    except (JournalError, ResultStoreError) as exc:
         return _fail(str(exc))
     finally:
         # Release pool resources promptly (a leaked ProcessPoolExecutor
@@ -206,6 +208,12 @@ def add_mc_arguments(sub) -> None:
         help="crash-safe JSONL journal: completed trials are appended "
         "durably and replayed (not re-run) when the same spec resumes "
         "after an interruption",
+    )
+    p_mc.add_argument(
+        "--store", metavar="PATH", default=None,
+        help="sqlite result store: trial batches are appended under the "
+        "run's spec hash and replayed (not re-run) on the next "
+        "identical invocation",
     )
     p_mc.add_argument("--progress", action="store_true")
     p_mc.add_argument("--json", action="store_true")

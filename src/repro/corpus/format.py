@@ -1,0 +1,246 @@
+"""The versioned on-disk instance format (DESIGN.md §12).
+
+One corpus entry is one JSON document holding a fully materialized
+:class:`~repro.graphs.labelings.Instance` plus the provenance triple
+``(family, param, seed)`` that generated it.  Two hashes govern the
+store:
+
+* the **entry key** — sha256 of the canonical JSON of ``(format
+  version, family, repr(param), seed)``, truncated to 16 hex chars
+  (the repo's spec-hash convention).  It names *what was asked for*,
+  so regenerating the same triple always lands on the same entry.
+* the **content hash** — the full sha256 of the entry file's canonical
+  JSON bytes.  It names *what was stored*, so ``repro corpus verify``
+  detects any bit flip, truncation, or hand edit, and an import
+  refuses payloads whose bytes do not hash to their manifest entry.
+
+Bumping :data:`FORMAT_VERSION` changes every entry key, so old and new
+formats can never alias each other inside one corpus directory.
+
+JSON cannot represent tuples or non-string dict keys, both of which
+appear in family params and instance metadata (grid params like
+``(3, 2)``, meta maps keyed by node id).  :func:`encode_value` makes
+the encoding lossless instead of lossy: tuples become
+``{"__tuple__": [...]}``, dicts with any non-string key become
+``{"__items__": [[k, v], ...]}``, and unrepresentable types are
+rejected loudly rather than silently coerced.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Optional, Tuple
+
+from repro.graphs.labelings import Instance, Labeling, NodeLabel
+from repro.graphs.port_graph import PortGraph
+
+FORMAT_VERSION = "repro-corpus/1"
+
+#: NodeLabel fields persisted per node, in declaration order.
+_LABEL_FIELDS = (
+    "parent",
+    "left_child",
+    "right_child",
+    "color",
+    "left_neighbor",
+    "right_neighbor",
+    "level",
+    "bit",
+)
+
+_TUPLE_MARK = "__tuple__"
+_ITEMS_MARK = "__items__"
+
+
+class CorpusFormatError(ValueError):
+    """A value or payload cannot be (de)serialized losslessly."""
+
+
+# ----------------------------------------------------------------------
+# canonical bytes + hashes
+# ----------------------------------------------------------------------
+def canonical_json(payload) -> str:
+    """The one canonical text for a payload: sorted keys, no spaces.
+
+    Hashes are computed over these bytes, so any two writers of the
+    same logical payload produce identical files.
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
+def content_hash(text: str) -> str:
+    """Full sha256 hex digest of an entry file's text."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def entry_key(family: str, param, seed: int = 0) -> str:
+    """The 16-hex content address of one ``(family, param, seed)`` ask.
+
+    ``repr(param)`` (not the param itself) keys the hash, matching how
+    :meth:`~repro.exec.sweep.SweepSpec.describe` fingerprints grids:
+    params may be tuples or other non-JSON values, and ``repr`` is
+    stable for every grid type the registry uses (ints, tuples of
+    ints, strings).
+    """
+    blob = canonical_json([FORMAT_VERSION, family, repr(param), seed])
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# lossless value encoding
+# ----------------------------------------------------------------------
+def encode_value(value):
+    """Encode a param/meta value into JSON-safe structure, losslessly."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, tuple):
+        return {_TUPLE_MARK: [encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return [encode_value(v) for v in value]
+    if isinstance(value, dict):
+        plain = all(
+            isinstance(k, str) and k not in (_TUPLE_MARK, _ITEMS_MARK)
+            for k in value
+        )
+        if plain:
+            return {k: encode_value(v) for k, v in value.items()}
+        return {
+            _ITEMS_MARK: [
+                [encode_value(k), encode_value(v)] for k, v in value.items()
+            ]
+        }
+    raise CorpusFormatError(
+        f"cannot losslessly encode {type(value).__name__!r} value "
+        f"{value!r}; corpus entries hold JSON-representable structure "
+        "(plus tuples and non-string dict keys via markers)"
+    )
+
+
+def decode_value(value):
+    """Invert :func:`encode_value`."""
+    if isinstance(value, list):
+        return [decode_value(v) for v in value]
+    if isinstance(value, dict):
+        if set(value) == {_TUPLE_MARK}:
+            return tuple(decode_value(v) for v in value[_TUPLE_MARK])
+        if set(value) == {_ITEMS_MARK}:
+            return {
+                decode_value(k): decode_value(v)
+                for k, v in value[_ITEMS_MARK]
+            }
+        return {k: decode_value(v) for k, v in value.items()}
+    return value
+
+
+# ----------------------------------------------------------------------
+# instance <-> payload
+# ----------------------------------------------------------------------
+def instance_to_payload(instance: Instance) -> Dict[str, object]:
+    """Serialize a materialized instance, ports and labels included.
+
+    Node rows are lists (not an id-keyed object) so integer node ids
+    survive JSON untouched.  Each row is ``[node_id, [entry, ...]]``
+    where ``entry`` is ``[neighbor, neighbor_port]`` for a connected
+    port and ``null`` for a reserved-but-dangling one — dangling ports
+    are semantic (the adversarial constructions rely on them) and must
+    round-trip.
+    """
+    graph = instance.graph
+    nodes: List[List[object]] = []
+    for node_id in graph.nodes():
+        row: List[object] = []
+        for port in range(1, graph.num_ports(node_id) + 1):
+            neighbor = graph.neighbor_at(node_id, port)
+            if neighbor is None:
+                row.append(None)
+            else:
+                row.append([neighbor, graph.endpoint_port(node_id, port)])
+        nodes.append([node_id, row])
+    labels: List[List[object]] = []
+    for node_id in instance.labeling.nodes():
+        label = instance.labeling.get(node_id)
+        fields = {
+            name: getattr(label, name)
+            for name in _LABEL_FIELDS
+            if getattr(label, name) is not None
+        }
+        labels.append([node_id, fields])
+    return {
+        "format": FORMAT_VERSION,
+        "n": instance.n,
+        "name": instance.name,
+        "max_degree": graph.max_degree,
+        "nodes": nodes,
+        "labels": labels,
+        "graph_meta": encode_value(graph.meta),
+        "meta": encode_value(instance.meta),
+    }
+
+
+def payload_to_instance(payload: Dict[str, object]) -> Instance:
+    """Rebuild the instance; inverse of :func:`instance_to_payload`."""
+    if payload.get("format") != FORMAT_VERSION:
+        raise CorpusFormatError(
+            f"unsupported corpus format {payload.get('format')!r} "
+            f"(this build reads {FORMAT_VERSION!r})"
+        )
+    graph = PortGraph(int(payload["max_degree"]))
+    rows: Dict[int, List[Optional[Tuple[int, int]]]] = {}
+    for node_id, row in payload["nodes"]:
+        graph.add_node(node_id, len(row))
+        rows[node_id] = [
+            None if entry is None else (entry[0], entry[1]) for entry in row
+        ]
+    # Every undirected edge appears in both endpoints' rows; add it from
+    # the lexicographically smaller (node, port) side only, since
+    # add_edge wires both directions at once.
+    for node_id, row in rows.items():
+        for port, entry in enumerate(row, start=1):
+            if entry is None:
+                continue
+            neighbor, neighbor_port = entry
+            if (node_id, port) < (neighbor, neighbor_port):
+                graph.add_edge(node_id, port, neighbor, neighbor_port)
+    graph.meta.update(decode_value(payload["graph_meta"]))
+    labels = {
+        int(node_id): NodeLabel(**fields)
+        for node_id, fields in payload["labels"]
+    }
+    return Instance(
+        graph=graph,
+        labeling=Labeling(labels),
+        n=int(payload["n"]),
+        name=str(payload["name"]),
+        meta=decode_value(payload["meta"]),
+    )
+
+
+def entry_payload(
+    family: str, param, seed: int, instance: Instance
+) -> Dict[str, object]:
+    """The full entry document: provenance triple + serialized instance."""
+    return {
+        "format": FORMAT_VERSION,
+        "family": family,
+        "param": encode_value(param),
+        "param_repr": repr(param),
+        "seed": seed,
+        "instance": instance_to_payload(instance),
+    }
+
+
+__all__ = [
+    "FORMAT_VERSION",
+    "CorpusFormatError",
+    "canonical_json",
+    "content_hash",
+    "decode_value",
+    "encode_value",
+    "entry_key",
+    "entry_payload",
+    "instance_to_payload",
+    "payload_to_instance",
+]

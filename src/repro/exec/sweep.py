@@ -36,7 +36,7 @@ from repro.analysis.complexity_fit import (
     format_sweep_row,
 )
 from repro.exec.backends import ExecutionBackend, get_backend
-from repro.faults.journal import Journal
+from repro.faults.journal import Journal, atomic_write_text
 
 
 class InstanceFamily:
@@ -271,11 +271,17 @@ class SweepPoint:
 
 @dataclass
 class SweepResult:
-    """All points of one sweep plus fit/reporting helpers."""
+    """All points of one sweep plus fit/reporting helpers.
+
+    ``from_cache`` means no point was executed this run; ``from_store``
+    additionally records that the persistent result store (rather than
+    the per-spec JSON cache) served them.
+    """
 
     spec: SweepSpec
     points: List[SweepPoint] = field(default_factory=list)
     from_cache: bool = False
+    from_store: bool = False
 
     @property
     def ns(self) -> List[int]:
@@ -300,11 +306,49 @@ class SweepResult:
         return format_sweep_row(self.measurement(), self.fitted())
 
 
+def _sweep_payload(result: SweepResult) -> Dict[str, object]:
+    """The persistable form of a sweep result (cache file and store)."""
+    return {
+        "describe": _jsonify(result.spec.describe()),
+        "ns": result.ns,
+        "costs": result.costs,
+        "details": [p.detail for p in result.points],
+    }
+
+
+def _restore_points(
+    spec: SweepSpec, ns, costs, details
+) -> Optional[List[SweepPoint]]:
+    """Rebuild grid points from persisted arrays, or ``None`` if mangled.
+
+    A describe() match guarantees the stored points were measured over
+    exactly this parameter grid, so the grid points are restored from
+    the spec (params may not be JSON-serializable).  It also implies
+    the current payload format, so missing/short arrays can only mean a
+    mangled file: the caller re-measures rather than guessing.
+    """
+    if ns is None or costs is None or details is None:
+        return None
+    expected = len(spec.family.params)
+    if not (len(ns) == len(costs) == len(details) == expected):
+        return None
+    return [
+        SweepPoint(param=param, n=int(n), cost=float(cost), detail=detail)
+        for param, n, cost, detail in zip(
+            spec.family.params, ns, costs, details
+        )
+    ]
+
+
 class SweepCache:
     """On-disk result cache keyed by the spec hash.
 
     One JSON file per spec under ``root``; a cache hit skips the whole
-    sweep.  Delete the directory (or a file) to invalidate.
+    sweep.  Delete the directory (or a file) to invalidate.  This is
+    the file-per-spec sibling of the persistent
+    :class:`~repro.corpus.results.ResultStore` — both persist
+    :func:`_sweep_payload` and restore via :func:`_restore_points`, so
+    their hit semantics cannot drift.
     """
 
     def __init__(self, root) -> None:
@@ -320,40 +364,77 @@ class SweepCache:
             return None
         if payload.get("describe") != _jsonify(spec.describe()):
             return None  # hash collision or stale format: re-measure
-        if len(payload["ns"]) != len(spec.family.params):
+        points = _restore_points(
+            spec,
+            payload.get("ns"),
+            payload.get("costs"),
+            payload.get("details"),
+        )
+        if points is None:
             return None
-        # The describe() match guarantees the stored points were measured
-        # over exactly this parameter grid, so the grid points can be
-        # restored from the spec (params may not be JSON-serializable).
-        # A matching describe() implies the current payload format, so a
-        # missing/short details list can only mean a mangled file:
-        # re-measure rather than guess.
-        details = payload.get("details")
-        if details is None or len(details) != len(payload["ns"]):
-            return None
-        points = [
-            SweepPoint(param=param, n=n, cost=cost, detail=detail)
-            for param, n, cost, detail in zip(
-                spec.family.params, payload["ns"], payload["costs"], details
-            )
-        ]
         return SweepResult(spec=spec, points=points, from_cache=True)
 
     def store(self, result: SweepResult) -> None:
-        self.root.mkdir(parents=True, exist_ok=True)
-        payload = {
-            "describe": _jsonify(result.spec.describe()),
-            "ns": result.ns,
-            "costs": result.costs,
-            "details": [p.detail for p in result.points],
-        }
-        self._path(result.spec).write_text(json.dumps(payload, indent=1))
+        # Atomic + durable (temp file, fsync, rename): a crash or a
+        # concurrent writer must never leave a torn cache file that a
+        # later run would half-trust.
+        atomic_write_text(
+            self._path(result.spec),
+            json.dumps(_sweep_payload(result), indent=1),
+        )
 
     def _path(self, spec: SweepSpec) -> Path:
         return self.root / f"{spec.cache_key()}.json"
 
 
+def _json_key(key) -> str:
+    """The string ``json.dumps`` would coerce a dict key to."""
+    if isinstance(key, str):
+        return key
+    if key is True:
+        return "true"
+    if key is False:
+        return "false"
+    if key is None:
+        return "null"
+    if isinstance(key, (int, float)):
+        return json.dumps(key)
+    raise TypeError(
+        f"dict key {key!r} ({type(key).__name__}) cannot be persisted "
+        "in a JSON payload"
+    )
+
+
 def _jsonify(obj):
+    """Normalize a payload to its JSON-decoded form — loudly.
+
+    A plain ``json.loads(json.dumps(...))`` round trip coerces
+    non-string dict keys silently (``1`` -> ``"1"``, ``True`` ->
+    ``"true"``); if two keys coerce to the same string, one value is
+    silently dropped and the stored payload can never compare equal to
+    a freshly built one again — a permanent cache miss with no error.
+    This normalizer applies the identical coercion but *raises* on a
+    collision or an uncoercible key, and both the persist side and the
+    compare side go through it, so persisted and fresh payloads agree
+    by construction.
+    """
+    if isinstance(obj, dict):
+        out: Dict[str, object] = {}
+        for key, value in obj.items():
+            norm = _json_key(key)
+            if norm in out:
+                raise ValueError(
+                    f"dict keys collide when persisted as JSON: key "
+                    f"{key!r} coerces to {norm!r}, which is already "
+                    "present; use distinct string keys"
+                )
+            out[norm] = _jsonify(value)
+        return out
+    if isinstance(obj, (list, tuple)):
+        return [_jsonify(value) for value in obj]
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    # Anything exotic must survive a real round trip or fail now.
     return json.loads(json.dumps(obj))
 
 
@@ -394,8 +475,9 @@ def run_sweep(
     cache: Optional[SweepCache] = None,
     progress: Optional[Callable[[str], None]] = None,
     journal: Optional[Journal] = None,
+    store=None,
 ) -> SweepResult:
-    """Execute one sweep (or load it from the cache).
+    """Execute one sweep (or serve it from the cache or result store).
 
     With ``journal`` (an open :class:`~repro.faults.journal.Journal`,
     usually from :func:`open_sweep_journal`), each completed grid point
@@ -403,30 +485,72 @@ def run_sweep(
     instead of re-measured — a killed campaign continues where it died.
     Every point is a deterministic run, so a restored point is bitwise
     what re-measuring would produce.
+
+    ``store`` (a :class:`~repro.corpus.results.ResultStore`) is the
+    persistent sibling: every executed point appends to the store, and
+    points already stored for this spec hash are restored per point —
+    a re-run against a populated store executes nothing.  A fully
+    store-served result sets :attr:`SweepResult.from_store` (and
+    counts as a cache hit in summaries, since no measurement ran).
     """
     backend = get_backend(backend)
+    spec_key = spec.cache_key()
+    described = _jsonify(spec.describe())
     if cache is not None:
         hit = cache.load(spec)
         if hit is not None:
             if progress is not None:
                 progress(f"[{spec.label}] loaded {len(hit.points)} cached points")
+            if store is not None:
+                _record_sweep_to_store(store, spec_key, described, hit)
             return hit
+    stored: Dict[int, Dict[str, object]] = {}
+    if store is not None:
+        stored_describe = store.sweep_describe(spec_key)
+        if stored_describe is not None and stored_describe != described:
+            # A 16-hex hash collision (or a mangled row): neither serve
+            # the foreign points nor mix ours under the same key.
+            store = None
+        else:
+            store.record_sweep_meta(
+                spec_key, spec.label, described, len(spec.family.params)
+            )
+            stored = store.sweep_points(spec_key)
     done = _journal_points(journal) if journal is not None else {}
-    spec_key = spec.cache_key() if journal is not None else ""
     result = SweepResult(spec=spec)
     total = len(spec.family.params)
+    served_store = 0
     for index, param in enumerate(spec.family.params, start=1):
         replayed = done.get((spec_key, index - 1))
-        if replayed is not None:
+        if replayed is None and index - 1 in stored:
+            row = stored[index - 1]
             result.points.append(
                 SweepPoint(
                     param=param,
-                    n=int(replayed["n"]),
-                    cost=float(replayed["cost"]),
-                    elapsed=float(replayed.get("elapsed", 0.0)),
-                    detail=replayed.get("detail"),
+                    n=int(row["n"]),
+                    cost=float(row["cost"]),
+                    elapsed=float(row["elapsed"]),
+                    detail=row["detail"],
                 )
             )
+            served_store += 1
+            if progress is not None:
+                progress(
+                    f"[{spec.label}] {index}/{total}: stored point "
+                    f"restored (n={result.points[-1].n})"
+                )
+            continue
+        if replayed is not None:
+            point = SweepPoint(
+                param=param,
+                n=int(replayed["n"]),
+                cost=float(replayed["cost"]),
+                elapsed=float(replayed.get("elapsed", 0.0)),
+                detail=replayed.get("detail"),
+            )
+            result.points.append(point)
+            if store is not None:
+                _record_point_to_store(store, spec_key, index - 1, point)
             if progress is not None:
                 progress(
                     f"[{spec.label}] {index}/{total}: journaled point "
@@ -437,14 +561,17 @@ def run_sweep(
         started = time.perf_counter()
         cost, detail = spec.measure_point_detailed(instance, param, backend)
         elapsed = time.perf_counter() - started
+        # Normalize the detail dict the way persistence will, so a
+        # fresh result and its cache/store-restored twin are identical
+        # (an int-keyed detail would otherwise come back str-keyed).
+        detail = None if detail is None else _jsonify(detail)
         # .n, not .graph.num_nodes: implicit InstanceSpec points have no
         # graph — their size is a closed-form property of the spec.
         n = instance.n
-        result.points.append(
-            SweepPoint(
-                param=param, n=n, cost=cost, elapsed=elapsed, detail=detail
-            )
+        point = SweepPoint(
+            param=param, n=n, cost=cost, elapsed=elapsed, detail=detail
         )
+        result.points.append(point)
         if journal is not None:
             journal.append(
                 {
@@ -458,15 +585,44 @@ def run_sweep(
                     "detail": detail,
                 }
             )
+        if store is not None:
+            # Per point, not per sweep: a killed campaign keeps every
+            # completed point (same crash-safety contract as the
+            # journal, durable via sqlite instead of JSONL).
+            _record_point_to_store(store, spec_key, index - 1, point)
         if progress is not None:
             progress(
                 f"[{spec.label}] {index}/{total}: n={n} "
                 f"{spec.metric if spec.measure is None else 'cost'}={cost:g} "
                 f"({elapsed:.2f}s)"
             )
+    if served_store == total and total > 0:
+        result.from_store = True
+        result.from_cache = True  # no measurement ran
     if cache is not None:
         cache.store(result)
     return result
+
+
+def _record_sweep_to_store(store, spec_key: str, described, result) -> None:
+    """Backfill a whole (cache-served) result into the store."""
+    store.record_sweep_meta(
+        spec_key, result.spec.label, described, len(result.points)
+    )
+    for index, point in enumerate(result.points):
+        _record_point_to_store(store, spec_key, index, point)
+
+
+def _record_point_to_store(store, spec_key: str, index: int, point) -> None:
+    store.record_sweep_point(
+        spec_key,
+        index,
+        param_repr=repr(point.param),
+        n=point.n,
+        cost=point.cost,
+        detail=point.detail,
+        elapsed=point.elapsed,
+    )
 
 
 def run_sweeps(
@@ -475,6 +631,7 @@ def run_sweeps(
     cache: Optional[SweepCache] = None,
     progress: Optional[Callable[[str], None]] = None,
     journal=None,
+    store=None,
 ) -> List[SweepResult]:
     """Execute a batch of sweeps on one backend, in order.
 
@@ -490,6 +647,10 @@ def run_sweeps(
     re-measuring (``repro sweep --journal``).  A journal written for a
     different batch is refused with
     :class:`~repro.faults.journal.JournalKeyError`.
+
+    ``store`` (a :class:`~repro.corpus.results.ResultStore`) persists
+    every executed point across runs and serves stored points back;
+    see :func:`run_sweep`.
     """
     backend = get_backend(backend)
     specs = list(specs)
@@ -503,7 +664,10 @@ def run_sweeps(
             owned_journal = True
     try:
         results = [
-            run_sweep(s, backend, cache=cache, progress=progress, journal=jour)
+            run_sweep(
+                s, backend, cache=cache, progress=progress, journal=jour,
+                store=store,
+            )
             for s in specs
         ]
     finally:
@@ -511,10 +675,14 @@ def run_sweeps(
             jour.close()
     if progress is not None:
         cached = sum(1 for r in results if r.from_cache)
-        progress(
+        line = (
             f"sweeps: {len(results) - cached} executed, {cached} cache "
             f"hit{'' if cached == 1 else 's'}"
         )
+        if store is not None:
+            served = sum(1 for r in results if r.from_store)
+            line += f", {served} store hit{'' if served == 1 else 's'}"
+        progress(line)
     return results
 
 

@@ -28,10 +28,57 @@ from __future__ import annotations
 import io
 import json
 import os
+import tempfile
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 MAGIC = "repro-journal/1"
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Durably replace ``path``'s contents: temp file + fsync + rename.
+
+    The journal's discipline for whole-file writers: write the new
+    contents to a temporary file *in the same directory* (``os.replace``
+    is only atomic within one filesystem), flush + fsync it, then rename
+    over the target.  A crash at any point leaves either the old file or
+    the new one — never a torn or interleaved mix — and a concurrent
+    writer's replace wins or loses wholesale instead of corrupting the
+    target.  The directory entry is fsynced too (best effort) so the
+    rename itself survives power loss.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    handle = tempfile.NamedTemporaryFile(
+        mode="w",
+        encoding="utf-8",
+        dir=target.parent,
+        prefix=f".{target.name}.",
+        suffix=".tmp",
+        delete=False,
+    )
+    try:
+        with handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(handle.name, target)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+    try:  # make the rename durable, where the platform allows it
+        dir_fd = os.open(target.parent, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-specific
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:  # pragma: no cover - platform-specific
+        pass
+    finally:
+        os.close(dir_fd)
 
 
 class JournalError(RuntimeError):
@@ -177,4 +224,10 @@ class Journal:
         return len(self.records)
 
 
-__all__ = ["Journal", "JournalError", "JournalKeyError", "MAGIC"]
+__all__ = [
+    "Journal",
+    "JournalError",
+    "JournalKeyError",
+    "MAGIC",
+    "atomic_write_text",
+]

@@ -296,19 +296,23 @@ def _outcome_record(outcome: TrialOutcome) -> Dict[str, object]:
     }
 
 
-def _replay_journal(journal: Journal, policy: TrialPolicy) -> List[TrialOutcome]:
-    """The journal's intact contiguous prefix, batch-aligned.
+def _records_prefix(
+    records: List[Dict[str, object]], policy: TrialPolicy
+) -> List[TrialOutcome]:
+    """The intact contiguous prefix of recorded trials, batch-aligned.
 
     Duplicated trial indices keep their first record (a crash between
-    append and fsync can re-journal a re-executed trial; both records
-    are identical anyway).  The prefix stops at the first gap and is
-    then truncated to a multiple of ``policy.batch_size`` so the resumed
-    run re-evaluates its stop conditions at exactly the batch boundaries
-    the uninterrupted run would have used — the dropped tail re-executes
+    append and fsync can re-journal a re-executed trial; records from a
+    journal and a result store can also overlap — all copies are
+    identical anyway, every outcome being a pure function of its
+    seeds).  The prefix stops at the first gap and is then truncated to
+    a multiple of ``policy.batch_size`` so the resumed run re-evaluates
+    its stop conditions at exactly the batch boundaries the
+    uninterrupted run would have used — the dropped tail re-executes
     bitwise-identically.
     """
     by_trial: Dict[int, TrialOutcome] = {}
-    for record in journal.records:
+    for record in records:
         if record.get("kind") != "trial":
             continue
         trial = int(record["trial"])
@@ -334,6 +338,11 @@ def _replay_journal(journal: Journal, policy: TrialPolicy) -> List[TrialOutcome]
     return prefix[:keep]
 
 
+def _replay_journal(journal: Journal, policy: TrialPolicy) -> List[TrialOutcome]:
+    """The journal's intact contiguous prefix, batch-aligned."""
+    return _records_prefix(journal.records, policy)
+
+
 def run_trials(
     problem,
     instance_or_factory,
@@ -346,6 +355,7 @@ def run_trials(
     max_queries: Optional[int] = None,
     resume: Optional[MonteCarloResult] = None,
     journal: Union[Journal, str, Path, None] = None,
+    store=None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> MonteCarloResult:
     """Stream solve-and-check trials until the policy says stop.
@@ -364,11 +374,19 @@ def run_trials(
     (different spec, same file) raises
     :class:`~repro.faults.journal.JournalKeyError`.  Mutually exclusive
     with ``resume`` (a journal *is* a durable resume point).
+
+    ``store`` (a :class:`~repro.corpus.results.ResultStore`) is the
+    accumulating sibling: completed batches append to the store under
+    the same run key the journal uses, stored trials replay instead of
+    re-executing, and — unlike a journal file — one store serves every
+    run spec ever recorded.  Journal and store compose (their records
+    are interchangeable); ``resume=`` is mutually exclusive with both.
     """
-    if resume is not None and journal is not None:
+    if resume is not None and (journal is not None or store is not None):
         raise ValueError(
-            "pass either resume= (in-memory) or journal= (on-disk), "
-            "not both — the journal already replays completed trials"
+            "pass either resume= (in-memory) or journal=/store= "
+            "(on-disk), not both — the journal and the store already "
+            "replay completed trials"
         )
     engine = get_backend(backend)
     owned: List[ExecutionBackend] = []
@@ -412,29 +430,47 @@ def run_trials(
             result.elapsed = resume.elapsed
         else:
             result = MonteCarloResult(policy=policy, base_seed=base_seed)
+        run_key: Optional[str] = None
+        if journal is not None or store is not None:
+            run_key, run_meta = trial_journal_key(
+                problem,
+                instance_or_factory,
+                algorithm,
+                policy,
+                base_seed,
+                max_volume,
+                max_queries,
+            )
         if journal is not None:
             if isinstance(journal, Journal):
                 jour = journal
             else:
-                key, meta = trial_journal_key(
-                    problem,
-                    instance_or_factory,
-                    algorithm,
-                    policy,
-                    base_seed,
-                    max_volume,
-                    max_queries,
-                )
-                jour = Journal(journal, key, meta=meta)
+                jour = Journal(journal, run_key, meta=run_meta)
                 owned_journal = True
-            replayed = _replay_journal(jour, policy)
+        if jour is not None or store is not None:
+            # Journal lines and store rows use one record format and
+            # describe the same deterministic trial stream, so the
+            # replayed prefix merges both sources (first copy wins;
+            # all copies are identical).
+            records: List[Dict[str, object]] = []
+            if jour is not None:
+                records.extend(jour.records)
+            if store is not None:
+                store.record_trial_run(run_key, run_meta)
+                records.extend(store.trial_records(run_key))
+            replayed = _records_prefix(records, policy)
             for outcome in replayed:
                 result.record(outcome)
             if replayed and progress is not None:
+                sources = []
+                if jour is not None:
+                    sources.append(f"journal {jour.path}")
+                if store is not None:
+                    sources.append(f"store {store.path}")
                 progress(
-                    f"  journal: replayed {len(replayed)} completed "
+                    f"  replayed {len(replayed)} completed "
                     f"trial{'s' if len(replayed) != 1 else ''} from "
-                    f"{jour.path}"
+                    f"{' + '.join(sources)}"
                 )
         started = time.perf_counter()
         backend_log = getattr(engine, "fault_log", None)
@@ -459,12 +495,17 @@ def run_trials(
             )
             for outcome in outcomes:
                 result.record(outcome)
-            if jour is not None:
-                # One durable append (single fsync) per completed batch:
-                # a crash can lose at most the batch in flight.
-                jour.append_many(
+            if jour is not None or store is not None:
+                batch_records = [
                     _outcome_record(outcome) for outcome in outcomes
-                )
+                ]
+                if jour is not None:
+                    # One durable append (single fsync) per completed
+                    # batch: a crash can lose at most the batch in
+                    # flight.
+                    jour.append_many(batch_records)
+                if store is not None:
+                    store.record_trials(run_key, batch_records)
             if progress is not None:
                 low, high = result.interval()
                 progress(

@@ -94,8 +94,13 @@ def run_suite(
     cache: Optional[SweepCache] = None,
     progress: Optional[Callable[[str], None]] = None,
     printer: Optional[Callable[[str], None]] = print,
+    store=None,
 ) -> List[SweepResult]:
-    """Execute a named suite and print its claimed-vs-measured rows."""
+    """Execute a named suite and print its claimed-vs-measured rows.
+
+    ``store`` (a :class:`~repro.corpus.results.ResultStore`) persists
+    every executed point and serves stored points on re-runs.
+    """
     load_components()
     definition = get_suite(name)
     if printer is not None:
@@ -104,7 +109,8 @@ def run_suite(
         printer(definition.title)
         printer("=" * 78)
     results = run_sweeps(
-        definition.build(), backend, cache=cache, progress=progress
+        definition.build(), backend, cache=cache, progress=progress,
+        store=store,
     )
     if printer is not None:
         for result in results:

@@ -1,0 +1,172 @@
+"""The versioned entry format: lossless round trips, stable hashes."""
+
+import json
+import random
+
+import pytest
+
+from repro.corpus.format import (
+    FORMAT_VERSION,
+    CorpusFormatError,
+    canonical_json,
+    content_hash,
+    decode_value,
+    encode_value,
+    entry_key,
+    entry_payload,
+    instance_to_payload,
+    payload_to_instance,
+)
+from repro.graphs.generators import (
+    balanced_tree_instance,
+    cycle_instance,
+    leaf_coloring_instance,
+)
+from repro.registry import FAMILIES, load_components
+
+
+def _instances_equal(a, b) -> bool:
+    """Structural equality: ports, labels, meta, identity fields."""
+    if (a.n, a.name, a.meta) != (b.n, b.name, b.meta):
+        return False
+    ga, gb = a.graph, b.graph
+    if sorted(ga.nodes()) != sorted(gb.nodes()) or ga.meta != gb.meta:
+        return False
+    for node in ga.nodes():
+        if ga.num_ports(node) != gb.num_ports(node):
+            return False
+        for port in range(1, ga.num_ports(node) + 1):
+            if ga.neighbor_at(node, port) != gb.neighbor_at(node, port):
+                return False
+            if ga.neighbor_at(node, port) is not None and (
+                ga.endpoint_port(node, port) != gb.endpoint_port(node, port)
+            ):
+                return False
+    nodes_a = sorted(a.labeling.nodes())
+    if nodes_a != sorted(b.labeling.nodes()):
+        return False
+    return all(a.labeling.get(v) == b.labeling.get(v) for v in nodes_a)
+
+
+class TestValueEncoding:
+    def test_scalars_pass_through(self):
+        for value in (None, True, 3, 2.5, "x"):
+            assert encode_value(value) == value
+            assert decode_value(encode_value(value)) == value
+
+    def test_tuple_round_trips(self):
+        value = (3, (2, "a"), [1, (4,)])
+        encoded = encode_value(value)
+        assert json.loads(json.dumps(encoded)) == encoded
+        assert decode_value(encoded) == value
+
+    def test_int_keyed_dict_round_trips(self):
+        value = {1: "a", (2, 3): {"nested": 5}}
+        decoded = decode_value(encode_value(value))
+        assert decoded == value
+        assert isinstance(list(decoded)[0], (int, tuple))
+
+    def test_plain_dict_stays_plain(self):
+        value = {"a": 1, "b": [2, 3]}
+        assert encode_value(value) == value
+
+    def test_marker_key_collision_is_escaped(self):
+        # A user dict whose key IS a marker must not decode as a tuple.
+        value = {"__tuple__": [1, 2]}
+        assert decode_value(encode_value(value)) == value
+
+    def test_unencodable_type_raises(self):
+        with pytest.raises(CorpusFormatError):
+            encode_value(object())
+
+    def test_canonical_json_is_order_insensitive(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json(
+            {"a": 2, "b": 1}
+        )
+
+    def test_content_hash_is_byte_sensitive(self):
+        assert content_hash("x") != content_hash("x ")
+
+
+class TestEntryKey:
+    def test_stable_across_calls(self):
+        assert entry_key("f", (3, 2), 1) == entry_key("f", (3, 2), 1)
+
+    def test_sensitive_to_each_component(self):
+        base = entry_key("f", 3, 0)
+        assert entry_key("g", 3, 0) != base
+        assert entry_key("f", 4, 0) != base
+        assert entry_key("f", 3, 1) != base
+
+    def test_format_version_in_key(self):
+        # The version string participates in the hash, so a bump can
+        # never alias old entries.
+        blob = canonical_json([FORMAT_VERSION, "f", "3", 0])
+        import hashlib
+
+        assert entry_key("f", 3) == hashlib.sha256(
+            blob.encode()
+        ).hexdigest()[:16]
+
+
+class TestInstanceRoundTrip:
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: cycle_instance(12),
+            lambda: balanced_tree_instance(4),
+            lambda: leaf_coloring_instance(4, rng=random.Random(7)),
+        ],
+    )
+    def test_handwritten_families(self, build):
+        instance = build()
+        payload = instance_to_payload(instance)
+        json.dumps(payload)  # must already be JSON-safe
+        assert _instances_equal(instance, payload_to_instance(payload))
+
+    def test_every_registered_family_round_trips(self):
+        load_components()
+        for entry in FAMILIES:
+            param = entry.quick[0]
+            instance = entry.factory(param)
+            restored = payload_to_instance(instance_to_payload(instance))
+            assert _instances_equal(instance, restored), entry.name
+
+    def test_round_trip_is_canonical_fixed_point(self):
+        # Serializing the restored instance must reproduce the exact
+        # bytes — the property that makes content addressing coherent.
+        instance = balanced_tree_instance(3)
+        text = canonical_json(instance_to_payload(instance))
+        again = canonical_json(
+            instance_to_payload(payload_to_instance(json.loads(text)))
+        )
+        assert again == text
+
+    def test_dangling_ports_round_trip(self):
+        from repro.graphs.labelings import Instance, Labeling
+        from repro.graphs.port_graph import PortGraph
+
+        graph = PortGraph(3)
+        graph.add_node(1, 3)
+        graph.add_node(2, 1)
+        graph.add_edge(1, 2, 2, 1)  # ports 1 and 3 of node 1 dangle
+        instance = Instance(graph, Labeling({}), name="dangling")
+        restored = payload_to_instance(instance_to_payload(instance))
+        assert restored.graph.neighbor_at(1, 1) is None
+        assert restored.graph.neighbor_at(1, 2) == 2
+        assert restored.graph.neighbor_at(1, 3) is None
+
+    def test_wrong_format_version_rejected(self):
+        payload = instance_to_payload(cycle_instance(4))
+        payload["format"] = "repro-corpus/999"
+        with pytest.raises(CorpusFormatError):
+            payload_to_instance(payload)
+
+    def test_entry_payload_carries_provenance(self):
+        instance = cycle_instance(6)
+        payload = entry_payload("cycle", 6, 1, instance)
+        assert payload["family"] == "cycle"
+        assert payload["param"] == 6
+        assert payload["param_repr"] == "6"
+        assert payload["seed"] == 1
+        assert payload["instance"]["n"] == 6

@@ -1,0 +1,184 @@
+"""The sqlite campaign store: idempotent appends, replay, concurrency."""
+
+import sqlite3
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.corpus import ResultStore, ResultStoreError, store_from_env
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def trial_record(trial: int, **overrides):
+    record = {
+        "kind": "trial",
+        "trial": trial,
+        "seed": 100 + trial,
+        "valid": trial % 2 == 0,
+        "max_volume": 10 + trial,
+        "max_distance": 3,
+        "max_queries": 10 + trial,
+        "random_bits": 5 * trial,
+    }
+    record.update(overrides)
+    return record
+
+
+class TestSweepRows:
+    def test_points_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "r.sqlite")
+        store.record_sweep_meta("abc", "walk", {"metric": "volume"}, 2)
+        store.record_sweep_point(
+            "abc", 0, param_repr="3", n=15, cost=7.0,
+            detail={"rate": 0.5}, elapsed=0.1,
+        )
+        store.record_sweep_point(
+            "abc", 1, param_repr="4", n=31, cost=9.0,
+            detail=None, elapsed=0.2,
+        )
+        assert store.sweep_describe("abc") == {"metric": "volume"}
+        assert store.sweep_describe("nope") is None
+        points = store.sweep_points("abc")
+        assert sorted(points) == [0, 1]
+        assert points[0] == {
+            "n": 15, "cost": 7.0, "detail": {"rate": 0.5}, "elapsed": 0.1,
+        }
+        assert points[1]["detail"] is None
+
+    def test_inserts_are_idempotent_first_writer_wins(self, tmp_path):
+        store = ResultStore(tmp_path / "r.sqlite")
+        store.record_sweep_meta("abc", "walk", {"v": 1}, 1)
+        store.record_sweep_meta("abc", "other", {"v": 2}, 9)
+        assert store.sweep_describe("abc") == {"v": 1}
+        store.record_sweep_point(
+            "abc", 0, param_repr="3", n=15, cost=7.0, detail=None,
+            elapsed=0.1,
+        )
+        store.record_sweep_point(
+            "abc", 0, param_repr="3", n=15, cost=999.0, detail=None,
+            elapsed=0.1,
+        )
+        assert store.sweep_points("abc")[0]["cost"] == 7.0
+
+
+class TestTrialRows:
+    def test_records_round_trip_in_journal_format(self, tmp_path):
+        store = ResultStore(tmp_path / "r.sqlite")
+        store.record_trial_run("run1", {"base_seed": 7})
+        records = [trial_record(t) for t in (1, 0, 2)]
+        store.record_trials("run1", records)
+        restored = store.trial_records("run1")
+        assert [r["trial"] for r in restored] == [0, 1, 2]  # trial order
+        assert restored[1] == trial_record(1)
+        assert store.trial_records("other") == []
+
+    def test_non_trial_records_filtered(self, tmp_path):
+        store = ResultStore(tmp_path / "r.sqlite")
+        store.record_trials("run1", [
+            {"kind": "meta", "note": "ignored"},
+            trial_record(0),
+        ])
+        assert len(store.trial_records("run1")) == 1
+        store.record_trials("run1", [{"kind": "meta"}])  # all filtered
+
+    def test_rewrite_is_idempotent(self, tmp_path):
+        store = ResultStore(tmp_path / "r.sqlite")
+        store.record_trials("run1", [trial_record(0)])
+        store.record_trials(
+            "run1", [trial_record(0, max_volume=999), trial_record(1)]
+        )
+        restored = store.trial_records("run1")
+        assert len(restored) == 2
+        assert restored[0]["max_volume"] == 10  # first writer won
+
+
+class TestStoreFile:
+    def test_summary_counts_rows(self, tmp_path):
+        store = ResultStore(tmp_path / "r.sqlite")
+        assert store.summary() == {
+            "sweeps": 0, "sweep_points": 0, "trial_runs": 0, "trials": 0,
+        }
+        store.record_sweep_meta("abc", "walk", {}, 1)
+        store.record_trials("run1", [trial_record(0), trial_record(1)])
+        assert store.summary() == {
+            "sweeps": 1, "sweep_points": 0, "trial_runs": 0, "trials": 2,
+        }
+
+    def test_reopening_preserves_rows(self, tmp_path):
+        path = tmp_path / "r.sqlite"
+        ResultStore(path).record_trials("run1", [trial_record(0)])
+        assert ResultStore(path).trial_records("run1")[0]["trial"] == 0
+
+    def test_non_sqlite_file_raises(self, tmp_path):
+        path = tmp_path / "r.sqlite"
+        path.write_text("this is not a database")
+        with pytest.raises(ResultStoreError, match="not a usable"):
+            ResultStore(path)
+
+    def test_future_schema_version_refused(self, tmp_path):
+        path = tmp_path / "r.sqlite"
+        ResultStore(path)
+        with sqlite3.connect(path) as conn:
+            conn.execute(
+                "UPDATE store_meta SET value = '999' "
+                "WHERE key = 'schema_version'"
+            )
+        with pytest.raises(ResultStoreError, match="schema version"):
+            ResultStore(path)
+
+    def test_store_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_RESULT_STORE", raising=False)
+        assert store_from_env() is None
+        monkeypatch.setenv("REPRO_RESULT_STORE", str(tmp_path / "e.sqlite"))
+        store = store_from_env()
+        assert store is not None
+        assert store.path == tmp_path / "e.sqlite"
+
+
+_APPEND_SCRIPT = """
+import sys
+sys.path.insert(0, sys.argv[4])
+from repro.corpus import ResultStore
+
+path, run_key, start = sys.argv[1], sys.argv[2], int(sys.argv[3])
+store = ResultStore(path)
+store.record_trial_run(run_key, {"writer": "race"})
+for trial in range(start, start + 40):
+    store.record_trials(run_key, [{
+        "kind": "trial", "trial": trial, "seed": trial, "valid": True,
+        "max_volume": trial, "max_distance": 1, "max_queries": trial,
+        "random_bits": 0,
+    }])
+"""
+
+
+class TestConcurrentAppends:
+    def test_two_processes_lose_no_rows(self, tmp_path):
+        """Two writers interleaving single-row commits on one store.
+
+        Overlapping trial ranges exercise both contention (WAL + busy
+        timeout must retry, not fail) and idempotence (duplicate trials
+        converge on one row).
+        """
+        path = tmp_path / "r.sqlite"
+        procs = [
+            subprocess.Popen(
+                [
+                    sys.executable, "-c", _APPEND_SCRIPT,
+                    str(path), "shared-run", str(start), SRC,
+                ],
+                env={"PATH": "/usr/bin:/bin"},
+                stderr=subprocess.PIPE,
+            )
+            for start in (0, 20)  # trials 0..59, overlap on 20..39
+        ]
+        for proc in procs:
+            _, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err.decode()
+        store = ResultStore(path)
+        records = store.trial_records("shared-run")
+        assert [r["trial"] for r in records] == list(range(60))
+        assert store.summary()["trial_runs"] == 1

@@ -1,0 +1,188 @@
+"""Engines against the store: re-runs are served, not re-executed."""
+
+import random
+
+from repro.algorithms.leaf_coloring_algs import RWtoLeaf
+from repro.corpus import ResultStore
+from repro.exec.sweep import InstanceFamily, SweepCache, SweepSpec, run_sweep
+from repro.graphs.generators import leaf_coloring_instance
+from repro.montecarlo.engine import TrialPolicy, run_trials
+from repro.problems.leaf_coloring import LeafColoring
+from repro.registry import ALGORITHMS, FAMILIES, load_components
+
+
+def leaf_family(params=(3, 4, 5)):
+    return InstanceFamily(
+        "leaf-coloring",
+        lambda d: leaf_coloring_instance(d, rng=random.Random(d)),
+        params,
+    )
+
+
+def counting_spec(executed, label="walk"):
+    """A sweep spec whose measure records every live execution."""
+    def measure(instance, param):
+        executed.append(param)
+        return float(instance.graph.num_nodes)
+
+    return SweepSpec(label, "Θ(n)", leaf_family(), measure=measure)
+
+
+class TestStoreServedSweeps:
+    def test_rerun_executes_zero_points_bitwise_identical(self, tmp_path):
+        store = ResultStore(tmp_path / "r.sqlite")
+        executed = []
+        first = run_sweep(counting_spec(executed), store=store)
+        assert len(executed) == 3
+        assert not first.from_store
+
+        second = run_sweep(counting_spec(executed), store=store)
+        assert len(executed) == 3  # nothing re-executed
+        assert second.from_store and second.from_cache
+        assert second.ns == first.ns
+        assert second.costs == first.costs
+        assert [p.param for p in second.points] == [
+            p.param for p in first.points
+        ]
+        assert [p.detail for p in second.points] == [
+            p.detail for p in first.points
+        ]
+        assert [p.elapsed for p in second.points] == [
+            p.elapsed for p in first.points
+        ]
+
+    def test_partial_store_executes_only_missing_points(self, tmp_path):
+        store = ResultStore(tmp_path / "r.sqlite")
+        executed = []
+        spec = counting_spec(executed)
+        run_sweep(spec, store=store)
+        # Drop the middle point from the store; only it re-executes.
+        import sqlite3
+
+        with sqlite3.connect(store.path) as conn:
+            conn.execute("DELETE FROM sweep_points WHERE point_index = 1")
+        executed.clear()
+        result = run_sweep(counting_spec(executed), store=store)
+        assert executed == [4]
+        assert not result.from_store  # partially served is not "from store"
+        assert store.sweep_points(spec.cache_key())[1]["n"] == 31
+
+    def test_describe_mismatch_neither_serves_nor_records(self, tmp_path):
+        store = ResultStore(tmp_path / "r.sqlite")
+        executed = []
+        spec = counting_spec(executed)
+        key = spec.cache_key()
+        # Poison the store: same spec key, different describe payload.
+        store.record_sweep_meta(key, "walk", {"poisoned": True}, 3)
+        store.record_sweep_point(
+            key, 0, param_repr="3", n=1, cost=-1.0, detail=None, elapsed=0.0,
+        )
+        result = run_sweep(spec, store=store)
+        assert len(executed) == 3  # nothing served from the poisoned rows
+        assert not result.from_store
+        assert result.costs[0] != -1.0
+        # And nothing was recorded over the conflicting registration.
+        assert store.sweep_points(key)[0]["cost"] == -1.0
+        assert len(store.sweep_points(key)) == 1
+
+    def test_cache_hit_backfills_store(self, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        store = ResultStore(tmp_path / "r.sqlite")
+        executed = []
+        run_sweep(counting_spec(executed), cache=cache)  # store unaware
+        spec = counting_spec(executed)
+        result = run_sweep(spec, cache=cache, store=store)
+        assert result.from_cache
+        assert len(executed) == 3  # served by the cache, not re-run
+        assert len(store.sweep_points(spec.cache_key())) == 3
+
+    def test_store_survives_where_cache_is_cleared(self, tmp_path):
+        # The cache is per-directory scratch; the store is the durable
+        # campaign record. Losing the former must not lose results.
+        cache = SweepCache(tmp_path / "cache")
+        store = ResultStore(tmp_path / "r.sqlite")
+        executed = []
+        run_sweep(counting_spec(executed), cache=cache, store=store)
+        for path in (tmp_path / "cache").iterdir():
+            path.unlink()
+        result = run_sweep(
+            counting_spec(executed), cache=SweepCache(tmp_path / "cache"),
+            store=store,
+        )
+        assert len(executed) == 3
+        assert result.from_store
+
+    def test_registered_algorithm_sweep_round_trips(self, tmp_path):
+        # Same flow through a registry algorithm (bytecode-fingerprinted
+        # describe) rather than a local measure closure.
+        store = ResultStore(tmp_path / "r.sqlite")
+        spec = SweepSpec(
+            "walk", "Θ(log n)", leaf_family(), "volume", RWtoLeaf, seed=7
+        )
+        first = run_sweep(spec, store=store)
+        second = run_sweep(spec, store=store)
+        assert second.from_store
+        assert second.costs == first.costs
+
+
+class TestStoreServedTrials:
+    def _cell(self):
+        load_components()
+        algo = ALGORITHMS.get("leaf-coloring/rw-to-leaf")
+        family = FAMILIES.get("leaf-coloring")
+        instance = family.instance(family.quick[0])
+        return LeafColoring(), instance, algo
+
+    def test_rerun_replays_from_store(self, tmp_path):
+        store = ResultStore(tmp_path / "r.sqlite")
+        problem, instance, algo = self._cell()
+        policy = TrialPolicy.fixed(16)
+        first = run_trials(
+            problem, instance, algo.make(), policy, base_seed=7, store=store,
+        )
+        lines = []
+        second = run_trials(
+            problem, instance, algo.make(), policy, base_seed=7,
+            store=store, progress=lines.append,
+        )
+        assert second.trials == first.trials == 16
+        assert second.verdicts == first.verdicts
+        assert second.rate == first.rate
+        assert any("replayed 16" in line for line in lines)
+
+    def test_different_seed_is_a_different_run(self, tmp_path):
+        store = ResultStore(tmp_path / "r.sqlite")
+        problem, instance, algo = self._cell()
+        policy = TrialPolicy.fixed(8)
+        run_trials(
+            problem, instance, algo.make(), policy, base_seed=7, store=store,
+        )
+        run_trials(
+            problem, instance, algo.make(), policy, base_seed=8, store=store,
+        )
+        assert store.summary()["trial_runs"] == 2
+        assert store.summary()["trials"] == 16
+
+    def test_journal_and_store_replay_merge(self, tmp_path):
+        from repro.montecarlo.engine import trial_journal_key
+
+        store = ResultStore(tmp_path / "r.sqlite")
+        problem, instance, algo = self._cell()
+        policy = TrialPolicy.fixed(16)
+        full = run_trials(
+            problem, instance, algo.make(), policy, base_seed=7, store=store,
+        )
+        # Truncate the store to the first batch; a journal-less re-run
+        # must replay the prefix and re-execute only the rest.
+        run_key, _ = trial_journal_key(
+            problem, instance, algo.make(), policy, 7, None, None
+        )
+        import sqlite3
+
+        with sqlite3.connect(store.path) as conn:
+            conn.execute("DELETE FROM trials WHERE trial >= 8")
+        second = run_trials(
+            problem, instance, algo.make(), policy, base_seed=7, store=store,
+        )
+        assert second.verdicts == full.verdicts
+        assert len(store.trial_records(run_key)) == 16  # backfilled

@@ -336,3 +336,115 @@ class TestSweepCache:
         cache = cache_from_env()
         assert cache is not None
         assert cache.root == tmp_path
+
+
+class TestCacheDurability:
+    """PR 9 satellite: SweepCache.store follows the Journal discipline."""
+
+    def test_failed_rewrite_leaves_old_file_intact(self, tmp_path,
+                                                   monkeypatch):
+        import os as os_mod
+
+        cache = SweepCache(tmp_path)
+        spec = SweepSpec(
+            "walk", "Θ(log n)", leaf_family(), "volume", RWtoLeaf, seed=7
+        )
+        result = run_sweep(spec, cache=cache)
+        good = cache._path(spec).read_text()
+
+        def exploding_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os_mod, "replace", exploding_replace)
+        with pytest.raises(OSError, match="disk full"):
+            cache.store(result)
+        monkeypatch.undo()
+        # The committed file is untouched and no temp file survived.
+        assert cache._path(spec).read_text() == good
+        assert [p.name for p in tmp_path.iterdir()] == [
+            cache._path(spec).name
+        ]
+        assert run_sweep(spec, cache=cache).from_cache
+
+    def test_store_write_is_not_torn_by_interrupt(self, tmp_path,
+                                                  monkeypatch):
+        # Die between temp-file write and rename: the cache entry simply
+        # does not exist yet, rather than existing half-written.
+        cache = SweepCache(tmp_path)
+        spec = SweepSpec(
+            "walk", "Θ(log n)", leaf_family(), "volume", RWtoLeaf, seed=7
+        )
+        result = run_sweep(spec)
+        import os as os_mod
+
+        monkeypatch.setattr(
+            os_mod, "replace",
+            lambda src, dst: (_ for _ in ()).throw(KeyboardInterrupt()),
+        )
+        with pytest.raises(KeyboardInterrupt):
+            cache.store(result)
+        monkeypatch.undo()
+        assert not cache._path(spec).exists()
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestJsonifyKeys:
+    """PR 9 satellite: non-string detail keys normalize consistently."""
+
+    def test_int_keyed_detail_round_trips_through_cache(self, tmp_path):
+        # A detail dict keyed by ints (e.g. per-node histograms) must
+        # come back from the cache identical to the freshly-measured
+        # result instead of mismatching forever on the str-keyed copy.
+        from repro.exec.sweep import SweepPoint, SweepResult, _jsonify
+
+        detail = {3: "a", 10: "b", True: "t"}
+        assert _jsonify(detail) == {"3": "a", "10": "b", "true": "t"}
+        # json round trip equals direct normalization: both sides of
+        # the cache's describe comparison see the same document.
+        import json as json_mod
+
+        assert json_mod.loads(json_mod.dumps(detail)) == _jsonify(detail)
+
+        cache = SweepCache(tmp_path)
+        spec = SweepSpec(
+            "int-keys", "Θ(n)", leaf_family((3,)),
+            measure=lambda inst, d: float(inst.graph.num_nodes),
+        )
+        result = SweepResult(spec=spec)
+        result.points.append(SweepPoint(
+            param=3, n=15, cost=15.0, elapsed=0.0, detail=_jsonify(detail),
+        ))
+        cache.store(result)
+        restored = cache.load(spec)
+        assert restored is not None
+        assert restored.points[0].detail == _jsonify(detail)
+
+    def test_key_collision_raises_instead_of_silent_overwrite(self):
+        from repro.exec.sweep import _jsonify
+
+        with pytest.raises(ValueError, match="collide"):
+            _jsonify({1: "int", "1": "str"})
+        with pytest.raises(ValueError, match="collide"):
+            _jsonify({True: "bool", "true": "str"})
+
+    def test_uncoercible_key_raises(self):
+        from repro.exec.sweep import _jsonify
+
+        with pytest.raises(TypeError):
+            _jsonify({(1, 2): "tuple-key"})
+
+    def test_describe_with_int_keys_hits_cache(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        family = leaf_family()
+
+        def measure(instance, param):
+            return float(instance.graph.num_nodes)
+
+        def spec_with_candidates():
+            return SweepSpec(
+                "c", "Θ(n)", family, measure=measure,
+                candidates=["n", "log n"],
+            )
+
+        run_sweep(spec_with_candidates(), cache=cache)
+        assert run_sweep(spec_with_candidates(), cache=cache).from_cache
