@@ -84,7 +84,7 @@ from repro.registry import (
     register_problem,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "ADVERSARIES",

@@ -257,39 +257,52 @@ def cmd_list(args: argparse.Namespace) -> int:
 # repro run
 # ----------------------------------------------------------------------
 def cmd_run(args: argparse.Namespace) -> int:
+    from contextlib import ExitStack
+
+    from repro.exec.backends import get_backend
     from repro.model.runner import solve_and_check
 
     load_components()
-    try:
-        problem, algorithm, family = resolve_cell(
-            args.algorithm, args.family, args.problem
+    # One ExitStack owns any backend this handler constructs, so every
+    # early-exit error path below still releases pool resources (a
+    # leaked ProcessPoolExecutor races interpreter teardown).
+    with ExitStack() as stack:
+        try:
+            problem, algorithm, family = resolve_cell(
+                args.algorithm, args.family, args.problem
+            )
+            backend = get_backend(args.backend)
+        except (RegistryError, ValueError) as exc:
+            return _fail(str(exc))
+        stack.callback(backend.close)
+        param = (
+            parse_param(args.param)
+            if args.param is not None
+            else family.quick[-1]
         )
-    except RegistryError as exc:
-        return _fail(str(exc))
-    param = (
-        parse_param(args.param) if args.param is not None else family.quick[-1]
-    )
-    seed = algorithm.seed if args.seed is None else args.seed
-    try:
-        if args.implicit:
-            instance = implicit_instance(family, param)
-        else:
-            instance = family.instance(param)
-    except RegistryError as exc:
-        return _fail(str(exc))
-    except Exception as exc:  # bad --param values surface here
-        return _fail(f"family {family.name!r} rejected param {param!r}: {exc}")
-    started = time.perf_counter()
-    report = solve_and_check(
-        problem.make(),
-        instance,
-        algorithm.make(),
-        seed=seed,
-        max_volume=args.max_volume,
-        max_queries=args.max_queries,
-        backend=args.backend,
-    )
-    elapsed = time.perf_counter() - started
+        seed = algorithm.seed if args.seed is None else args.seed
+        try:
+            if args.implicit:
+                instance = implicit_instance(family, param)
+            else:
+                instance = family.instance(param)
+        except RegistryError as exc:
+            return _fail(str(exc))
+        except Exception as exc:  # bad --param values surface here
+            return _fail(
+                f"family {family.name!r} rejected param {param!r}: {exc}"
+            )
+        started = time.perf_counter()
+        report = solve_and_check(
+            problem.make(),
+            instance,
+            algorithm.make(),
+            seed=seed,
+            max_volume=args.max_volume,
+            max_queries=args.max_queries,
+            backend=backend,
+        )
+        elapsed = time.perf_counter() - started
     payload = {
         "algorithm": algorithm.name,
         "problem": problem.name,
@@ -403,14 +416,16 @@ def _sweep_results_payload(results) -> List[Dict[str, object]]:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    from contextlib import ExitStack
+
     from repro.corpus import ResultStore, ResultStoreError
+    from repro.exec.backends import get_backend
     from repro.exec.sweep import cache_from_env, run_sweeps
     from repro.faults.journal import JournalError
     from repro.suites import run_suite
 
     load_components()
     cache = cache_from_env()
-    store = ResultStore(args.store) if args.store else None
     progress = print if args.progress else None
     printer = None if args.json else print
     if args.seed is not None and not (args.family and args.algorithm):
@@ -425,55 +440,72 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             "execution); point it at one of those"
         )
     results = []
-    try:
-        if args.suites:
-            for name in args.suites:
-                results.extend(run_suite(
-                    name,
-                    backend=args.backend,
-                    cache=cache,
-                    progress=progress,
-                    printer=printer,
-                    store=store,
-                ))
-        elif args.spec_file:
-            with open(args.spec_file) as handle:
-                entries = json.load(handle)
-            if not isinstance(entries, list):
-                raise ValueError("spec file must hold a JSON list of specs")
-            specs = [_spec_from_dict(e) for e in entries]
-            results = run_sweeps(
-                specs, args.backend, cache=cache, progress=progress,
-                journal=args.journal, store=store,
-            )
-            if printer is not None:
-                for result in results:
-                    printer(result.format_row())
-        elif args.family and args.algorithm:
-            spec = _spec_from_dict({
-                "family": args.family,
-                "algorithm": args.algorithm,
-                "metric": args.metric,
-                "grid": args.grid,
-                "implicit": args.implicit,
-                **({} if args.seed is None else {"seed": args.seed}),
-            })
-            results = run_sweeps(
-                [spec], args.backend, cache=cache, progress=progress,
-                journal=args.journal, store=store,
-            )
-            if printer is not None:
-                for result in results:
-                    printer(result.format_row())
-        else:
-            return _fail(
-                "nothing to sweep: give suite names, --spec-file, or "
-                "--family with --algorithm (see `repro list` for names)"
-            )
-    except (
-        RegistryError, ValueError, OSError, JournalError, ResultStoreError,
-    ) as exc:
-        return _fail(str(exc))
+    # One ExitStack owns the backend across every early-exit error path
+    # below (a string spec like process:2 constructs a pool here; before
+    # the stack, a _fail return between construction and the sweep body
+    # leaked it).
+    with ExitStack() as stack:
+        try:
+            backend = get_backend(args.backend)
+        except ValueError as exc:
+            return _fail(str(exc))
+        stack.callback(backend.close)
+        try:
+            store = ResultStore(args.store) if args.store else None
+        except ResultStoreError as exc:
+            return _fail(str(exc))
+        try:
+            if args.suites:
+                for name in args.suites:
+                    results.extend(run_suite(
+                        name,
+                        backend=backend,
+                        cache=cache,
+                        progress=progress,
+                        printer=printer,
+                        store=store,
+                    ))
+            elif args.spec_file:
+                with open(args.spec_file) as handle:
+                    entries = json.load(handle)
+                if not isinstance(entries, list):
+                    raise ValueError(
+                        "spec file must hold a JSON list of specs"
+                    )
+                specs = [_spec_from_dict(e) for e in entries]
+                results = run_sweeps(
+                    specs, backend, cache=cache, progress=progress,
+                    journal=args.journal, store=store,
+                )
+                if printer is not None:
+                    for result in results:
+                        printer(result.format_row())
+            elif args.family and args.algorithm:
+                spec = _spec_from_dict({
+                    "family": args.family,
+                    "algorithm": args.algorithm,
+                    "metric": args.metric,
+                    "grid": args.grid,
+                    "implicit": args.implicit,
+                    **({} if args.seed is None else {"seed": args.seed}),
+                })
+                results = run_sweeps(
+                    [spec], backend, cache=cache, progress=progress,
+                    journal=args.journal, store=store,
+                )
+                if printer is not None:
+                    for result in results:
+                        printer(result.format_row())
+            else:
+                return _fail(
+                    "nothing to sweep: give suite names, --spec-file, or "
+                    "--family with --algorithm (see `repro list` for names)"
+                )
+        except (
+            RegistryError, ValueError, OSError, JournalError,
+            ResultStoreError,
+        ) as exc:
+            return _fail(str(exc))
     if args.json:
         print(json.dumps(_sweep_results_payload(results), indent=2))
     return 0
@@ -488,6 +520,7 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.cli.chaos import add_chaos_arguments
     from repro.cli.corpus import add_corpus_arguments
     from repro.cli.mc import add_mc_arguments
+    from repro.cli.serve import add_serve_arguments
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -585,6 +618,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_chaos_arguments(sub)
     add_bench_arguments(sub)
     add_corpus_arguments(sub)
+    add_serve_arguments(sub)
     return parser
 
 

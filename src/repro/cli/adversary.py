@@ -37,18 +37,27 @@ def _record_rows(record) -> List[List[str]]:
 
 
 def cmd_adversary_run(args: argparse.Namespace) -> int:
+    from contextlib import ExitStack
+
     from repro.cli import _fail
+    from repro.exec.backends import get_backend
 
     load_components()
-    try:
-        entry = ADVERSARIES.get(args.name)
-        adversary = entry.make(args.algorithm)
-        run = adversary.timed_run(
-            entry.quick[-1] if args.budget is None else args.budget
-        )
-    except (RegistryError, ValueError) as exc:
-        return _fail(str(exc))
-    verified = adversary.verify(run, backend=args.backend)
+    # The ExitStack owns the conformance re-run's backend, so a string
+    # spec like process:2 is closed on every exit path (including the
+    # _fail returns above a bare `backend.close()` would miss).
+    with ExitStack() as stack:
+        try:
+            entry = ADVERSARIES.get(args.name)
+            adversary = entry.make(args.algorithm)
+            backend = get_backend(args.backend)
+            stack.callback(backend.close)
+            run = adversary.timed_run(
+                entry.quick[-1] if args.budget is None else args.budget
+            )
+        except (RegistryError, ValueError) as exc:
+            return _fail(str(exc))
+        verified = adversary.verify(run, backend=backend)
     if args.transcript:
         with open(args.transcript, "w") as handle:
             handle.write(run.transcript.to_json())

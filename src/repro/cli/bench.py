@@ -86,6 +86,16 @@ instances load from the content-addressed corpus where present, and
 the artifact records the hit/miss split (``root`` is null when no
 corpus was given).
 
+Schema v6 (PR 10) added the ``serving`` section: a store-backed
+``repro serve`` instance is spun up in-process on an ephemeral port and
+measured by the deterministic load harness (:mod:`repro.serve.load`) —
+cold and repeat phases with p50/p95/p99 latency and requests/sec, the
+batch-size histogram, deliberate 504-deadline and 429-burst probes,
+and the cache gates (every repeat response a bitwise-identical store
+hit, zero new executions).  ``serving`` is null under ``--no-serve``;
+the v5 → v6 upgrade adds the null section.  The formal schema moves to
+``bench-v6.schema.json``.
+
 CI's ``bench-smoke`` job runs ``repro bench --quick`` on the serial and
 ``process:2`` backends, uploads the artifact, and fails on any invalid
 cell (non-zero exit); the ``adversary-smoke``, ``mc-smoke``, and
@@ -113,8 +123,8 @@ from repro.registry import (
 )
 
 SCHEMA_NAME = "repro-bench"
-SCHEMA_VERSION = 5
-SCHEMA_DOCUMENT = Path(__file__).parent / "schemas" / "bench-v5.schema.json"
+SCHEMA_VERSION = 6
+SCHEMA_DOCUMENT = Path(__file__).parent / "schemas" / "bench-v6.schema.json"
 
 # The Monte-Carlo section's policies: the adaptive run is the shared
 # QUICK_POLICY preset (the same one `repro mc --quick` uses, by
@@ -612,6 +622,13 @@ def upgrade_artifact(payload: Dict[str, object]) -> Dict[str, object]:
             "max_n": 0,
         }
         payload["schema_version"] = 5
+    if version < 6:
+        # No service was measured when the artifact was written; the
+        # null section is the faithful translation (PR 10).
+        payload["serving"] = None
+        summary = payload.setdefault("summary", {})
+        summary["serving"] = None
+        payload["schema_version"] = 6
     return payload
 
 
@@ -622,6 +639,8 @@ def load_artifact(path) -> Dict[str, object]:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    from contextlib import ExitStack
+
     from repro.cli import _fail, format_table
     from repro.exec.backends import get_backend
 
@@ -634,16 +653,21 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if args.list_cells:
         print(json.dumps([list(c.key) for c in cells], indent=2))
         return 0
-    backend = get_backend(args.backend)
     corpus = None
     corpus_counters = {"hits": 0, "misses": 0}
-    if args.corpus:
-        from repro.corpus import InstanceCorpus
-
-        corpus = InstanceCorpus(args.corpus)
     progress = print if args.progress else None
     started = time.perf_counter()
-    try:
+    # The ExitStack owns the backend for the matrix phase, so every
+    # exit path (including a bad --corpus surfacing below) releases
+    # pool resources promptly (a leaked ProcessPoolExecutor races
+    # interpreter teardown and spews atexit tracebacks).
+    with ExitStack() as stack:
+        backend = get_backend(args.backend)
+        stack.callback(backend.close)
+        if args.corpus:
+            from repro.corpus import InstanceCorpus
+
+            corpus = InstanceCorpus(args.corpus)
         records = [
             run_cell(
                 cell, grid, backend, seed=args.seed, progress=progress,
@@ -658,21 +682,23 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 cells, grid, backend, seed=args.seed, progress=progress
             )
         )
-    finally:
-        # Release pool resources promptly (a leaked ProcessPoolExecutor
-        # races interpreter teardown and spews atexit tracebacks).
-        backend.close()
     lower_bounds = run_lower_bounds(grid, only=args.only, progress=progress)
     implicit_scaling = (
         []
         if args.no_implicit
         else run_implicit_scaling(only=args.only, progress=progress)
     )
+    serving = None
+    if not args.no_serve:
+        from repro.cli.serve import serving_record
+
+        serving = serving_record(progress=progress)
     elapsed = time.perf_counter() - started
     failed = [r for r in records if not r["ok"]]
     lb_failed = [r for r in lower_bounds if not r["ok"]]
     mc_failed = [r for r in monte_carlo if not r["ok"]]
     imp_failed = [r for r in implicit_scaling if not r["ok"]]
+    serve_failed = serving is not None and not serving["ok"]
     executions = sum(r["executions"] for r in records)
     wall_time = sum(r["wall_time"] for r in records)
     artifact = {
@@ -688,6 +714,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "lower_bounds": lower_bounds,
         "monte_carlo": monte_carlo,
         "implicit_scaling": implicit_scaling,
+        "serving": serving,
         "summary": {
             "cells": len(records),
             "points": sum(len(r["points"]) for r in records),
@@ -720,6 +747,16 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 "root": str(corpus.root) if corpus is not None else None,
                 "hits": corpus_counters["hits"],
                 "misses": corpus_counters["misses"],
+            },
+            "serving": None if serving is None else {
+                "requests": sum(
+                    p["requests"] for p in serving["phases"]
+                ),
+                "warm_rps": serving["phases"][-1]["rps"],
+                "p50_ms": serving["phases"][-1]["latency_ms"]["p50"],
+                "p99_ms": serving["phases"][-1]["latency_ms"]["p99"],
+                "store_hit_rate": serving["phases"][-1]["store_hit_rate"],
+                "ok": serving["ok"],
             },
         },
     }
@@ -788,6 +825,18 @@ def cmd_bench(args: argparse.Namespace) -> int:
             f"corpus {corpus.root}: {corpus_counters['hits']} instance "
             f"loads served, {corpus_counters['misses']} generated fresh"
         )
+    serve_summary = artifact["summary"]["serving"]
+    if serve_summary is not None:
+        p50 = serve_summary["p50_ms"]
+        p99 = serve_summary["p99_ms"]
+        print(
+            f"serving: {serve_summary['warm_rps']:.1f} req/s warm, "
+            f"p50 {'-' if p50 is None else f'{p50:.1f}'}ms "
+            f"p99 {'-' if p99 is None else f'{p99:.1f}'}ms, "
+            f"store hit rate {serve_summary['store_hit_rate']:.2f} "
+            f"({'ok' if serve_summary['ok'] else 'FAIL'})"
+        )
+        print()
     mc_summary = artifact["summary"]["monte_carlo"]
     print(
         f"{len(records)} cells, {artifact['summary']['points']} points, "
@@ -826,7 +875,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
             f"(differential ok={record['differential']['ok']}, "
             f"probe ok={record['probe']['ok']})"
         )
-    return 1 if failed or lb_failed or mc_failed or imp_failed else 0
+    if serve_failed:
+        for failure in serving["failures"]:
+            print(f"SERVING FAILED: {failure}")
+    return (
+        1
+        if failed or lb_failed or mc_failed or imp_failed or serve_failed
+        else 0
+    )
 
 
 def add_bench_arguments(sub) -> None:
@@ -864,6 +920,11 @@ def add_bench_arguments(sub) -> None:
         "--no-implicit", action="store_true",
         help="skip the implicit_scaling section (the artifact keeps "
         "an empty list)",
+    )
+    p_bench.add_argument(
+        "--no-serve", action="store_true",
+        help="skip the serving section (the artifact keeps a null "
+        "section instead of measuring a live server)",
     )
     p_bench.add_argument(
         "--corpus", metavar="DIR", default=None,

@@ -43,57 +43,65 @@ def _policy(args: argparse.Namespace):
 
 
 def cmd_mc(args: argparse.Namespace) -> int:
+    from contextlib import ExitStack
+
     from repro.cli import _fail, implicit_instance, parse_param, resolve_cell
     from repro.exec.backends import get_backend
     from repro.montecarlo.engine import run_trials
 
     load_components()
-    try:
-        problem, algorithm, family = resolve_cell(
-            args.algorithm, args.family
+    # One ExitStack owns the backend for the whole handler: every early
+    # _fail return below (bad family/param, journal errors, ...) still
+    # releases pool resources promptly (a leaked ProcessPoolExecutor
+    # races interpreter teardown and spews atexit tracebacks).
+    with ExitStack() as stack:
+        try:
+            problem, algorithm, family = resolve_cell(
+                args.algorithm, args.family
+            )
+            policy = _policy(args)
+            backend = get_backend(args.backend)
+        except (RegistryError, ValueError) as exc:
+            return _fail(str(exc))
+        stack.callback(backend.close)
+        param = (
+            parse_param(args.param)
+            if args.param is not None
+            else family.quick[-1]
         )
-        policy = _policy(args)
-        backend = get_backend(args.backend)
-    except (RegistryError, ValueError) as exc:
-        return _fail(str(exc))
-    param = (
-        parse_param(args.param) if args.param is not None else family.quick[-1]
-    )
-    base_seed = algorithm.seed if args.seed is None else args.seed
-    try:
-        if args.implicit:
-            instance = implicit_instance(family, param)
-        else:
-            instance = family.instance(param)
-    except RegistryError as exc:
-        return _fail(str(exc))
-    except Exception as exc:  # bad --param values surface here
-        return _fail(f"family {family.name!r} rejected param {param!r}: {exc}")
-    def progress(line: str) -> None:
-        # stderr on purpose: --progress must not corrupt --json output.
-        print(line, file=sys.stderr)
+        base_seed = algorithm.seed if args.seed is None else args.seed
+        try:
+            if args.implicit:
+                instance = implicit_instance(family, param)
+            else:
+                instance = family.instance(param)
+        except RegistryError as exc:
+            return _fail(str(exc))
+        except Exception as exc:  # bad --param values surface here
+            return _fail(
+                f"family {family.name!r} rejected param {param!r}: {exc}"
+            )
+        def progress(line: str) -> None:
+            # stderr on purpose: --progress must not corrupt --json output.
+            print(line, file=sys.stderr)
 
-    from repro.corpus import ResultStore, ResultStoreError
-    from repro.faults.journal import JournalError
+        from repro.corpus import ResultStore, ResultStoreError
+        from repro.faults.journal import JournalError
 
-    try:
-        result = run_trials(
-            problem.make(),
-            instance,
-            algorithm.make(),
-            policy,
-            base_seed=base_seed,
-            backend=backend,
-            journal=args.journal,
-            store=ResultStore(args.store) if args.store else None,
-            progress=progress if args.progress else None,
-        )
-    except (JournalError, ResultStoreError) as exc:
-        return _fail(str(exc))
-    finally:
-        # Release pool resources promptly (a leaked ProcessPoolExecutor
-        # races interpreter teardown and spews atexit tracebacks).
-        backend.close()
+        try:
+            result = run_trials(
+                problem.make(),
+                instance,
+                algorithm.make(),
+                policy,
+                base_seed=base_seed,
+                backend=backend,
+                journal=args.journal,
+                store=ResultStore(args.store) if args.store else None,
+                progress=progress if args.progress else None,
+            )
+        except (JournalError, ResultStoreError) as exc:
+            return _fail(str(exc))
     low, high = result.interval()
     payload = {
         "algorithm": algorithm.name,

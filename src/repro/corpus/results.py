@@ -82,6 +82,13 @@ CREATE TABLE IF NOT EXISTS trials (
     created_at   TEXT NOT NULL,
     PRIMARY KEY (run_key, trial)
 );
+CREATE TABLE IF NOT EXISTS service_responses (
+    request_key TEXT PRIMARY KEY,
+    endpoint    TEXT NOT NULL,
+    body        BLOB NOT NULL,
+    git_sha     TEXT NOT NULL,
+    created_at  TEXT NOT NULL
+);
 """
 
 
@@ -336,6 +343,36 @@ class ResultStore:
         ]
 
     # ------------------------------------------------------------------
+    # service responses
+    # ------------------------------------------------------------------
+    def record_response(
+        self, request_key: str, body: bytes, *, endpoint: str = ""
+    ) -> None:
+        """Persist one canonical service response (idempotent).
+
+        ``body`` is the exact byte string the service sent for the
+        request descriptor hashed into ``request_key``; responses are
+        pure functions of their descriptor (DESIGN.md §13.4), so first
+        writer wins and later writers are ignorable duplicates.
+        """
+        with self._connect() as conn, conn:
+            conn.execute(
+                "INSERT OR IGNORE INTO service_responses "
+                "(request_key, endpoint, body, git_sha, created_at) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (request_key, endpoint, bytes(body), _git_sha(), _now()),
+            )
+
+    def get_response(self, request_key: str) -> Optional[bytes]:
+        """The stored response bytes for a request key, if recorded."""
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT body FROM service_responses WHERE request_key = ?",
+                (request_key,),
+            ).fetchone()
+        return None if row is None else bytes(row[0])
+
+    # ------------------------------------------------------------------
     # inventory
     # ------------------------------------------------------------------
     def summary(self) -> Dict[str, int]:
@@ -350,6 +387,7 @@ class ResultStore:
                     "sweep_points",
                     "trial_runs",
                     "trials",
+                    "service_responses",
                 )
             }
         return counts

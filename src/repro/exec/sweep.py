@@ -652,6 +652,13 @@ def run_sweeps(
     every executed point across runs and serves stored points back;
     see :func:`run_sweep`.
     """
+    # A backend constructed *here* (from a spec string) is owned here:
+    # a process pool nobody else can reach must not outlive the batch.
+    # Caller-provided backend objects (and the shared default) are the
+    # caller's to close.
+    owned_backend = backend is not None and not isinstance(
+        backend, ExecutionBackend
+    )
     backend = get_backend(backend)
     specs = list(specs)
     jour: Optional[Journal] = None
@@ -673,6 +680,8 @@ def run_sweeps(
     finally:
         if owned_journal and jour is not None:
             jour.close()
+        if owned_backend:
+            backend.close()
     if progress is not None:
         cached = sum(1 for r in results if r.from_cache)
         line = (

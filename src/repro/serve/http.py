@@ -1,0 +1,238 @@
+"""A minimal HTTP/1.1 layer over asyncio streams (stdlib only).
+
+The repo's runtime is stdlib-only by design (DESIGN.md §0), and the
+stdlib has no *async* HTTP server, so ``repro serve`` hand-rolls the
+protocol subset it needs: request-line + headers + ``Content-Length``
+bodies in, fixed-length responses out, with HTTP/1.1 keep-alive so a
+load generator can pipeline thousands of requests over a handful of
+connections.  Chunked transfer, trailers, and upgrades are deliberately
+out of scope — every request and response this service exchanges is a
+small JSON document of known length.
+
+Responses are rendered canonically (``sort_keys`` + compact separators,
+one trailing newline), which is what makes "bitwise-identical" a
+meaningful contract for store-served repeats: the cached artifact is the
+exact byte string the first execution produced (DESIGN.md §13.4).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+#: Upper bound on accepted request bodies; every legitimate request to
+#: this service is a small JSON document, so anything bigger is noise.
+MAX_BODY_BYTES = 1 << 20
+
+#: Upper bound on one header line (also bounds the request line).
+MAX_LINE_BYTES = 16 << 10
+
+#: Maximum number of header lines in one request.
+MAX_HEADERS = 100
+
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpProtocolError(ValueError):
+    """The peer sent bytes this server cannot parse as HTTP/1.1.
+
+    ``status`` is the response code the connection handler should send
+    before closing (400 for malformed requests, 413 for oversized ones).
+    """
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request.
+
+    Header names are lower-cased at parse time (HTTP headers are
+    case-insensitive); ``path`` excludes any query string, which rides
+    in ``query`` raw (this service's endpoints take JSON bodies, not
+    query parameters, but a probe like ``GET /healthz?x=1`` must not
+    404 on the ``?``).
+    """
+
+    method: str
+    path: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    query: str = ""
+
+    def json(self):
+        """The request body as JSON (``{}`` for an empty body)."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body)
+        except json.JSONDecodeError as exc:
+            raise HttpProtocolError(f"request body is not JSON: {exc}")
+
+    @property
+    def keep_alive(self) -> bool:
+        """HTTP/1.1 default keep-alive unless the peer opts out."""
+        return self.headers.get("connection", "").lower() != "close"
+
+
+@dataclass
+class Response:
+    """One HTTP response, rendered by :meth:`encode`."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    def encode(self, keep_alive: bool = True) -> bytes:
+        reason = REASONS.get(self.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {self.status} {reason}",
+            f"Content-Type: {self.content_type}",
+            f"Content-Length: {len(self.body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in self.headers.items():
+            lines.append(f"{name}: {value}")
+        head = "\r\n".join(lines).encode("ascii") + b"\r\n\r\n"
+        return head + self.body
+
+
+def canonical_json(payload) -> bytes:
+    """The canonical response rendering: stable bytes for stable data.
+
+    ``sort_keys`` + compact separators + one trailing newline — the same
+    canonicalization the corpus format uses (DESIGN.md §12.1), so two
+    renderings of equal payloads are equal as byte strings and a
+    store-served repeat can be compared bitwise against the original.
+    """
+    return (
+        json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode()
+
+
+def json_response(
+    payload,
+    status: int = 200,
+    headers: Optional[Dict[str, str]] = None,
+) -> Response:
+    return Response(
+        status=status,
+        body=canonical_json(payload),
+        headers=dict(headers or {}),
+    )
+
+
+def error_response(
+    message: str, status: int, headers: Optional[Dict[str, str]] = None
+) -> Response:
+    """The uniform error body: ``{"error": ..., "status": ...}``."""
+    return json_response(
+        {"error": message, "status": status}, status=status, headers=headers
+    )
+
+
+async def _read_line(reader) -> bytes:
+    """One CRLF- (or bare-LF-) terminated line, size-bounded."""
+    try:
+        line = await reader.readuntil(b"\n")
+    except Exception as exc:  # IncompleteReadError, LimitOverrunError
+        raise HttpProtocolError(f"truncated request: {exc}") from exc
+    if len(line) > MAX_LINE_BYTES:
+        raise HttpProtocolError("header line too long", status=400)
+    return line.rstrip(b"\r\n")
+
+
+async def read_request(reader) -> Optional[Request]:
+    """Parse one request off the stream; ``None`` on clean EOF.
+
+    A clean EOF *before any bytes* of a request is how keep-alive
+    connections end; EOF mid-request raises.
+    """
+    try:
+        first = await reader.readuntil(b"\n")
+    except Exception:
+        # EOF (or reset) between requests: the peer is done.
+        return None
+    if not first.strip():
+        # Tolerate a stray blank line between pipelined requests.
+        try:
+            first = await reader.readuntil(b"\n")
+        except Exception:
+            return None
+    parts = first.rstrip(b"\r\n").decode("latin-1").split()
+    if len(parts) != 3:
+        raise HttpProtocolError(f"malformed request line: {first!r}")
+    method, target, version = parts
+    if not version.startswith("HTTP/1."):
+        raise HttpProtocolError(f"unsupported protocol {version!r}")
+    path, _, query = target.partition("?")
+    headers: Dict[str, str] = {}
+    for _ in range(MAX_HEADERS):
+        line = await _read_line(reader)
+        if not line:
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpProtocolError(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise HttpProtocolError("too many headers")
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise HttpProtocolError(
+                f"bad Content-Length {length_text!r}"
+            ) from None
+        if length < 0:
+            raise HttpProtocolError(f"bad Content-Length {length}")
+        if length > MAX_BODY_BYTES:
+            raise HttpProtocolError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit",
+                status=413,
+            )
+        try:
+            body = await reader.readexactly(length)
+        except Exception as exc:
+            raise HttpProtocolError(f"truncated body: {exc}") from exc
+    elif headers.get("transfer-encoding"):
+        raise HttpProtocolError(
+            "chunked transfer encoding is not supported"
+        )
+    return Request(
+        method=method.upper(),
+        path=path,
+        headers=headers,
+        body=body,
+        query=query,
+    )
+
+
+__all__ = [
+    "HttpProtocolError",
+    "MAX_BODY_BYTES",
+    "Request",
+    "Response",
+    "canonical_json",
+    "error_response",
+    "json_response",
+    "read_request",
+]

@@ -1,14 +1,17 @@
-"""Golden-artifact schema v5: JSON-schema validation + reader shims.
+"""Golden-artifact schema v6: JSON-schema validation + reader shims.
 
 The committed ``BENCH_repro.json`` at the repo root is the golden
 artifact: it must validate against the formal JSON-schema document that
-ships with the CLI (``repro/cli/schemas/bench-v5.schema.json``), it
+ships with the CLI (``repro/cli/schemas/bench-v6.schema.json``), it
 must document the PR-5 acceptance criterion (adaptive early stopping
 reaching the same verdicts as the fixed-count runs on every registry
-cell while executing strictly fewer total trials), and — new in v5 —
-the PR-7 criterion: every implicit-capable family checked against its
-materialized factory and probed past n = 10^7 through the
-bounded-memory implicit oracle.
+cell while executing strictly fewer total trials), the PR-7 criterion
+(every implicit-capable family checked against its materialized factory
+and probed past n = 10^7 through the bounded-memory implicit oracle),
+and — new in v6 — the PR-10 criterion: a measured ``serving`` section
+from a live ``repro serve`` instance where the warm (repeat) phase is
+answered entirely from the result store with bitwise-identical bodies
+and zero new executions.
 """
 
 import json
@@ -57,7 +60,7 @@ class TestSchemaDocument:
 class TestGoldenArtifact:
     def test_golden_artifact_validates(self, schema, golden):
         jsonschema.validate(golden, schema)
-        assert golden["schema_version"] == 5
+        assert golden["schema_version"] == 6
         assert golden["mode"] == "quick"
 
     def test_monte_carlo_section_covers_every_cell(self, golden):
@@ -122,12 +125,49 @@ class TestGoldenArtifact:
         )
         assert summary["max_n"] >= 10_000_000
 
+    def test_serving_section_is_populated_and_gated(self, golden):
+        """PR-10 acceptance: measured serving numbers, warm phase served
+        from the store with bitwise-identical bodies and no new work."""
+        serving = golden["serving"]
+        assert serving is not None
+        assert serving["ok"] is True
+        assert serving["failures"] == []
+        assert [p["name"] for p in serving["phases"]] == ["cold", "repeat"]
+        cold, repeat = serving["phases"]
+        assert cold["statuses"] == {"200": cold["requests"]}
+        assert repeat["statuses"] == {"200": repeat["requests"]}
+        # Every warm request came back from the sqlite store, bitwise
+        # identical to the cold response, with zero new executions.
+        assert repeat["store_hits"] == repeat["requests"]
+        assert repeat["store_hit_rate"] == 1.0
+        assert serving["repeat_identical"] is True
+        assert serving["repeat_mismatches"] == 0
+        assert serving["repeat_executions"] == 0
+        probes = serving["probes"]
+        assert probes["deadline"]["other"] == 0
+        assert probes["burst"]["other"] == 0
+        assert serving["batch_histogram"]
+
+    def test_serving_summary_matches_section(self, golden):
+        serving = golden["serving"]
+        summary = golden["summary"]["serving"]
+        assert summary["requests"] == sum(
+            p["requests"] for p in serving["phases"]
+        )
+        warm = serving["phases"][-1]
+        assert summary["warm_rps"] == warm["rps"]
+        assert summary["p50_ms"] == warm["latency_ms"]["p50"]
+        assert summary["p99_ms"] == warm["latency_ms"]["p99"]
+        assert summary["store_hit_rate"] == warm["store_hit_rate"]
+        assert summary["ok"] is True
+
 
 class TestFreshArtifact:
     def test_fresh_quick_artifact_validates(self, tmp_path, schema, capsys):
         out = tmp_path / "bench.json"
         assert main([
-            "bench", "--quick", "--only", "relay", "--out", str(out),
+            "bench", "--quick", "--only", "relay", "--no-serve",
+            "--out", str(out),
         ]) == 0
         artifact = json.loads(out.read_text())
         jsonschema.validate(artifact, schema)
@@ -144,7 +184,7 @@ class TestFreshArtifact:
         out = tmp_path / "bench.json"
         assert main([
             "bench", "--quick", "--only", "cycle-uniform", "--no-mc",
-            "--out", str(out),
+            "--no-serve", "--out", str(out),
         ]) == 0
         artifact = json.loads(out.read_text())
         jsonschema.validate(artifact, schema)
@@ -159,7 +199,7 @@ class TestFreshArtifact:
         out = tmp_path / "bench.json"
         assert main([
             "bench", "--quick", "--only", "constant", "--no-mc",
-            "--no-implicit", "--out", str(out),
+            "--no-implicit", "--no-serve", "--out", str(out),
         ]) == 0
         artifact = json.loads(out.read_text())
         jsonschema.validate(artifact, schema)
@@ -171,6 +211,8 @@ class TestFreshArtifact:
             "failed": 0,
             "max_n": 0,
         }
+        assert artifact["serving"] is None
+        assert artifact["summary"]["serving"] is None
 
 
 def _minimal_v3():
@@ -213,10 +255,22 @@ def _minimal_v4():
     return payload
 
 
+def _minimal_v5():
+    payload = _minimal_v4()
+    payload["schema_version"] = 5
+    payload["implicit_scaling"] = []
+    payload["summary"]["implicit_scaling"] = {
+        "families": 0,
+        "failed": 0,
+        "max_n": 0,
+    }
+    return payload
+
+
 class TestUpgradeShim:
-    def test_v3_upgrades_to_v5(self, schema):
+    def test_v3_upgrades_to_v6(self, schema):
         upgraded = upgrade_artifact(_minimal_v3())
-        assert upgraded["schema_version"] == 5
+        assert upgraded["schema_version"] == 6
         assert upgraded["monte_carlo"] == []
         assert upgraded["summary"]["monte_carlo"] == {
             "cells": 0,
@@ -231,20 +285,25 @@ class TestUpgradeShim:
             "failed": 0,
             "max_n": 0,
         }
+        assert upgraded["serving"] is None
+        assert upgraded["summary"]["serving"] is None
         jsonschema.validate(upgraded, schema)
 
-    def test_v4_upgrades_to_v5(self, schema):
+    def test_v4_upgrades_to_v6(self, schema):
         upgraded = upgrade_artifact(_minimal_v4())
-        assert upgraded["schema_version"] == 5
+        assert upgraded["schema_version"] == 6
         assert upgraded["implicit_scaling"] == []
-        assert upgraded["summary"]["implicit_scaling"] == {
-            "families": 0,
-            "failed": 0,
-            "max_n": 0,
-        }
+        assert upgraded["serving"] is None
         jsonschema.validate(upgraded, schema)
 
-    def test_v5_passes_through_untouched(self, golden):
+    def test_v5_upgrades_to_v6(self, schema):
+        upgraded = upgrade_artifact(_minimal_v5())
+        assert upgraded["schema_version"] == 6
+        assert upgraded["serving"] is None
+        assert upgraded["summary"]["serving"] is None
+        jsonschema.validate(upgraded, schema)
+
+    def test_v6_passes_through_untouched(self, golden):
         import copy
 
         payload = copy.deepcopy(golden)
@@ -254,9 +313,10 @@ class TestUpgradeShim:
         path = tmp_path / "old.json"
         path.write_text(json.dumps(_minimal_v3()))
         artifact = load_artifact(path)
-        assert artifact["schema_version"] == 5
+        assert artifact["schema_version"] == 6
         assert artifact["monte_carlo"] == []
         assert artifact["implicit_scaling"] == []
+        assert artifact["serving"] is None
 
     def test_rejects_foreign_and_future_payloads(self):
         with pytest.raises(ValueError, match="not a repro-bench"):

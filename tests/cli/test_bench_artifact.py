@@ -137,6 +137,7 @@ class TestArtifact:
             "--quick",
             "--only",
             "leaf-coloring",
+            "--no-serve",
             "--out",
             str(out),
         ])
@@ -144,7 +145,10 @@ class TestArtifact:
         artifact = json.loads(out.read_text())
         assert artifact["schema"] == SCHEMA_NAME
         assert artifact["schema_version"] == SCHEMA_VERSION
-        assert artifact["schema_version"] == 5
+        assert artifact["schema_version"] == 6
+        # --no-serve keeps the section present but null.
+        assert artifact["serving"] is None
+        assert artifact["summary"]["serving"] is None
         assert artifact["mode"] == "quick"
         assert artifact["backend"] == "serial"
         assert artifact["oracle"] == "compiled"
@@ -248,6 +252,7 @@ class TestArtifact:
             "--quick",
             "--only",
             "prop49",
+            "--no-serve",
             "--out",
             str(out),
         ]) == 0
@@ -269,6 +274,7 @@ class TestArtifact:
             "constant",
             "--backend",
             "reference",
+            "--no-serve",
             "--out",
             str(out),
         ]) == 0
@@ -278,7 +284,8 @@ class TestArtifact:
 
     def test_stdout_summary_mentions_artifact(self, tmp_path, capsys):
         out = tmp_path / "bench.json"
-        main(["bench", "--only", "constant", "--out", str(out)])
+        main(["bench", "--only", "constant", "--no-serve",
+              "--out", str(out)])
         stdout = capsys.readouterr().out
         assert "0 failed" in stdout
         assert str(out) in stdout
@@ -304,6 +311,7 @@ class TestValidationGate:
             "bench",
             "--only",
             "waypoint",
+            "--no-serve",
             "--out",
             str(out),
         ]) == 0

@@ -143,7 +143,7 @@ class TestBenchCorpusFlag:
                 "--family", "balanced-tree")
         code, _ = run_cli(
             capsys, "bench", "--quick", "--only", "balanced-tree",
-            "--corpus", root, "--no-mc", "--no-implicit",
+            "--corpus", root, "--no-mc", "--no-implicit", "--no-serve",
             "--out", str(out_path),
         )
         assert code == 0

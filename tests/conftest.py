@@ -1,0 +1,41 @@
+"""Shared fixtures for the suite.
+
+Extracted from ``tests/corpus/`` and ``tests/cli/test_corpus_cli.py``
+(PR 10) so every suite — including ``tests/serve/`` — reuses the same
+canonical small corpus and empty sqlite result store instead of
+re-rolling them per file.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def tmp_result_store(tmp_path):
+    """An empty sqlite :class:`ResultStore` under this test's tmp dir."""
+    from repro.corpus import ResultStore
+
+    return ResultStore(tmp_path / "r.sqlite")
+
+
+@pytest.fixture
+def make_corpus():
+    """Factory building the canonical two-entry corpus at any root."""
+    from repro.corpus import InstanceCorpus
+    from repro.graphs.generators import (
+        balanced_tree_instance,
+        cycle_instance,
+    )
+
+    def build(root):
+        corpus = InstanceCorpus(root)
+        corpus.add("cycle", 8, 0, cycle_instance(8))
+        corpus.add("balanced-tree", 3, 0, balanced_tree_instance(3))
+        return corpus
+
+    return build
+
+
+@pytest.fixture
+def tmp_corpus(tmp_path, make_corpus):
+    """The canonical small corpus: cycle(n=8) + balanced-tree(depth=3)."""
+    return make_corpus(tmp_path / "corpus")

@@ -13,16 +13,9 @@ from repro.corpus import (
     content_hash,
     entry_key,
 )
-from repro.graphs.generators import balanced_tree_instance, cycle_instance
+from repro.graphs.generators import cycle_instance
 
 SRC = str(Path(__file__).resolve().parents[2] / "src")
-
-
-def small_corpus(root) -> InstanceCorpus:
-    corpus = InstanceCorpus(root)
-    corpus.add("cycle", 8, 0, cycle_instance(8))
-    corpus.add("balanced-tree", 3, 0, balanced_tree_instance(3))
-    return corpus
 
 
 class TestAddAndLoad:
@@ -41,8 +34,8 @@ class TestAddAndLoad:
         with pytest.raises(CorpusError, match="non-deterministic"):
             corpus.add("cycle", 8, 0, cycle_instance(10))
 
-    def test_get_round_trips(self, tmp_path):
-        corpus = small_corpus(tmp_path)
+    def test_get_round_trips(self, tmp_corpus):
+        corpus = tmp_corpus
         instance = corpus.get("cycle", 8)
         assert instance is not None
         assert instance.n == 8
@@ -53,12 +46,12 @@ class TestAddAndLoad:
         key, _ = corpus.add("cycle", 8, 0, cycle_instance(8))
         assert corpus.entry_param(key) == 8
 
-    def test_load_unknown_key_raises(self, tmp_path):
+    def test_load_unknown_key_raises(self, tmp_corpus):
         with pytest.raises(CorpusError, match="no entry"):
-            small_corpus(tmp_path).load_payload("deadbeefdeadbeef")
+            tmp_corpus.load_payload("deadbeefdeadbeef")
 
-    def test_list_entries_sorted_with_provenance(self, tmp_path):
-        entries = small_corpus(tmp_path).list_entries()
+    def test_list_entries_sorted_with_provenance(self, tmp_corpus):
+        entries = tmp_corpus.list_entries()
         assert [e.key for e in entries] == sorted(e.key for e in entries)
         by_family = {e.family: e for e in entries}
         assert by_family["cycle"].param_repr == "8"
@@ -76,8 +69,8 @@ class TestAddAndLoad:
         again = corpus.generate("balanced-tree", grid="quick")
         assert not any(created for _, created in again)
 
-    def test_manifest_format_mismatch_raises(self, tmp_path):
-        corpus = small_corpus(tmp_path)
+    def test_manifest_format_mismatch_raises(self, tmp_corpus):
+        corpus = tmp_corpus
         manifest = json.loads(corpus.manifest_path.read_text())
         manifest["format"] = "repro-corpus/999"
         corpus.manifest_path.write_text(json.dumps(manifest))
@@ -86,11 +79,11 @@ class TestAddAndLoad:
 
 
 class TestVerify:
-    def test_clean_corpus_verifies(self, tmp_path):
-        assert small_corpus(tmp_path).verify() == []
+    def test_clean_corpus_verifies(self, tmp_corpus):
+        assert tmp_corpus.verify() == []
 
-    def test_detects_bit_flip(self, tmp_path):
-        corpus = small_corpus(tmp_path)
+    def test_detects_bit_flip(self, tmp_corpus):
+        corpus = tmp_corpus
         key = corpus.list_entries()[0].key
         path = corpus.entry_path(key)
         blob = bytearray(path.read_bytes())
@@ -102,20 +95,20 @@ class TestVerify:
         with pytest.raises(CorpusError, match="verification"):
             corpus.load_instance(key)
 
-    def test_detects_missing_file(self, tmp_path):
-        corpus = small_corpus(tmp_path)
+    def test_detects_missing_file(self, tmp_corpus):
+        corpus = tmp_corpus
         key = corpus.list_entries()[0].key
         corpus.entry_path(key).unlink()
         assert any("missing" in p for p in corpus.verify())
 
-    def test_detects_stray_file(self, tmp_path):
-        corpus = small_corpus(tmp_path)
+    def test_detects_stray_file(self, tmp_corpus):
+        corpus = tmp_corpus
         (corpus.entries_dir / "0000000000000000.json").write_text("{}")
         assert any("stray" in p for p in corpus.verify())
 
-    def test_detects_misfiled_entry(self, tmp_path):
+    def test_detects_misfiled_entry(self, tmp_corpus):
         # A file whose bytes are intact but filed under another key.
-        corpus = small_corpus(tmp_path)
+        corpus = tmp_corpus
         entries = {e.key: e for e in corpus.list_entries()}
         k1, k2 = sorted(entries)
         text = corpus.entry_path(k1).read_text()
@@ -127,8 +120,8 @@ class TestVerify:
 
 
 class TestExportImport:
-    def test_round_trip_preserves_hashes(self, tmp_path):
-        source = small_corpus(tmp_path / "src")
+    def test_round_trip_preserves_hashes(self, tmp_path, make_corpus):
+        source = make_corpus(tmp_path / "src")
         archive = tmp_path / "corpus.tar.gz"
         assert source.export(archive) == 2
         dest = InstanceCorpus(tmp_path / "dst")
@@ -140,25 +133,25 @@ class TestExportImport:
         # Re-import is a clean no-op.
         assert dest.import_archive(archive) == (0, 2)
 
-    def test_archives_are_deterministic(self, tmp_path):
-        source = small_corpus(tmp_path / "src")
+    def test_archives_are_deterministic(self, tmp_path, make_corpus):
+        source = make_corpus(tmp_path / "src")
         a, b = tmp_path / "a.tar.gz", tmp_path / "b.tar.gz"
         source.export(a)
         source.export(b)
         assert a.read_bytes() == b.read_bytes()
 
-    def test_export_refuses_corrupt_corpus(self, tmp_path):
-        corpus = small_corpus(tmp_path / "src")
+    def test_export_refuses_corrupt_corpus(self, tmp_path, make_corpus):
+        corpus = make_corpus(tmp_path / "src")
         key = corpus.list_entries()[0].key
         corpus.entry_path(key).write_text("tampered")
         with pytest.raises(CorpusError, match="refusing to export"):
             corpus.export(tmp_path / "bad.tar.gz")
 
-    def test_import_rejects_tampered_archive(self, tmp_path):
+    def test_import_rejects_tampered_archive(self, tmp_path, make_corpus):
         import io
         import tarfile
 
-        source = small_corpus(tmp_path / "src")
+        source = make_corpus(tmp_path / "src")
         archive = tmp_path / "corpus.tar.gz"
         source.export(archive)
         # Rebuild the archive with one entry's bytes corrupted but the
@@ -181,8 +174,8 @@ class TestExportImport:
             dest.import_archive(tampered)
         assert len(dest) == 0  # nothing was written
 
-    def test_import_conflict_raises(self, tmp_path):
-        source = small_corpus(tmp_path / "src")
+    def test_import_conflict_raises(self, tmp_path, make_corpus):
+        source = make_corpus(tmp_path / "src")
         archive = tmp_path / "corpus.tar.gz"
         source.export(archive)
         dest = InstanceCorpus(tmp_path / "dst")
@@ -225,6 +218,7 @@ for n in range(start, start + 20):
 """
 
 
+@pytest.mark.slow
 class TestConcurrentAdds:
     def test_two_processes_lose_no_manifest_rows(self, tmp_path):
         """Concurrent adds from separate processes must all land.

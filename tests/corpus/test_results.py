@@ -28,8 +28,8 @@ def trial_record(trial: int, **overrides):
 
 
 class TestSweepRows:
-    def test_points_round_trip(self, tmp_path):
-        store = ResultStore(tmp_path / "r.sqlite")
+    def test_points_round_trip(self, tmp_result_store):
+        store = tmp_result_store
         store.record_sweep_meta("abc", "walk", {"metric": "volume"}, 2)
         store.record_sweep_point(
             "abc", 0, param_repr="3", n=15, cost=7.0,
@@ -48,8 +48,8 @@ class TestSweepRows:
         }
         assert points[1]["detail"] is None
 
-    def test_inserts_are_idempotent_first_writer_wins(self, tmp_path):
-        store = ResultStore(tmp_path / "r.sqlite")
+    def test_inserts_are_idempotent_first_writer_wins(self, tmp_result_store):
+        store = tmp_result_store
         store.record_sweep_meta("abc", "walk", {"v": 1}, 1)
         store.record_sweep_meta("abc", "other", {"v": 2}, 9)
         assert store.sweep_describe("abc") == {"v": 1}
@@ -65,8 +65,8 @@ class TestSweepRows:
 
 
 class TestTrialRows:
-    def test_records_round_trip_in_journal_format(self, tmp_path):
-        store = ResultStore(tmp_path / "r.sqlite")
+    def test_records_round_trip_in_journal_format(self, tmp_result_store):
+        store = tmp_result_store
         store.record_trial_run("run1", {"base_seed": 7})
         records = [trial_record(t) for t in (1, 0, 2)]
         store.record_trials("run1", records)
@@ -75,8 +75,8 @@ class TestTrialRows:
         assert restored[1] == trial_record(1)
         assert store.trial_records("other") == []
 
-    def test_non_trial_records_filtered(self, tmp_path):
-        store = ResultStore(tmp_path / "r.sqlite")
+    def test_non_trial_records_filtered(self, tmp_result_store):
+        store = tmp_result_store
         store.record_trials("run1", [
             {"kind": "meta", "note": "ignored"},
             trial_record(0),
@@ -84,8 +84,8 @@ class TestTrialRows:
         assert len(store.trial_records("run1")) == 1
         store.record_trials("run1", [{"kind": "meta"}])  # all filtered
 
-    def test_rewrite_is_idempotent(self, tmp_path):
-        store = ResultStore(tmp_path / "r.sqlite")
+    def test_rewrite_is_idempotent(self, tmp_result_store):
+        store = tmp_result_store
         store.record_trials("run1", [trial_record(0)])
         store.record_trials(
             "run1", [trial_record(0, max_volume=999), trial_record(1)]
@@ -95,16 +95,49 @@ class TestTrialRows:
         assert restored[0]["max_volume"] == 10  # first writer won
 
 
+class TestServiceResponses:
+    def test_round_trip_exact_bytes(self, tmp_result_store):
+        body = b'{"result":{"max_volume":7},"valid":true}\n'
+        assert tmp_result_store.get_response("k1") is None
+        tmp_result_store.record_response("k1", body, endpoint="/solve")
+        assert tmp_result_store.get_response("k1") == body
+
+    def test_first_writer_wins(self, tmp_result_store):
+        tmp_result_store.record_response("k1", b"first\n", endpoint="/mc")
+        tmp_result_store.record_response("k1", b"second\n", endpoint="/mc")
+        assert tmp_result_store.get_response("k1") == b"first\n"
+
+    def test_reopening_preserves_bodies(self, tmp_path):
+        path = tmp_path / "r.sqlite"
+        ResultStore(path).record_response("k", b"x\n", endpoint="/solve")
+        assert ResultStore(path).get_response("k") == b"x\n"
+
+    def test_pre_serve_store_gains_table_on_reopen(self, tmp_path):
+        # Stores created before the service_responses table existed are
+        # upgraded in place: the additive CREATE TABLE IF NOT EXISTS runs
+        # on every open, so a reopen is enough.
+        path = tmp_path / "r.sqlite"
+        ResultStore(path)
+        with sqlite3.connect(path) as conn:
+            conn.execute("DROP TABLE service_responses")
+        store = ResultStore(path)
+        store.record_response("k", b"x\n", endpoint="/solve")
+        assert store.get_response("k") == b"x\n"
+
+
 class TestStoreFile:
-    def test_summary_counts_rows(self, tmp_path):
-        store = ResultStore(tmp_path / "r.sqlite")
+    def test_summary_counts_rows(self, tmp_result_store):
+        store = tmp_result_store
         assert store.summary() == {
             "sweeps": 0, "sweep_points": 0, "trial_runs": 0, "trials": 0,
+            "service_responses": 0,
         }
         store.record_sweep_meta("abc", "walk", {}, 1)
         store.record_trials("run1", [trial_record(0), trial_record(1)])
+        store.record_response("k1", b'{"a":1}\n', endpoint="/solve")
         assert store.summary() == {
             "sweeps": 1, "sweep_points": 0, "trial_runs": 0, "trials": 2,
+            "service_responses": 1,
         }
 
     def test_reopening_preserves_rows(self, tmp_path):
@@ -155,6 +188,7 @@ for trial in range(start, start + 40):
 """
 
 
+@pytest.mark.slow
 class TestConcurrentAppends:
     def test_two_processes_lose_no_rows(self, tmp_path):
         """Two writers interleaving single-row commits on one store.

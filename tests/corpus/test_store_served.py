@@ -29,8 +29,8 @@ def counting_spec(executed, label="walk"):
 
 
 class TestStoreServedSweeps:
-    def test_rerun_executes_zero_points_bitwise_identical(self, tmp_path):
-        store = ResultStore(tmp_path / "r.sqlite")
+    def test_rerun_executes_zero_points_bitwise_identical(self, tmp_result_store):
+        store = tmp_result_store
         executed = []
         first = run_sweep(counting_spec(executed), store=store)
         assert len(executed) == 3
@@ -51,8 +51,8 @@ class TestStoreServedSweeps:
             p.elapsed for p in first.points
         ]
 
-    def test_partial_store_executes_only_missing_points(self, tmp_path):
-        store = ResultStore(tmp_path / "r.sqlite")
+    def test_partial_store_executes_only_missing_points(self, tmp_result_store):
+        store = tmp_result_store
         executed = []
         spec = counting_spec(executed)
         run_sweep(spec, store=store)
@@ -67,8 +67,8 @@ class TestStoreServedSweeps:
         assert not result.from_store  # partially served is not "from store"
         assert store.sweep_points(spec.cache_key())[1]["n"] == 31
 
-    def test_describe_mismatch_neither_serves_nor_records(self, tmp_path):
-        store = ResultStore(tmp_path / "r.sqlite")
+    def test_describe_mismatch_neither_serves_nor_records(self, tmp_result_store):
+        store = tmp_result_store
         executed = []
         spec = counting_spec(executed)
         key = spec.cache_key()
@@ -85,9 +85,9 @@ class TestStoreServedSweeps:
         assert store.sweep_points(key)[0]["cost"] == -1.0
         assert len(store.sweep_points(key)) == 1
 
-    def test_cache_hit_backfills_store(self, tmp_path):
+    def test_cache_hit_backfills_store(self, tmp_result_store, tmp_path):
         cache = SweepCache(tmp_path / "cache")
-        store = ResultStore(tmp_path / "r.sqlite")
+        store = tmp_result_store
         executed = []
         run_sweep(counting_spec(executed), cache=cache)  # store unaware
         spec = counting_spec(executed)
@@ -96,11 +96,13 @@ class TestStoreServedSweeps:
         assert len(executed) == 3  # served by the cache, not re-run
         assert len(store.sweep_points(spec.cache_key())) == 3
 
-    def test_store_survives_where_cache_is_cleared(self, tmp_path):
+    def test_store_survives_where_cache_is_cleared(
+        self, tmp_result_store, tmp_path
+    ):
         # The cache is per-directory scratch; the store is the durable
         # campaign record. Losing the former must not lose results.
         cache = SweepCache(tmp_path / "cache")
-        store = ResultStore(tmp_path / "r.sqlite")
+        store = tmp_result_store
         executed = []
         run_sweep(counting_spec(executed), cache=cache, store=store)
         for path in (tmp_path / "cache").iterdir():
@@ -112,10 +114,10 @@ class TestStoreServedSweeps:
         assert len(executed) == 3
         assert result.from_store
 
-    def test_registered_algorithm_sweep_round_trips(self, tmp_path):
+    def test_registered_algorithm_sweep_round_trips(self, tmp_result_store):
         # Same flow through a registry algorithm (bytecode-fingerprinted
         # describe) rather than a local measure closure.
-        store = ResultStore(tmp_path / "r.sqlite")
+        store = tmp_result_store
         spec = SweepSpec(
             "walk", "Θ(log n)", leaf_family(), "volume", RWtoLeaf, seed=7
         )
@@ -133,8 +135,8 @@ class TestStoreServedTrials:
         instance = family.instance(family.quick[0])
         return LeafColoring(), instance, algo
 
-    def test_rerun_replays_from_store(self, tmp_path):
-        store = ResultStore(tmp_path / "r.sqlite")
+    def test_rerun_replays_from_store(self, tmp_result_store):
+        store = tmp_result_store
         problem, instance, algo = self._cell()
         policy = TrialPolicy.fixed(16)
         first = run_trials(
@@ -150,8 +152,8 @@ class TestStoreServedTrials:
         assert second.rate == first.rate
         assert any("replayed 16" in line for line in lines)
 
-    def test_different_seed_is_a_different_run(self, tmp_path):
-        store = ResultStore(tmp_path / "r.sqlite")
+    def test_different_seed_is_a_different_run(self, tmp_result_store):
+        store = tmp_result_store
         problem, instance, algo = self._cell()
         policy = TrialPolicy.fixed(8)
         run_trials(
@@ -163,10 +165,10 @@ class TestStoreServedTrials:
         assert store.summary()["trial_runs"] == 2
         assert store.summary()["trials"] == 16
 
-    def test_journal_and_store_replay_merge(self, tmp_path):
+    def test_journal_and_store_replay_merge(self, tmp_result_store):
         from repro.montecarlo.engine import trial_journal_key
 
-        store = ResultStore(tmp_path / "r.sqlite")
+        store = tmp_result_store
         problem, instance, algo = self._cell()
         policy = TrialPolicy.fixed(16)
         full = run_trials(

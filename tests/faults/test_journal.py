@@ -211,6 +211,7 @@ run_trials(
 """
 
 
+@pytest.mark.slow
 class TestKillMinusNine:
     def test_resume_survives_hard_kill(self, tmp_path):
         """kill -9 mid-run → resume → bitwise-identical final result."""

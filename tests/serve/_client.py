@@ -1,0 +1,40 @@
+"""The serve suite's synchronous HTTP client (shared helper)."""
+
+import http.client
+import json
+
+
+class Client:
+    """A one-request-per-connection synchronous HTTP client.
+
+    Deliberately separate from the async ``repro.serve.load._Client``
+    the harness uses, so these tests exercise the server against an
+    independent implementation of the protocol.
+    """
+
+    def __init__(self, address):
+        self.host, self.port = address
+
+    def request(self, method, path, payload=None, timeout=120):
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout
+        )
+        try:
+            body = None if payload is None else json.dumps(payload)
+            conn.request(method, path, body=body)
+            response = conn.getresponse()
+            data = response.read()
+            headers = {k.lower(): v for k, v in response.getheaders()}
+            return response.status, headers, data
+        finally:
+            conn.close()
+
+    def get(self, path):
+        return self.request("GET", path)
+
+    def post(self, path, payload):
+        return self.request("POST", path, payload)
+
+    def post_json(self, path, payload):
+        status, headers, data = self.post(path, payload)
+        return status, headers, json.loads(data)

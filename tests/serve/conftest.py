@@ -1,0 +1,13 @@
+"""Fixtures for the serve suite: live servers and a tiny sync client."""
+
+import pytest
+from _client import Client
+
+from repro.serve.service import ServeConfig, ServerThread
+
+
+@pytest.fixture(scope="module")
+def server():
+    """One store-less server per module: every request executes fresh."""
+    with ServerThread(ServeConfig(port=0)) as thread:
+        yield Client(thread.address)

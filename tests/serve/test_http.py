@@ -1,0 +1,173 @@
+"""The hand-rolled HTTP/1.1 layer: parsing, rendering, canonical JSON."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.http import (
+    MAX_BODY_BYTES,
+    MAX_HEADERS,
+    HttpProtocolError,
+    Request,
+    Response,
+    canonical_json,
+    error_response,
+    json_response,
+    read_request,
+)
+
+
+def parse(raw: bytes):
+    """Feed raw bytes to the parser exactly as the server would."""
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(go())
+
+
+class TestReadRequest:
+    def test_parses_request_line_headers_and_body(self):
+        request = parse(
+            b"POST /solve HTTP/1.1\r\n"
+            b"Host: localhost\r\n"
+            b"Content-Length: 7\r\n"
+            b"\r\n"
+            b'{"a":1}'
+        )
+        assert request.method == "POST"
+        assert request.path == "/solve"
+        assert request.body == b'{"a":1}'
+        assert request.json() == {"a": 1}
+
+    def test_header_names_are_lower_cased(self):
+        request = parse(
+            b"GET / HTTP/1.1\r\nX-RePrO-ThInG: Value\r\n\r\n"
+        )
+        assert request.headers["x-repro-thing"] == "Value"
+
+    def test_query_string_is_split_off_the_path(self):
+        request = parse(b"GET /healthz?probe=1 HTTP/1.1\r\n\r\n")
+        assert request.path == "/healthz"
+        assert request.query == "probe=1"
+
+    def test_method_is_upper_cased(self):
+        assert parse(b"get / HTTP/1.1\r\n\r\n").method == "GET"
+
+    def test_keep_alive_is_the_default(self):
+        assert parse(b"GET / HTTP/1.1\r\n\r\n").keep_alive is True
+
+    def test_connection_close_opts_out(self):
+        request = parse(
+            b"GET / HTTP/1.1\r\nConnection: CLOSE\r\n\r\n"
+        )
+        assert request.keep_alive is False
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_bare_lf_line_endings_accepted(self):
+        request = parse(b"GET / HTTP/1.1\nHost: x\n\n")
+        assert request.method == "GET"
+        assert request.headers["host"] == "x"
+
+    def test_malformed_request_line_raises_400(self):
+        with pytest.raises(HttpProtocolError) as exc:
+            parse(b"NONSENSE\r\n\r\n")
+        assert exc.value.status == 400
+
+    def test_unsupported_protocol_raises(self):
+        with pytest.raises(HttpProtocolError, match="protocol"):
+            parse(b"GET / HTTP/2\r\n\r\n")
+
+    def test_malformed_header_line_raises(self):
+        with pytest.raises(HttpProtocolError, match="header"):
+            parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
+
+    def test_non_numeric_content_length_raises(self):
+        with pytest.raises(HttpProtocolError, match="Content-Length"):
+            parse(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+
+    def test_negative_content_length_raises(self):
+        with pytest.raises(HttpProtocolError, match="Content-Length"):
+            parse(b"POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n")
+
+    def test_oversized_body_raises_413(self):
+        with pytest.raises(HttpProtocolError) as exc:
+            parse(
+                b"POST / HTTP/1.1\r\nContent-Length: "
+                + str(MAX_BODY_BYTES + 1).encode()
+                + b"\r\n\r\n"
+            )
+        assert exc.value.status == 413
+
+    def test_chunked_transfer_encoding_rejected(self):
+        with pytest.raises(HttpProtocolError, match="chunked"):
+            parse(
+                b"POST / HTTP/1.1\r\n"
+                b"Transfer-Encoding: chunked\r\n\r\n"
+            )
+
+    def test_truncated_body_raises(self):
+        with pytest.raises(HttpProtocolError, match="truncated"):
+            parse(
+                b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\nshort"
+            )
+
+    def test_too_many_headers_raises(self):
+        lines = b"".join(
+            b"X-H%d: v\r\n" % i for i in range(MAX_HEADERS + 1)
+        )
+        with pytest.raises(HttpProtocolError, match="too many"):
+            parse(b"GET / HTTP/1.1\r\n" + lines + b"\r\n")
+
+
+class TestRequestJson:
+    def test_empty_body_is_empty_object(self):
+        assert Request(method="POST", path="/x").json() == {}
+
+    def test_bad_json_raises_400(self):
+        request = Request(method="POST", path="/x", body=b"{nope")
+        with pytest.raises(HttpProtocolError) as exc:
+            request.json()
+        assert exc.value.status == 400
+
+
+class TestCanonicalJson:
+    def test_sorted_compact_with_trailing_newline(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == b'{"a":[1,2],"b":1}\n'
+
+    def test_equal_payloads_are_equal_bytes(self):
+        left = canonical_json({"x": 1, "y": {"b": 2, "a": 3}})
+        right = canonical_json({"y": {"a": 3, "b": 2}, "x": 1})
+        assert left == right
+
+
+class TestResponseEncode:
+    def test_status_line_content_length_and_body(self):
+        raw = Response(body=b"hi").encode()
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Length: 2" in head
+        assert body == b"hi"
+
+    def test_keep_alive_flag_sets_connection_header(self):
+        assert b"Connection: keep-alive" in Response().encode(True)
+        assert b"Connection: close" in Response().encode(False)
+
+    def test_custom_headers_are_rendered(self):
+        raw = Response(headers={"X-Repro-Key": "abc"}).encode()
+        assert b"X-Repro-Key: abc\r\n" in raw
+
+    def test_json_response_body_is_canonical(self):
+        response = json_response({"b": 1, "a": 2})
+        assert response.body == canonical_json({"a": 2, "b": 1})
+
+    def test_error_response_shape(self):
+        response = error_response("nope", 404)
+        assert response.status == 404
+        assert json.loads(response.body) == {"error": "nope", "status": 404}

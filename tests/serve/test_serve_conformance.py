@@ -1,0 +1,178 @@
+"""HTTP conformance: the service vs. the direct library calls.
+
+Every compatible registry cell is exercised over the wire at its
+cheapest quick-grid parameter, on all three compute endpoints, and the
+response payload must reproduce the direct
+:func:`~repro.model.runner.solve_and_check` /
+:func:`~repro.montecarlo.engine.run_trials` / adversary results field
+for field.  A hypothesis sweep then replays a small mixed workload in
+arbitrary concurrent arrival orders and requires bitwise-identical
+bodies — the request-order-independence half of the DESIGN.md §13.4
+determinism argument.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exec.backends import get_backend
+from repro.model.runner import solve_and_check
+from repro.montecarlo.engine import QUICK_POLICY, run_trials
+from repro.registry import ADVERSARIES, iter_compatible, load_components
+
+load_components()
+CELLS = list(iter_compatible())
+CELL_IDS = [f"{c.algorithm.name}|{c.family.name}" for c in CELLS]
+ENTRIES = list(ADVERSARIES)
+ENTRY_IDS = [e.name for e in ENTRIES]
+
+# The exact policy the service resolves from this spec: QUICK_POLICY
+# with the three count knobs overridden (see service._policy_from).
+POLICY_SPEC = {"quick": True, "min_trials": 4, "max_trials": 8,
+               "batch_size": 4}
+POLICY = replace(QUICK_POLICY, min_trials=4, max_trials=8, batch_size=4)
+
+
+@pytest.fixture(scope="module")
+def direct():
+    """The reference backend for the direct (non-HTTP) computations."""
+    backend = get_backend("serial")
+    yield backend
+    backend.close()
+
+
+def cell_payload(cell):
+    return {
+        "algorithm": cell.algorithm.name,
+        "family": cell.family.name,
+        "problem": cell.problem.name,
+        "param": repr(cell.family.quick[0]),
+    }
+
+
+class TestSolveConformance:
+    @pytest.mark.parametrize("cell", CELLS, ids=CELL_IDS)
+    def test_every_cell_matches_solve_and_check(self, server, direct, cell):
+        status, _, body = server.post_json("/solve", cell_payload(cell))
+        assert status == 200
+
+        instance = cell.family.instance(cell.family.quick[0])
+        report = solve_and_check(
+            cell.problem.make(),
+            instance,
+            cell.algorithm.make(),
+            seed=cell.algorithm.seed,
+            backend=direct,
+        )
+        assert body["valid"] is report.valid
+        assert body["seed"] == cell.algorithm.seed
+        assert body["instance"] == instance.name
+        assert body["n"] == instance.n
+        assert body["violations"] == [str(v) for v in report.violations[:5]]
+        assert body["result"] == {
+            "max_volume": report.run.max_volume,
+            "mean_volume": report.run.mean_volume,
+            "max_distance": report.run.max_distance,
+            "max_queries": report.run.max_queries,
+            "truncated_nodes": len(report.run.truncated_nodes),
+        }
+
+
+class TestMcConformance:
+    @pytest.mark.parametrize("cell", CELLS, ids=CELL_IDS)
+    def test_every_cell_matches_run_trials(self, server, direct, cell):
+        status, _, body = server.post_json(
+            "/mc", cell_payload(cell) | {"policy": POLICY_SPEC}
+        )
+        assert status == 200
+
+        result = run_trials(
+            cell.problem.make(),
+            cell.family.instance(cell.family.quick[0]),
+            cell.algorithm.make(),
+            POLICY,
+            base_seed=cell.algorithm.seed,
+            backend=direct,
+        )
+        expected = result.to_payload()
+        expected.pop("elapsed")  # provenance, not result
+        assert body["base_seed"] == cell.algorithm.seed
+        assert body["policy"] == POLICY.describe()
+        for field, value in expected.items():
+            assert body[field] == value, field
+
+
+class TestAdversaryConformance:
+    @pytest.mark.parametrize("entry", ENTRIES, ids=ENTRY_IDS)
+    def test_every_adversary_matches_timed_run(self, server, direct, entry):
+        budget = min(entry.quick)
+        status, _, body = server.post_json(
+            "/adversary", {"adversary": entry.name, "budget": budget}
+        )
+        assert status == 200
+
+        adversary = entry.make(None)
+        run = adversary.timed_run(budget)
+        point = run.point()
+        point.pop("elapsed", None)
+        for field, value in point.items():
+            assert body[field] == value, field
+        assert body["transcript_events"] == len(run.transcript)
+        assert body["verified"] is adversary.verify(run, backend=direct)
+        assert body["detail"] == {
+            k: v
+            for k, v in run.detail.items()
+            if isinstance(v, (int, float, str, bool, type(None)))
+        }
+
+
+# ----------------------------------------------------------------------
+# request-order independence
+# ----------------------------------------------------------------------
+def _mixed_workload():
+    """A small cross-endpoint mix with distinct request keys."""
+    picks = [CELLS[0], CELLS[len(CELLS) // 2], CELLS[-1]]
+    mix = [("/solve", cell_payload(cell)) for cell in picks]
+    mix.append(("/mc", cell_payload(CELLS[1]) | {"policy": POLICY_SPEC}))
+    mix.append(("/adversary", {
+        "adversary": ENTRIES[-1].name, "budget": min(ENTRIES[-1].quick),
+    }))
+    return mix
+
+
+MIX = _mixed_workload()
+
+
+@pytest.fixture(scope="module")
+def baseline(server):
+    """Each mixed request's canonical body, measured sequentially."""
+    bodies = {}
+    for index, (path, payload) in enumerate(MIX):
+        status, _, body = server.post(path, payload)
+        assert status == 200
+        bodies[index] = body
+    return bodies
+
+
+class TestOrderIndependence:
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(order=st.permutations(list(range(len(MIX)))))
+    def test_concurrent_arrival_order_never_changes_a_body(
+        self, server, baseline, order
+    ):
+        with ThreadPoolExecutor(max_workers=len(order)) as pool:
+            futures = {
+                index: pool.submit(server.post, *MIX[index])
+                for index in order
+            }
+            results = {i: f.result() for i, f in futures.items()}
+        for index, (status, _, body) in results.items():
+            assert status == 200
+            assert body == baseline[index]
